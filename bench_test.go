@@ -1,0 +1,335 @@
+package voiceguard_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§VI and §VII), per DESIGN.md §4. Each benchmark runs the
+// corresponding experiment and logs the regenerated rows, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. The wall time of one iteration is the
+// cost of regenerating that artifact.
+
+import (
+	"testing"
+
+	"voiceguard/internal/core"
+	"voiceguard/internal/experiment"
+	"voiceguard/internal/magnetics"
+)
+
+func logDistanceRows(b *testing.B, title string, rows []experiment.DistanceRow) {
+	b.Helper()
+	b.Log(title)
+	for _, r := range rows {
+		b.Logf("  %v", r)
+	}
+}
+
+// BenchmarkTableI regenerates Table I: ASV FAR for GMM-UBM and ISV on the
+// five-speaker imitation panel (test 1) and the cross-corpus protocol
+// (test 2).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunTableI(experiment.TableIConfig{Seed: 4, UBMComponents: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("Table I — speaker-identity verification FAR")
+			for _, r := range rows {
+				b.Logf("  %v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: the received high-frequency pilot
+// spectrogram ridge while the phone moves.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.RunFig6(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Fig. 6 — pilot ridge over %d frames (first/mid/last):", len(pts))
+			for _, idx := range []int{0, len(pts) / 2, len(pts) - 1} {
+				p := pts[idx]
+				b.Logf("  t=%.2fs  peak=%.0f Hz  mag=%.1f", p.TimeSec, p.PeakHz, p.Magnitude)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8: PCA separation of mouth vs earphone
+// sound fields.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.RunFig8(10, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var mx, ex float64
+			var nm, ne int
+			for _, p := range pts {
+				if p.Class == "mouth" {
+					mx += p.PC1
+					nm++
+				} else {
+					ex += p.PC1
+					ne++
+				}
+			}
+			b.Logf("Fig. 8 — PCA scatter: %d mouth pts (PC1 centroid %.2f), %d earphone pts (PC1 centroid %.2f)",
+				nm, mx/float64(nm), ne, ex/float64(ne))
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10: the polar magnetic-field profile of
+// the Logitech LS21.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiment.RunFig10(0)
+		if i == 0 {
+			b.Logf("Fig. 10 — LS21 polar field at 4.5 cm: peak %.0f µT (paper window 30–210 µT)",
+				experiment.MaxField(pts))
+			for d := 0; d < len(pts); d += 9 {
+				b.Logf("  %3.0f°: %6.1f µT", pts[d].AngleDeg, pts[d].FieldUT)
+			}
+		}
+	}
+}
+
+// BenchmarkFig12a regenerates Fig. 12(a): FAR/FRR/EER vs distance, no
+// shielding.
+func BenchmarkFig12a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunDistanceSweep(experiment.DistanceSweepConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logDistanceRows(b, "Fig. 12(a) — impact of sound-source distance (no shielding)", rows)
+		}
+	}
+}
+
+// BenchmarkFig12b regenerates Fig. 12(b): the Mu-metal-shielded variant.
+func BenchmarkFig12b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunDistanceSweep(experiment.DistanceSweepConfig{Seed: 1, Shielded: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logDistanceRows(b, "Fig. 12(b) — impact of distance with Mu-metal shielding", rows)
+		}
+	}
+}
+
+// BenchmarkFig14a regenerates Fig. 14(a): near a computer.
+func BenchmarkFig14a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunDistanceSweep(experiment.DistanceSweepConfig{
+			Seed: 1, Environment: magnetics.EnvNearComputer,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logDistanceRows(b, "Fig. 14(a) — environmental interference: near a computer", rows)
+		}
+	}
+}
+
+// BenchmarkFig14b regenerates Fig. 14(b): in a car front seat.
+func BenchmarkFig14b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunDistanceSweep(experiment.DistanceSweepConfig{
+			Seed: 1, Environment: magnetics.EnvCar,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logDistanceRows(b, "Fig. 14(b) — environmental interference: in a car", rows)
+		}
+	}
+}
+
+// BenchmarkFig15 regenerates Fig. 15: authentication-time comparison.
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunTiming(experiment.TimingConfig{Users: 4, TrialsPerUser: 3, Seed: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("Fig. 15 — authentication time comparison")
+			for _, r := range rows {
+				b.Logf("  %v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the Table IV battery: all 25 loudspeakers
+// replayed at the operating distance.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunSpeakerBattery(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			detected := 0
+			for _, r := range rows {
+				if r.Detected {
+					detected++
+				}
+			}
+			b.Logf("Table IV battery — %d/%d loudspeakers detected at 5 cm", detected, len(rows))
+			for _, r := range rows {
+				b.Logf("  %v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkSoundTube regenerates the §VII sound-tube attack evaluation.
+func BenchmarkSoundTube(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunSoundTube(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("§VII — sound-tube attacks")
+			for _, r := range rows {
+				b.Logf("  %v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkUnconventional regenerates the §VII unconventional-speaker
+// evaluation (electrostatic, piezoelectric).
+func BenchmarkUnconventional(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunUnconventional(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("§VII — unconventional loudspeakers")
+			for _, r := range rows {
+				b.Logf("  %v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkAdaptiveThreshold regenerates the §VII adaptive-thresholding
+// comparison in high-EMF environments.
+func BenchmarkAdaptiveThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunAdaptiveThresholding(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("§VII — adaptive thresholding under EMF")
+			for _, r := range rows {
+				b.Logf("  %v", r)
+			}
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// ablationSweep runs a one-distance sweep with selected stages disabled.
+func ablationSweep(b *testing.B, cfg core.SystemConfig, title string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rates, err := experiment.RunAblation(cfg, 0.06, 20+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s @6 cm: %v", title, rates)
+		}
+	}
+}
+
+// BenchmarkAblationSoundField measures the cascade with the sound-field
+// stage removed: earphone attacks must slip through the magnetics-only
+// detector.
+func BenchmarkAblationSoundField(b *testing.B) {
+	ablationSweep(b, core.SystemConfig{DisableDistance: true, DisableField: true},
+		"ablation: no sound-field stage")
+}
+
+// BenchmarkAblationMagnetics measures the cascade with the magnetometer
+// stage removed.
+func BenchmarkAblationMagnetics(b *testing.B) {
+	ablationSweep(b, core.SystemConfig{DisableDistance: true, DisableMagnetic: true},
+		"ablation: no loudspeaker-detection stage")
+}
+
+// BenchmarkAblationFull measures the full machine-attack cascade for
+// comparison with the ablations.
+func BenchmarkAblationFull(b *testing.B) {
+	ablationSweep(b, core.SystemConfig{DisableDistance: true},
+		"full stages 2+3")
+}
+
+// BenchmarkDualMic regenerates the §VII dual-microphone comparison: the
+// shortened sweep + SLD features vs the full single-mic sweep.
+func BenchmarkDualMic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunDualMic(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("§VII — dual-microphone extension")
+			for _, r := range rows {
+				b.Logf("  %v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkBaselineComparison contrasts the §II acoustic-only replay
+// detector with VoiceGuard's physical stages on the same replay battery.
+func BenchmarkBaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunBaselineComparison(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("acoustic baseline vs physical stages (replay battery at 6 cm)")
+			for _, r := range rows {
+				b.Logf("  %v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates the Fig. 13 analog: bare vs Mu-metal-
+// shielded loudspeaker field across distance.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiment.RunFig13()
+		if i == 0 {
+			b.Log("Fig. 13 — bare vs shielded field magnitude")
+			for _, p := range pts {
+				b.Logf("  %4.0f cm: bare %8.1f µT   shielded %6.1f µT", p.DistanceCM, p.BareUT, p.ShieldedUT)
+			}
+		}
+	}
+}

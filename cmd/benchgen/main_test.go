@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunFig10Fast(t *testing.T) {
+	// fig10 is pure arithmetic — a cheap end-to-end check of the CLI
+	// plumbing.
+	if err := run("fig10", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEnvs(t *testing.T) {
+	if err := run("envs", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	if err := run("fig6", 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestBuildSessionModes(t *testing.T) {
+	for _, mode := range []string{
+		"genuine", "replay", "shielded", "morph", "synthesis", "imitation", "tube",
+	} {
+		t.Run(mode, func(t *testing.T) {
+			s, err := buildSession(mode, 0, 0.06, "victim", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("invalid session: %v", err)
+			}
+		})
+	}
+}
+
+func TestBuildSessionErrors(t *testing.T) {
+	if _, err := buildSession("warp-drive", 0, 0.06, "v", 1); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := buildSession("replay", 99, 0.06, "v", 1); err == nil {
+		t.Error("out-of-range speaker accepted")
+	}
+	if _, err := buildSession("replay", -1, 0.06, "v", 1); err == nil {
+		t.Error("negative speaker accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"voiceguard/internal/speech"
+)
+
+func TestTrainASV(t *testing.T) {
+	v, err := trainASV(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("nil verifier")
+	}
+}
+
+func TestEnrollUsersSpec(t *testing.T) {
+	v, err := trainASV(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enrollUsers(v, "alice:seed=3,bob:seed=9"); err != nil {
+		t.Fatal(err)
+	}
+	// Enrolled users score their own voices.
+	for _, tc := range []struct {
+		name string
+		seed int64
+	}{{"alice", 3}, {"bob", 9}} {
+		rng := newDeterministicRand(tc.seed)
+		profile := speech.RandomProfile(tc.name, rng)
+		synth, err := speech.NewSynthesizer(profile, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		utt, err := synth.SayDigits("472913")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Score(tc.name, utt); err != nil {
+			t.Errorf("%s not enrolled: %v", tc.name, err)
+		}
+	}
+}
+
+func TestEnrollUsersBadSpec(t *testing.T) {
+	v, err := trainASV(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"missingseed", "x:seed=abc"} {
+		if err := enrollUsers(v, spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package voiceguard is a from-scratch Go reproduction of "You Can Hear
+// But You Cannot Steal: Defending against Voice Impersonation Attacks on
+// Smartphones" (Chen et al., IEEE ICDCS 2017).
+//
+// The library lives under internal/: the core pipeline (internal/core)
+// cascades sound-source distance verification, sound-field verification,
+// magnetometer-based loudspeaker detection and GMM/ISV speaker
+// verification, on top of physics simulation substrates for everything
+// the paper's hardware testbed provided (speech synthesis, acoustic
+// ranging, sound fields, magnetics, phone sensors). See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record;
+// bench_test.go regenerates every table and figure.
+package voiceguard

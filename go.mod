@@ -1,0 +1,3 @@
+module voiceguard
+
+go 1.22

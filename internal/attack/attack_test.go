@@ -1,0 +1,290 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"voiceguard/internal/core"
+	"voiceguard/internal/device"
+	"voiceguard/internal/magnetics"
+	"voiceguard/internal/soundfield"
+	"voiceguard/internal/speech"
+)
+
+func testSystem(t testing.TB) *core.System {
+	t.Helper()
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func victimProfile(seed int64) speech.Profile {
+	return speech.RandomProfile("victim", rand.New(rand.NewSource(seed)))
+}
+
+func TestGenuineSessionAccepted(t *testing.T) {
+	sys := testSystem(t)
+	victim := victimProfile(1)
+	for seed := int64(0); seed < 5; seed++ {
+		s, err := Genuine(victim, Scenario{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ClaimedUser != "victim" {
+			t.Errorf("claimed user = %q", s.ClaimedUser)
+		}
+		d, err := sys.Verify(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Accepted {
+			t.Errorf("seed %d: genuine rejected: %v (%s)", seed, d.FailedStage,
+				d.Stages[len(d.Stages)-1].Detail)
+		}
+	}
+}
+
+func TestReplayAttackRejected(t *testing.T) {
+	sys := testSystem(t)
+	victim := victimProfile(2)
+	rec, err := Record(victim, "472913", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A representative cross-section of the catalog.
+	for _, idx := range []int{0, 4, 7, 13, 19, 23} {
+		spk := device.Catalog()[idx]
+		s, err := Replay(rec, spk, Scenario{Seed: int64(10 + idx)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sys.Verify(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Accepted {
+			t.Errorf("replay via %s %s accepted", spk.Maker, spk.Model)
+		}
+	}
+}
+
+func TestEarphoneReplayCaughtBySoundField(t *testing.T) {
+	// The paper's motivating case for stage 2: earphone magnets are weak,
+	// so the sound-field verifier must catch them.
+	sys := testSystem(t)
+	// Remove the magnetic stage entirely to prove stage 2 suffices.
+	sys.Speaker = nil
+	victim := victimProfile(3)
+	rec, err := Record(victim, "472913", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	earphone := device.Catalog()[24] // Apple EarPods
+	if earphone.Class != device.ClassEarphone {
+		t.Fatal("catalog order changed")
+	}
+	var rejected int
+	const n = 6
+	for seed := int64(0); seed < n; seed++ {
+		s, err := Replay(rec, earphone, Scenario{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sys.Verify(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Accepted {
+			rejected++
+			if d.FailedStage != core.StageSoundField && d.FailedStage != core.StageDistance {
+				t.Logf("seed %d rejected at %v", seed, d.FailedStage)
+			}
+		}
+	}
+	if rejected < n {
+		t.Errorf("earphone replay rejected %d/%d without magnetics", rejected, n)
+	}
+}
+
+func TestMorphAndSynthesisRejected(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(4))
+	victim := speech.RandomProfile("victim", rng)
+	attacker := speech.RandomProfile("attacker", rng)
+	spk := device.Catalog()[0]
+
+	morph, err := Morph(attacker, victim, speech.ConverterAdvanced, spk, Scenario{Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := sys.Verify(morph); err != nil || d.Accepted {
+		t.Errorf("morph attack accepted (err %v)", err)
+	}
+	synth, err := Synthesis(victim, spk, Scenario{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := sys.Verify(synth); err != nil || d.Accepted {
+		t.Errorf("synthesis attack accepted (err %v)", err)
+	}
+}
+
+func TestImitationPassesMachineStagesOnly(t *testing.T) {
+	// A human imitator produces a genuine-looking physical session; the
+	// machine-attack stages must NOT reject it (that is the ASV stage's
+	// job, evaluated in the experiment harness).
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(5))
+	victim := speech.RandomProfile("victim", rng)
+	attacker := speech.RandomProfile("attacker", rng)
+	s, err := Imitation(attacker, victim, speech.ImitatorProfessional, Scenario{Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ClaimedUser != "victim" {
+		t.Errorf("imitation should claim the victim, got %q", s.ClaimedUser)
+	}
+	d, err := sys.Verify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepted {
+		t.Errorf("imitation rejected by machine stages at %v", d.FailedStage)
+	}
+}
+
+func TestShieldedReplayStillCaughtClose(t *testing.T) {
+	sys := testSystem(t)
+	victim := victimProfile(6)
+	rec, err := Record(victim, "472913", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spk := device.Catalog()[0]
+	s, err := ShieldedReplay(rec, spk, Scenario{Distance: 0.05, Seed: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.Verify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted {
+		t.Error("shielded replay at 5 cm accepted")
+	}
+}
+
+func TestShieldWeakensMagneticSignature(t *testing.T) {
+	victim := victimProfile(7)
+	rec, err := Record(victim, "472913", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spk := device.Catalog()[1] // strong outdoor speaker
+	bare, err := Replay(rec, spk, Scenario{Distance: 0.10, Seed: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shielded, err := ShieldedReplay(rec, spk, Scenario{Distance: 0.10, Seed: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := core.Measure(bare.Gesture.Mag)
+	ms := core.Measure(shielded.Gesture.Mag)
+	if ms.Swing >= mb.Swing {
+		t.Errorf("shield did not weaken signature: %v vs %v µT", ms.Swing, mb.Swing)
+	}
+}
+
+func TestSoundTubeRejected(t *testing.T) {
+	sys := testSystem(t)
+	victim := victimProfile(8)
+	rec, err := Record(victim, "472913", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spk := device.Catalog()[0]
+	for i, tube := range []*soundfield.Tube{
+		{OpeningRadius: 0.010, Length: 0.22, LevelAt1m: 62},
+		{OpeningRadius: 0.015, Length: 0.33, LevelAt1m: 62},
+		{OpeningRadius: 0.020, Length: 0.42, LevelAt1m: 62},
+	} {
+		s, err := SoundTube(rec, spk, tube, Scenario{Seed: int64(80 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sys.Verify(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Accepted {
+			t.Errorf("tube %s accepted", tube.Name())
+		}
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	sc := Scenario{}.withDefaults()
+	if sc.Distance != 0.06 || sc.Environment != magnetics.EnvQuiet || sc.Passphrase == "" {
+		t.Errorf("defaults = %+v", sc)
+	}
+}
+
+func TestRecordProducesUsableAudio(t *testing.T) {
+	victim := victimProfile(9)
+	rec, err := Record(victim, "123456", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RMS() < 0.01 {
+		t.Errorf("recording RMS = %v", rec.RMS())
+	}
+	if _, err := Record(victim, "12x", 9); err == nil {
+		t.Error("bad passphrase accepted")
+	}
+}
+
+func TestDriveFromSignal(t *testing.T) {
+	if driveFromSignal(nil) != nil {
+		t.Error("nil signal should give nil drive")
+	}
+	rec, err := Record(victimProfile(10), "11", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := driveFromSignal(rec)
+	if drive(-1) != 0 || drive(9999) != 0 {
+		t.Error("out-of-range drive should be 0")
+	}
+	if drive(0.5) != rec.Samples[int(0.5*rec.Rate)] {
+		t.Error("drive should sample the signal")
+	}
+}
+
+func BenchmarkGenuineSession(b *testing.B) {
+	victim := victimProfile(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Genuine(victim, Scenario{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyPipeline(b *testing.B) {
+	sys := testSystem(b)
+	s, err := Genuine(victimProfile(1), Scenario{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Verify(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package attack
+
+// Adversarial evasion tests: an attacker who knows how the pipeline works
+// tries to game individual stages. Each test encodes one evasion strategy
+// and asserts the defense that is supposed to stop it actually does.
+
+import (
+	"math/rand"
+	"testing"
+
+	"voiceguard/internal/core"
+	"voiceguard/internal/device"
+	"voiceguard/internal/geometry"
+	"voiceguard/internal/magnetics"
+	"voiceguard/internal/soundfield"
+	"voiceguard/internal/trajectory"
+)
+
+// TestEvasionVolumeGaming: the attacker turns the playback volume up or
+// down hoping to shift the sound-field features into the accept region.
+// The features are loudness-invariant by construction, so level gaming
+// must not help.
+func TestEvasionVolumeGaming(t *testing.T) {
+	sys := testSystem(t)
+	victim := victimProfile(20)
+	rec, err := Record(victim, "472913", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, level := range []float64{48, 56, 66, 76, 84} {
+		// A mid-size cone at the attacker's chosen volume.
+		src := &soundfield.Piston{Label: "volume-gamed", Radius: 0.03, LevelAt1m: level}
+		field, err := soundfield.Sweep(src, soundfield.DefaultSweep(0.06), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		session, err := Replay(rec, device.Catalog()[3], Scenario{Seed: 200 + int64(level)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		session.Field = field
+		d, err := sys.Verify(session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Accepted {
+			t.Errorf("volume %v dB: attack accepted", level)
+		}
+	}
+}
+
+// TestEvasionFakePivotGesture: the attacker keeps the loudspeaker 25 cm
+// away (outside magnetometer range) and waves the phone around a fake
+// pivot point at mouth distance, hoping the distance stage reads the
+// gesture radius. The acoustic echo tracks the *actual* sound source, so
+// the radial-consistency check fires.
+func TestEvasionFakePivotGesture(t *testing.T) {
+	sys := testSystem(t)
+	sys.Field = nil // even with the sound-field stage blinded
+	victim := victimProfile(22)
+	rec, err := Record(victim, "472913", 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enable the distance stage for this test.
+	fullSys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSys.Field = nil
+	_ = sys
+
+	u := trajectory.StandardUseCase(0.06)
+	speakerPos := geometry.Vec2{X: -0.25, Y: 0}
+	scene := magnetics.NewEnvironment(magnetics.EnvQuiet, 22)
+	spk := device.Catalog()[0]
+	for _, s := range spk.FieldSources(geometry.Vec3{X: speakerPos.X, Y: speakerPos.Y}, driveFromSignal(rec)) {
+		scene.Add(s)
+	}
+	gesture, err := trajectory.SimulateGesture(trajectory.GestureConfig{
+		UseCase: u,
+		Scene:   scene,
+		Seed:    22,
+		EchoDist: func(tt float64) float64 {
+			return u.PositionAt(tt).Dist(speakerPos)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	field, err := soundfield.Sweep(spk.Source(), soundfield.DefaultSweep(0.25), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := &core.SessionData{
+		ClaimedUser: "victim",
+		Gesture:     gesture,
+		Field:       field,
+		Voice:       PlaybackColoration(rec, rng),
+	}
+	d, err := fullSys.Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted {
+		t.Fatal("fake-pivot gesture accepted")
+	}
+	if d.FailedStage != core.StageDistance {
+		t.Errorf("fake pivot rejected at %v, want the distance stage", d.FailedStage)
+	}
+}
+
+// TestEvasionMotionlessReplay: the attacker props the phone in front of
+// the loudspeaker without performing the gesture. The distance stage must
+// reject the missing sweep.
+func TestEvasionMotionlessReplay(t *testing.T) {
+	fullSys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := victimProfile(24)
+	rec, err := Record(victim, "472913", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := trajectory.StandardUseCase(0.06)
+	u.SweepHalfAngle = 0.01 // essentially motionless
+	scene := magnetics.NewEnvironment(magnetics.EnvQuiet, 24)
+	gesture, err := trajectory.SimulateGesture(trajectory.GestureConfig{
+		UseCase: u, Scene: scene, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(25))
+	field, err := soundfield.Sweep(device.Catalog()[0].Source(), soundfield.DefaultSweep(0.06), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := &core.SessionData{
+		ClaimedUser: "victim",
+		Gesture:     gesture,
+		Field:       field,
+		Voice:       PlaybackColoration(rec, rng),
+	}
+	d, err := fullSys.Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted {
+		t.Fatal("motionless replay accepted")
+	}
+	if d.FailedStage != core.StageDistance {
+		t.Errorf("motionless replay rejected at %v, want the distance stage", d.FailedStage)
+	}
+}
+
+// TestEvasionQuietCoil: the attacker plays the recording at very low
+// volume (weak coil drive) hoping the dynamic magnetic signature fades.
+// The permanent magnet is still there; detection must hold at close
+// range.
+func TestEvasionQuietCoil(t *testing.T) {
+	sys := testSystem(t)
+	sys.Field = nil // force the decision onto the magnetometer stage
+	victim := victimProfile(26)
+	rec, err := Record(victim, "472913", 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Scale(0.05) // barely audible playback
+	spk := device.Catalog()[0]
+	session, err := Replay(rec, spk, Scenario{Distance: 0.05, Seed: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted {
+		t.Fatal("quiet-coil replay accepted — permanent magnet should betray it")
+	}
+	if d.FailedStage != core.StageLoudspeaker {
+		t.Errorf("rejected at %v, want loudspeaker detection", d.FailedStage)
+	}
+}

@@ -1,0 +1,190 @@
+// Package audio provides the time-domain signal representation shared by
+// the speech synthesizer, the ranging pipeline and the feature extractors,
+// plus the supporting operations a real capture stack would perform:
+// framing, pre-emphasis, intensity measurement, voice-activity detection,
+// resampling, mixing and WAV serialization.
+package audio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Signal is a mono PCM signal with an associated sample rate.
+type Signal struct {
+	// Samples holds the waveform in the nominal range [-1, 1].
+	Samples []float64
+	// Rate is the sample rate in Hz.
+	Rate float64
+}
+
+// NewSignal allocates a silent signal of the given duration.
+func NewSignal(duration, rate float64) *Signal {
+	n := int(math.Round(duration * rate))
+	if n < 0 {
+		n = 0
+	}
+	return &Signal{Samples: make([]float64, n), Rate: rate}
+}
+
+// Duration returns the signal length in seconds.
+func (s *Signal) Duration() float64 {
+	if s.Rate == 0 {
+		return 0
+	}
+	return float64(len(s.Samples)) / s.Rate
+}
+
+// Len returns the number of samples.
+func (s *Signal) Len() int { return len(s.Samples) }
+
+// Clone returns a deep copy of the signal.
+func (s *Signal) Clone() *Signal {
+	out := &Signal{Samples: make([]float64, len(s.Samples)), Rate: s.Rate}
+	copy(out.Samples, s.Samples)
+	return out
+}
+
+// Slice returns a new Signal sharing no memory with s, covering samples
+// [from, to). Bounds are clamped to the valid range.
+func (s *Signal) Slice(from, to int) *Signal {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.Samples) {
+		to = len(s.Samples)
+	}
+	if from > to {
+		from = to
+	}
+	out := &Signal{Samples: make([]float64, to-from), Rate: s.Rate}
+	copy(out.Samples, s.Samples[from:to])
+	return out
+}
+
+// Scale multiplies every sample by g in place and returns s.
+func (s *Signal) Scale(g float64) *Signal {
+	for i := range s.Samples {
+		s.Samples[i] *= g
+	}
+	return s
+}
+
+// ErrRateMismatch is returned when combining signals with different rates.
+var ErrRateMismatch = errors.New("audio: sample rate mismatch")
+
+// MixInto adds other into s starting at the given sample offset, extending
+// s if needed. It returns an error if the sample rates differ.
+func (s *Signal) MixInto(other *Signal, offset int) error {
+	if s.Rate != other.Rate {
+		return fmt.Errorf("%w: %v vs %v", ErrRateMismatch, s.Rate, other.Rate)
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	need := offset + len(other.Samples)
+	if need > len(s.Samples) {
+		grown := make([]float64, need)
+		copy(grown, s.Samples)
+		s.Samples = grown
+	}
+	for i, v := range other.Samples {
+		s.Samples[offset+i] += v
+	}
+	return nil
+}
+
+// Append concatenates other after s. It returns an error if the sample
+// rates differ.
+func (s *Signal) Append(other *Signal) error {
+	if s.Rate != other.Rate {
+		return fmt.Errorf("%w: %v vs %v", ErrRateMismatch, s.Rate, other.Rate)
+	}
+	s.Samples = append(s.Samples, other.Samples...)
+	return nil
+}
+
+// RMS returns the root-mean-square amplitude of the signal.
+func (s *Signal) RMS() float64 {
+	return RMS(s.Samples)
+}
+
+// Peak returns the maximum absolute sample value.
+func (s *Signal) Peak() float64 {
+	var p float64
+	for _, v := range s.Samples {
+		if a := math.Abs(v); a > p {
+			p = a
+		}
+	}
+	return p
+}
+
+// Normalize scales the signal so its peak is the given level (commonly
+// slightly below 1). Silent signals are left unchanged.
+func (s *Signal) Normalize(level float64) *Signal {
+	p := s.Peak()
+	if p == 0 {
+		return s
+	}
+	return s.Scale(level / p)
+}
+
+// RMS returns the root-mean-square of a sample block.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	return math.Sqrt(e / float64(len(x)))
+}
+
+// DBSPLReference is the digital full-scale calibration used to convert RMS
+// amplitude into a nominal dB SPL figure: a full-scale sine (RMS 1/√2) maps
+// to 94 dB, a common microphone calibration point.
+const DBSPLReference = 94.0
+
+// LevelDB converts an RMS amplitude into a nominal sound level in dB
+// relative to the DBSPLReference calibration. Silence maps to -∞ guarded
+// to -120 dB.
+func LevelDB(rms float64) float64 {
+	if rms <= 0 {
+		return -120
+	}
+	db := DBSPLReference + 20*math.Log10(rms*math.Sqrt2)
+	if db < -120 {
+		db = -120
+	}
+	return db
+}
+
+// PreEmphasis applies the standard first-order high-pass y[n] = x[n] -
+// alpha*x[n-1] (alpha typically 0.97) and returns a new slice. It whitens
+// the spectral tilt of voiced speech before MFCC analysis.
+func PreEmphasis(x []float64, alpha float64) []float64 {
+	out := make([]float64, len(x))
+	var prev float64
+	for i, v := range x {
+		out[i] = v - alpha*prev
+		prev = v
+	}
+	return out
+}
+
+// Frame splits x into frames of the given size with the given hop,
+// discarding the trailing partial frame. The returned slices alias x.
+func Frame(x []float64, size, hop int) [][]float64 {
+	if size <= 0 || hop <= 0 || len(x) < size {
+		return nil
+	}
+	n := 1 + (len(x)-size)/hop
+	frames := make([][]float64, n)
+	for i := range frames {
+		frames[i] = x[i*hop : i*hop+size]
+	}
+	return frames
+}

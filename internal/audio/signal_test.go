@@ -1,0 +1,201 @@
+package audio
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sine(freq, rate, dur, amp float64) *Signal {
+	s := NewSignal(dur, rate)
+	for i := range s.Samples {
+		s.Samples[i] = amp * math.Sin(2*math.Pi*freq*float64(i)/rate)
+	}
+	return s
+}
+
+func TestNewSignal(t *testing.T) {
+	s := NewSignal(0.5, 16000)
+	if s.Len() != 8000 {
+		t.Errorf("len = %d, want 8000", s.Len())
+	}
+	if math.Abs(s.Duration()-0.5) > 1e-9 {
+		t.Errorf("duration = %v", s.Duration())
+	}
+	if NewSignal(-1, 16000).Len() != 0 {
+		t.Error("negative duration should give empty signal")
+	}
+	if (&Signal{}).Duration() != 0 {
+		t.Error("zero-rate duration should be 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := sine(440, 16000, 0.01, 1)
+	c := s.Clone()
+	c.Samples[0] = 42
+	if s.Samples[0] == 42 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	s := &Signal{Samples: []float64{0, 1, 2, 3, 4}, Rate: 10}
+	tests := []struct {
+		from, to int
+		want     []float64
+	}{
+		{1, 3, []float64{1, 2}},
+		{-5, 2, []float64{0, 1}},
+		{3, 99, []float64{3, 4}},
+		{4, 2, nil},
+	}
+	for _, tt := range tests {
+		got := s.Slice(tt.from, tt.to)
+		if len(got.Samples) != len(tt.want) {
+			t.Errorf("Slice(%d,%d) len = %d, want %d", tt.from, tt.to, len(got.Samples), len(tt.want))
+			continue
+		}
+		for i := range tt.want {
+			if got.Samples[i] != tt.want[i] {
+				t.Errorf("Slice(%d,%d)[%d] = %v, want %v", tt.from, tt.to, i, got.Samples[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestMixInto(t *testing.T) {
+	base := &Signal{Samples: []float64{1, 1, 1}, Rate: 100}
+	add := &Signal{Samples: []float64{2, 2}, Rate: 100}
+	if err := base.MixInto(add, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 3, 2}
+	for i := range want {
+		if base.Samples[i] != want[i] {
+			t.Errorf("mixed[%d] = %v, want %v", i, base.Samples[i], want[i])
+		}
+	}
+	other := &Signal{Rate: 200}
+	if err := base.MixInto(other, 0); !errors.Is(err, ErrRateMismatch) {
+		t.Errorf("err = %v, want ErrRateMismatch", err)
+	}
+	// Negative offsets clamp to 0.
+	b2 := &Signal{Samples: []float64{0, 0}, Rate: 100}
+	if err := b2.MixInto(&Signal{Samples: []float64{5}, Rate: 100}, -3); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Samples[0] != 5 {
+		t.Errorf("negative offset mix = %v", b2.Samples)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	a := &Signal{Samples: []float64{1}, Rate: 100}
+	b := &Signal{Samples: []float64{2, 3}, Rate: 100}
+	if err := a.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 || a.Samples[2] != 3 {
+		t.Errorf("append = %v", a.Samples)
+	}
+	if err := a.Append(&Signal{Rate: 1}); !errors.Is(err, ErrRateMismatch) {
+		t.Errorf("err = %v, want ErrRateMismatch", err)
+	}
+}
+
+func TestRMSAndPeak(t *testing.T) {
+	s := sine(100, 8000, 1, 1)
+	if got := s.RMS(); math.Abs(got-1/math.Sqrt2) > 1e-3 {
+		t.Errorf("sine RMS = %v, want %v", got, 1/math.Sqrt2)
+	}
+	if got := s.Peak(); math.Abs(got-1) > 1e-3 {
+		t.Errorf("peak = %v, want 1", got)
+	}
+	if RMS(nil) != 0 {
+		t.Error("RMS(nil) should be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := sine(100, 8000, 0.1, 0.2)
+	s.Normalize(0.9)
+	if math.Abs(s.Peak()-0.9) > 1e-6 {
+		t.Errorf("normalized peak = %v", s.Peak())
+	}
+	z := NewSignal(0.1, 8000)
+	z.Normalize(0.9) // must not panic or change
+	if z.Peak() != 0 {
+		t.Error("silent normalize should stay silent")
+	}
+}
+
+func TestLevelDB(t *testing.T) {
+	// Full-scale sine: RMS = 1/√2 → 94 dB by calibration.
+	if got := LevelDB(1 / math.Sqrt2); math.Abs(got-94) > 1e-9 {
+		t.Errorf("full-scale = %v dB, want 94", got)
+	}
+	// Halving amplitude loses ~6.02 dB.
+	d := LevelDB(1/math.Sqrt2) - LevelDB(0.5/math.Sqrt2)
+	if math.Abs(d-6.0206) > 1e-3 {
+		t.Errorf("6 dB step = %v", d)
+	}
+	if LevelDB(0) != -120 {
+		t.Error("silence should clamp to -120")
+	}
+}
+
+func TestPreEmphasis(t *testing.T) {
+	x := []float64{1, 1, 1, 1}
+	y := PreEmphasis(x, 0.97)
+	if y[0] != 1 {
+		t.Errorf("y[0] = %v", y[0])
+	}
+	for i := 1; i < len(y); i++ {
+		if math.Abs(y[i]-0.03) > 1e-12 {
+			t.Errorf("y[%d] = %v, want 0.03", i, y[i])
+		}
+	}
+}
+
+func TestFrame(t *testing.T) {
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	fr := Frame(x, 4, 3)
+	if len(fr) != 3 {
+		t.Fatalf("frames = %d, want 3", len(fr))
+	}
+	if fr[2][0] != 6 || fr[2][3] != 9 {
+		t.Errorf("frame 2 = %v", fr[2])
+	}
+	if Frame(x, 0, 1) != nil || Frame(x, 4, 0) != nil || Frame(x[:2], 4, 1) != nil {
+		t.Error("invalid framing should return nil")
+	}
+}
+
+func TestScaleProperty(t *testing.T) {
+	f := func(vals []float64, g float64) bool {
+		if math.IsNaN(g) || math.IsInf(g, 0) || len(vals) > 1000 {
+			return true
+		}
+		g = math.Mod(g, 100)
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			clean = append(clean, math.Mod(v, 100))
+		}
+		s := &Signal{Samples: clean, Rate: 100}
+		before := s.RMS()
+		s.Scale(g)
+		after := s.RMS()
+		return math.Abs(after-math.Abs(g)*before) <= 1e-6*(1+before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package audio
+
+import "math"
+
+// VADConfig configures the energy-based voice activity detector used to
+// trim leading/trailing silence before feature extraction.
+type VADConfig struct {
+	// FrameSize is the analysis frame length in samples (default 400,
+	// i.e. 25 ms at 16 kHz).
+	FrameSize int
+	// HopSize is the frame advance in samples (default FrameSize/2).
+	HopSize int
+	// ThresholdDB is how many dB above the noise floor a frame must be to
+	// count as speech (default 12 dB).
+	ThresholdDB float64
+	// HangoverFrames keeps this many frames active after the last speech
+	// frame, bridging short pauses (default 5).
+	HangoverFrames int
+	// MinRMS marks a frame active regardless of the relative threshold
+	// when its RMS exceeds this absolute level, so recordings with no
+	// silent portion (hence no measurable noise floor) are still detected
+	// (default 0.02, about -34 dBFS).
+	MinRMS float64
+}
+
+func (c *VADConfig) setDefaults() {
+	if c.FrameSize <= 0 {
+		c.FrameSize = 400
+	}
+	if c.HopSize <= 0 {
+		c.HopSize = c.FrameSize / 2
+	}
+	if c.ThresholdDB == 0 {
+		c.ThresholdDB = 12
+	}
+	if c.HangoverFrames == 0 {
+		c.HangoverFrames = 5
+	}
+	if c.MinRMS == 0 {
+		c.MinRMS = 0.02
+	}
+}
+
+// DetectActivity returns a boolean mask with one entry per analysis frame,
+// true where speech is present. The noise floor is estimated as the 10th
+// percentile of frame energies.
+func DetectActivity(x []float64, cfg VADConfig) []bool {
+	cfg.setDefaults()
+	frames := Frame(x, cfg.FrameSize, cfg.HopSize)
+	if len(frames) == 0 {
+		return nil
+	}
+	energies := make([]float64, len(frames))
+	sorted := make([]float64, len(frames))
+	for i, f := range frames {
+		e := RMS(f)
+		energies[i] = e
+		sorted[i] = e
+	}
+	insertionSort(sorted)
+	floor := sorted[len(sorted)/10]
+	if floor <= 0 {
+		floor = 1e-9
+	}
+	thresh := floor * math.Pow(10, cfg.ThresholdDB/20)
+
+	mask := make([]bool, len(frames))
+	hang := 0
+	for i, e := range energies {
+		if e >= thresh || e >= cfg.MinRMS {
+			mask[i] = true
+			hang = cfg.HangoverFrames
+		} else if hang > 0 {
+			mask[i] = true
+			hang--
+		}
+	}
+	return mask
+}
+
+// TrimSilence returns a copy of s with leading and trailing silence
+// removed, using the energy VAD. A fully silent signal returns an empty
+// signal with the same rate.
+func TrimSilence(s *Signal, cfg VADConfig) *Signal {
+	cfg.setDefaults()
+	mask := DetectActivity(s.Samples, cfg)
+	first, last := -1, -1
+	for i, m := range mask {
+		if m {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return &Signal{Rate: s.Rate}
+	}
+	from := first * cfg.HopSize
+	to := last*cfg.HopSize + cfg.FrameSize
+	return s.Slice(from, to)
+}
+
+// ActiveRatio returns the fraction of frames classified as speech.
+func ActiveRatio(x []float64, cfg VADConfig) float64 {
+	mask := DetectActivity(x, cfg)
+	if len(mask) == 0 {
+		return 0
+	}
+	var n int
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	return float64(n) / float64(len(mask))
+}
+
+// insertionSort sorts in place; frame counts are small enough that this
+// avoids pulling in the sort package's interface machinery on a hot path.
+func insertionSort(x []float64) {
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
+}
+
+// Resample converts s to the target rate using windowed-sinc interpolation
+// (8-tap Lanczos-style kernel). It returns a new signal; s is unchanged.
+func Resample(s *Signal, targetRate float64) *Signal {
+	if targetRate == s.Rate || len(s.Samples) == 0 {
+		out := s.Clone()
+		out.Rate = targetRate
+		return out
+	}
+	ratio := s.Rate / targetRate
+	n := int(float64(len(s.Samples)) / ratio)
+	out := &Signal{Samples: make([]float64, n), Rate: targetRate}
+	const a = 4 // kernel half-width
+	for i := 0; i < n; i++ {
+		center := float64(i) * ratio
+		j0 := int(center) - a + 1
+		var acc, wsum float64
+		for j := j0; j <= j0+2*a-1; j++ {
+			if j < 0 || j >= len(s.Samples) {
+				continue
+			}
+			w := lanczos(center-float64(j), a)
+			acc += s.Samples[j] * w
+			wsum += w
+		}
+		if wsum != 0 {
+			out.Samples[i] = acc / wsum
+		}
+	}
+	return out
+}
+
+func lanczos(x float64, a int) float64 {
+	if x == 0 {
+		return 1
+	}
+	fa := float64(a)
+	if x <= -fa || x >= fa {
+		return 0
+	}
+	px := math.Pi * x
+	return fa * math.Sin(px) * math.Sin(px/fa) / (px * px)
+}

@@ -1,0 +1,217 @@
+package audio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	orig := sine(440, 16000, 0.05, 0.8)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, orig); err != nil {
+		t.Fatalf("WriteWAV: %v", err)
+	}
+	if buf.Len() != 44+2*orig.Len() {
+		t.Errorf("encoded size = %d, want %d", buf.Len(), 44+2*orig.Len())
+	}
+	got, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatalf("ReadWAV: %v", err)
+	}
+	if got.Rate != orig.Rate {
+		t.Errorf("rate = %v, want %v", got.Rate, orig.Rate)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), orig.Len())
+	}
+	for i := range got.Samples {
+		if math.Abs(got.Samples[i]-orig.Samples[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %v vs %v", i, got.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestWAVClipping(t *testing.T) {
+	s := &Signal{Samples: []float64{2.5, -3, 0}, Rate: 8000}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Samples[0]-1) > 1e-3 || math.Abs(got.Samples[1]+1) > 1e-3 {
+		t.Errorf("clipped samples = %v", got.Samples)
+	}
+}
+
+func TestWAVInvalidRate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, &Signal{Rate: 0}); err == nil {
+		t.Error("expected error for zero rate")
+	}
+}
+
+func TestReadWAVMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     []byte("RIFF"),
+		"bad magic": []byte("XXXX0000WAVE"),
+		"no chunks": []byte("RIFF\x00\x00\x00\x00WAVE"),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadWAV(bytes.NewReader(data)); !errors.Is(err, ErrBadWAV) {
+				t.Errorf("err = %v, want ErrBadWAV", err)
+			}
+		})
+	}
+}
+
+func TestReadWAVSkipsUnknownChunks(t *testing.T) {
+	orig := sine(100, 8000, 0.01, 0.5)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Splice a LIST chunk between fmt and data.
+	var spliced bytes.Buffer
+	spliced.Write(raw[:36])
+	spliced.WriteString("LIST")
+	spliced.Write([]byte{4, 0, 0, 0})
+	spliced.WriteString("INFO")
+	spliced.Write(raw[36:])
+	got, err := ReadWAV(&spliced)
+	if err != nil {
+		t.Fatalf("ReadWAV with LIST chunk: %v", err)
+	}
+	if got.Len() != orig.Len() {
+		t.Errorf("len = %d, want %d", got.Len(), orig.Len())
+	}
+}
+
+func TestVADDetectsSpeechBurst(t *testing.T) {
+	const rate = 16000.0
+	s := NewSignal(1.5, rate)
+	burst := sine(300, rate, 0.5, 0.5)
+	// Low noise floor everywhere.
+	for i := range s.Samples {
+		s.Samples[i] = 0.001 * math.Sin(0.01*float64(i))
+	}
+	if err := s.MixInto(burst, 8000); err != nil {
+		t.Fatal(err)
+	}
+	cfg := VADConfig{}
+	mask := DetectActivity(s.Samples, cfg)
+	if len(mask) == 0 {
+		t.Fatal("no frames")
+	}
+	// Roughly the middle third should be active.
+	third := len(mask) / 3
+	var active int
+	for _, m := range mask[third : 2*third] {
+		if m {
+			active++
+		}
+	}
+	if active < third/2 {
+		t.Errorf("middle activity = %d/%d", active, third)
+	}
+	var leading int
+	for _, m := range mask[:third/2] {
+		if m {
+			leading++
+		}
+	}
+	if leading > third/8 {
+		t.Errorf("leading silence marked active: %d frames", leading)
+	}
+}
+
+func TestTrimSilence(t *testing.T) {
+	const rate = 16000.0
+	s := NewSignal(1.0, rate)
+	burst := sine(300, rate, 0.3, 0.5)
+	if err := s.MixInto(burst, 5600); err != nil {
+		t.Fatal(err)
+	}
+	trimmed := TrimSilence(s, VADConfig{})
+	if trimmed.Len() >= s.Len() {
+		t.Errorf("trim did not shrink: %d >= %d", trimmed.Len(), s.Len())
+	}
+	if trimmed.Len() < burst.Len()/2 {
+		t.Errorf("trim too aggressive: %d < %d", trimmed.Len(), burst.Len()/2)
+	}
+	// Fully silent signal trims to empty.
+	empty := TrimSilence(NewSignal(0.5, rate), VADConfig{})
+	if empty.Len() != 0 {
+		t.Errorf("silent trim len = %d", empty.Len())
+	}
+	if empty.Rate != rate {
+		t.Errorf("silent trim rate = %v", empty.Rate)
+	}
+}
+
+func TestActiveRatio(t *testing.T) {
+	const rate = 16000.0
+	loud := sine(300, rate, 1, 0.5)
+	if r := ActiveRatio(loud.Samples, VADConfig{}); r < 0.9 {
+		t.Errorf("constant tone active ratio = %v", r)
+	}
+	if r := ActiveRatio(nil, VADConfig{}); r != 0 {
+		t.Errorf("empty active ratio = %v", r)
+	}
+}
+
+func TestResample(t *testing.T) {
+	orig := sine(440, 48000, 0.1, 0.8)
+	down := Resample(orig, 16000)
+	if math.Abs(down.Duration()-orig.Duration()) > 0.01 {
+		t.Errorf("duration changed: %v vs %v", down.Duration(), orig.Duration())
+	}
+	if down.Rate != 16000 {
+		t.Errorf("rate = %v", down.Rate)
+	}
+	// The 440 Hz tone should survive with similar RMS.
+	if math.Abs(down.RMS()-orig.RMS()) > 0.05 {
+		t.Errorf("rms = %v vs %v", down.RMS(), orig.RMS())
+	}
+	// Identity resample copies.
+	same := Resample(orig, 48000)
+	same.Samples[0] = 99
+	if orig.Samples[0] == 99 {
+		t.Error("identity resample must copy")
+	}
+	up := Resample(down, 48000)
+	if math.Abs(up.Duration()-orig.Duration()) > 0.01 {
+		t.Errorf("upsample duration = %v", up.Duration())
+	}
+}
+
+func BenchmarkWAVRoundTrip(b *testing.B) {
+	s := sine(440, 16000, 1, 0.8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteWAV(&buf, s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadWAV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResample(b *testing.B) {
+	s := sine(440, 48000, 1, 0.8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Resample(s, 16000)
+	}
+}

@@ -1,0 +1,134 @@
+// Package client simulates the paper's mobile application (§V): it
+// records a verification session (sensors + sweep + voice), packages it
+// with the wire protocol, uploads it to the verification server and
+// reports the decision with timing — the measurements behind the paper's
+// Fig. 15 authentication-time comparison.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/core"
+	"voiceguard/internal/protocol"
+	"voiceguard/internal/ranging"
+)
+
+// Client talks to one verification server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8443".
+	BaseURL string
+	// HTTP is the transport; nil uses a default with a sane timeout.
+	HTTP *http.Client
+}
+
+// New returns a client for the given server.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Result is the outcome of one authentication attempt.
+type Result struct {
+	// Response is the server's decision.
+	Response *protocol.VerifyResponse
+	// Elapsed is the end-to-end time: encode + upload + verify + reply.
+	Elapsed time.Duration
+	// PayloadBytes is the compressed upload size.
+	PayloadBytes int
+}
+
+// Verify uploads a session and waits for the decision.
+func (c *Client) Verify(session *core.SessionData) (*Result, error) {
+	req, err := protocol.FromSession(session, ranging.DefaultPilotHz)
+	if err != nil {
+		return nil, fmt.Errorf("client: packaging session: %w", err)
+	}
+	start := time.Now()
+	payload, err := protocol.EncodeRequest(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Post(c.BaseURL+"/verify", "application/gzip", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("client: uploading session: %w", err)
+	}
+	defer resp.Body.Close()
+	var vr protocol.VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &Result{
+		Response:     &vr,
+		Elapsed:      time.Since(start),
+		PayloadBytes: len(payload),
+	}, nil
+}
+
+// Enroll registers a user with the server's ASV stage from recorded
+// enrollment sessions.
+func (c *Client) Enroll(user string, sessions [][]*audio.Signal) error {
+	req, err := protocol.EnrollFromAudio(user, sessions)
+	if err != nil {
+		return fmt.Errorf("client: packaging enrollment: %w", err)
+	}
+	payload, err := protocol.EncodeEnroll(req)
+	if err != nil {
+		return fmt.Errorf("client: encoding enrollment: %w", err)
+	}
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Post(c.BaseURL+"/enroll", "application/gzip", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: uploading enrollment: %w", err)
+	}
+	defer resp.Body.Close()
+	var er protocol.EnrollResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		return fmt.Errorf("client: decoding enrollment response: %w", err)
+	}
+	if !er.OK {
+		return fmt.Errorf("client: enrollment rejected: %s", er.Error)
+	}
+	return nil
+}
+
+// VerifyVoiceprint uploads a voice-only attempt to the baseline endpoint
+// (the Fig. 15 WeChat-style comparison scheme).
+func (c *Client) VerifyVoiceprint(user string, voice *audio.Signal) (*Result, error) {
+	req, err := protocol.VoiceprintFromAudio(user, voice)
+	if err != nil {
+		return nil, fmt.Errorf("client: packaging voiceprint: %w", err)
+	}
+	start := time.Now()
+	payload, err := protocol.EncodeVoiceprint(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding voiceprint: %w", err)
+	}
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Post(c.BaseURL+"/voiceprint", "application/gzip", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("client: uploading voiceprint: %w", err)
+	}
+	defer resp.Body.Close()
+	var vr protocol.VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		return nil, fmt.Errorf("client: decoding voiceprint response: %w", err)
+	}
+	return &Result{Response: &vr, Elapsed: time.Since(start), PayloadBytes: len(payload)}, nil
+}

@@ -1,0 +1,114 @@
+// Package core implements VoiceGuard, the paper's contribution: a
+// software-only voice-impersonation defense that cascades four verifiers
+// (Fig. 4):
+//
+//  1. sound-source distance verification — the gesture's circle-fitted
+//     trajectory must place the phone within Dt of the sound source;
+//  2. sound-field verification — an SVM accepts only sources whose
+//     spatial sound field matches a human mouth;
+//  3. loudspeaker detection — magnetometer magnitude swing and change
+//     rate must stay below the Mt/βt thresholds;
+//  4. speaker-identity verification — a GMM-UBM (or ISV) ASV back-end
+//     must accept the claimed speaker.
+//
+// Machine-based attacks (replay/morphing/synthesis) terminate in a
+// loudspeaker and die at stages 1–3; human imitators die at stage 4.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/soundfield"
+	"voiceguard/internal/trajectory"
+)
+
+// SessionData is everything one verification attempt uploads: the motion
+// gesture (inertial + magnetic + acoustic ranging), the sound-field sweep
+// measurements, and the spoken passphrase.
+type SessionData struct {
+	// ClaimedUser is the identity being asserted.
+	ClaimedUser string
+	// Gesture is the recorded motion/sensing of the attempt.
+	Gesture *trajectory.Gesture
+	// Field is the sound-field sweep of the attempt.
+	Field []soundfield.Measurement
+	// Voice is the spoken passphrase audio.
+	Voice *audio.Signal
+}
+
+// Validate reports whether the session carries all required channels.
+func (s *SessionData) Validate() error {
+	switch {
+	case s == nil:
+		return errors.New("core: nil session")
+	case s.ClaimedUser == "":
+		return errors.New("core: missing claimed user")
+	case s.Gesture == nil:
+		return errors.New("core: missing gesture data")
+	case len(s.Field) == 0:
+		return errors.New("core: missing sound-field measurements")
+	case s.Voice == nil || s.Voice.Len() == 0:
+		return errors.New("core: missing voice audio")
+	}
+	return nil
+}
+
+// Stage identifies a pipeline component.
+type Stage int
+
+// Pipeline stages in cascade order.
+const (
+	StageDistance Stage = iota + 1
+	StageSoundField
+	StageLoudspeaker
+	StageSpeakerID
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageDistance:
+		return "distance-verification"
+	case StageSoundField:
+		return "sound-field-verification"
+	case StageLoudspeaker:
+		return "loudspeaker-detection"
+	case StageSpeakerID:
+		return "speaker-identity-verification"
+	default:
+		return "unknown"
+	}
+}
+
+// StageResult is one component's verdict.
+type StageResult struct {
+	// Stage identifies the component.
+	Stage Stage
+	// Pass reports whether the component accepted the session.
+	Pass bool
+	// Score is the component's continuous statistic (meaning varies by
+	// stage; higher is always "more genuine").
+	Score float64
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Decision is the pipeline outcome for one session.
+type Decision struct {
+	// Accepted is the final verdict.
+	Accepted bool
+	// FailedStage is the first failing stage (0 when accepted).
+	FailedStage Stage
+	// Stages holds every executed component result in order.
+	Stages []StageResult
+}
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	if d.Accepted {
+		return "ACCEPT"
+	}
+	return fmt.Sprintf("REJECT at %v", d.FailedStage)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/soundfield"
+	"voiceguard/internal/trajectory"
+)
+
+func TestSessionValidate(t *testing.T) {
+	g, err := trajectory.SimulateGesture(trajectory.GestureConfig{
+		UseCase: trajectory.StandardUseCase(0.06), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := []soundfield.Measurement{{AngleDeg: 0, FreqHz: 1500, LevelDB: 60}}
+	voice := &audio.Signal{Samples: make([]float64, 100), Rate: 16000}
+	good := &SessionData{ClaimedUser: "u", Gesture: g, Field: field, Voice: voice}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid session rejected: %v", err)
+	}
+	cases := []*SessionData{
+		nil,
+		{Gesture: g, Field: field, Voice: voice},
+		{ClaimedUser: "u", Field: field, Voice: voice},
+		{ClaimedUser: "u", Gesture: g, Voice: voice},
+		{ClaimedUser: "u", Gesture: g, Field: field},
+		{ClaimedUser: "u", Gesture: g, Field: field, Voice: &audio.Signal{Rate: 16000}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	for s := StageDistance; s <= StageSpeakerID; s++ {
+		if s.String() == "unknown" {
+			t.Errorf("stage %d unlabeled", s)
+		}
+	}
+	if Stage(0).String() != "unknown" {
+		t.Error("zero stage should be unknown")
+	}
+	d := Decision{Accepted: true}
+	if d.String() != "ACCEPT" {
+		t.Errorf("decision = %q", d.String())
+	}
+	r := Decision{FailedStage: StageLoudspeaker}
+	if !strings.Contains(r.String(), "loudspeaker") {
+		t.Errorf("decision = %q", r.String())
+	}
+}
+
+func TestDistanceVerifierAcceptsClose(t *testing.T) {
+	v := NewDistanceVerifier()
+	g, err := trajectory.SimulateGesture(trajectory.GestureConfig{
+		UseCase: trajectory.StandardUseCase(0.05), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.Verify(g)
+	if !res.Pass {
+		t.Errorf("close gesture rejected: %s", res.Detail)
+	}
+	if res.Stage != StageDistance {
+		t.Error("wrong stage tag")
+	}
+}
+
+func TestDistanceVerifierRejectsFar(t *testing.T) {
+	v := NewDistanceVerifier()
+	// 12 cm is twice the Dt gate.
+	g, err := trajectory.SimulateGesture(trajectory.GestureConfig{
+		UseCase: trajectory.StandardUseCase(0.12), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.Verify(g)
+	if res.Pass {
+		t.Error("far gesture accepted")
+	}
+	if !strings.Contains(res.Detail, "exceeds Dt") {
+		t.Errorf("detail = %q", res.Detail)
+	}
+}
+
+func TestDistanceVerifierRejectsMotionless(t *testing.T) {
+	v := NewDistanceVerifier()
+	u := trajectory.StandardUseCase(0.05)
+	u.SweepHalfAngle = 0.02 // barely moves
+	g, err := trajectory.SimulateGesture(trajectory.GestureConfig{UseCase: u, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.Verify(g)
+	if res.Pass {
+		t.Error("motionless gesture accepted")
+	}
+}
+
+func TestSoundFieldVerifier(t *testing.T) {
+	mouth, machine, err := DefaultSoundFieldTraining(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := TrainSoundFieldVerifier(mouth, machine, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	// Fresh mouth sweeps accepted.
+	var mouthPass, earReject, coneReject int
+	const n = 20
+	for i := 0; i < n; i++ {
+		ms, err := soundfield.Sweep(soundfield.Mouth(), soundfield.DefaultSweep(0.06), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Verify(ms).Pass {
+			mouthPass++
+		}
+		es, err := soundfield.Sweep(soundfield.Earphone(), soundfield.DefaultSweep(0.06), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Verify(es).Pass {
+			earReject++
+		}
+		cs, err := soundfield.Sweep(soundfield.ConeSpeaker("x", 0.04), soundfield.DefaultSweep(0.06), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Verify(cs).Pass {
+			coneReject++
+		}
+	}
+	if mouthPass < n-1 {
+		t.Errorf("mouth pass rate %d/%d", mouthPass, n)
+	}
+	if earReject < n-1 {
+		t.Errorf("earphone reject rate %d/%d", earReject, n)
+	}
+	if coneReject < n-1 {
+		t.Errorf("cone reject rate %d/%d", coneReject, n)
+	}
+}
+
+func TestSoundFieldVerifierErrors(t *testing.T) {
+	if _, err := TrainSoundFieldVerifier(nil, nil, 1); err == nil {
+		t.Error("empty training accepted")
+	}
+	var v *SoundFieldVerifier
+	if v.Verify(nil).Pass {
+		t.Error("nil verifier must not pass")
+	}
+	trained := &SoundFieldVerifier{}
+	if trained.Verify([]soundfield.Measurement{{LevelDB: 1}}).Pass {
+		t.Error("untrained verifier must not pass")
+	}
+}

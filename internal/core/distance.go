@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"voiceguard/internal/trajectory"
+)
+
+// DistanceVerifier implements stage 1: the sound-source distance check
+// (§IV-B1). The gesture's sweep must pivot around the sound source within
+// the distance threshold Dt, the circle fit must be arc-like (bounded
+// residual), and the acoustic radial track must agree that the pivot *is*
+// the sound source (bounded radial deviation) — the defense against
+// faking the gesture in front of a distant loudspeaker.
+type DistanceVerifier struct {
+	// MaxDistance is Dt in meters. The paper calibrates Dt = 6 cm; the
+	// default adds the estimator's margin on top.
+	MaxDistance float64
+	// MaxResidual is the maximum RMS circle-fit residual in meters.
+	MaxResidual float64
+	// MaxRadialStd is the maximum acoustic radial deviation during the
+	// sweep in meters.
+	MaxRadialStd float64
+	// MinTurn is the minimum sweep excursion in radians (rejects
+	// motionless replays of the audio channel).
+	MinTurn float64
+}
+
+// NewDistanceVerifier returns the verifier at the paper's operating point.
+func NewDistanceVerifier() *DistanceVerifier {
+	return &DistanceVerifier{
+		MaxDistance:  0.075, // Dt = 6 cm + estimator margin
+		MaxResidual:  0.01,
+		MaxRadialStd: 0.012,
+		MinTurn:      0.8,
+	}
+}
+
+// Verify runs the distance check over a gesture.
+func (v *DistanceVerifier) Verify(g *trajectory.Gesture) StageResult {
+	res := StageResult{Stage: StageDistance}
+	est, err := g.Estimate()
+	if err != nil {
+		res.Detail = fmt.Sprintf("trajectory estimation failed: %v", err)
+		return res
+	}
+	// Score: margin below the distance gate (positive = inside).
+	res.Score = v.MaxDistance - est.Distance
+	switch {
+	case est.Turn < v.MinTurn:
+		res.Detail = fmt.Sprintf("sweep turn %.2f rad below minimum %.2f", est.Turn, v.MinTurn)
+	case est.Distance > v.MaxDistance:
+		res.Detail = fmt.Sprintf("source distance %.1f cm exceeds Dt %.1f cm",
+			est.Distance*100, v.MaxDistance*100)
+	case est.Residual > v.MaxResidual:
+		res.Detail = fmt.Sprintf("trajectory not arc-like (residual %.1f mm)", est.Residual*1000)
+	case est.SweepRadialStd > v.MaxRadialStd:
+		res.Detail = fmt.Sprintf("sweep not centered on sound source (radial std %.1f mm)",
+			est.SweepRadialStd*1000)
+	default:
+		res.Pass = true
+		res.Detail = fmt.Sprintf("source at %.1f cm", est.Distance*100)
+	}
+	return res
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"voiceguard/internal/soundfield"
+	"voiceguard/internal/svm"
+)
+
+// DualMicVerifier implements the §VII dual-microphone extension as an
+// alternative stage-2 verifier: the sound level difference between the
+// phone's two microphones plus a much shorter sweep replaces the full
+// single-mic sweep. See soundfield.DualMicSweep for the physics.
+type DualMicVerifier struct {
+	model *svm.Model
+}
+
+// TrainDualMicVerifier fits the verifier from labeled dual-mic sweeps.
+func TrainDualMicVerifier(mouth, machine [][]soundfield.SLDMeasurement, seed int64) (*DualMicVerifier, error) {
+	if len(mouth) == 0 || len(machine) == 0 {
+		return nil, fmt.Errorf("core: dual-mic training needs both classes (%d mouth, %d machine)",
+			len(mouth), len(machine))
+	}
+	var x [][]float64
+	var y []int
+	for _, ms := range mouth {
+		x = append(x, soundfield.SLDFeatureVector(ms))
+		y = append(y, 1)
+	}
+	for _, ms := range machine {
+		x = append(x, soundfield.SLDFeatureVector(ms))
+		y = append(y, -1)
+	}
+	model, err := svm.Train(x, y, svm.TrainConfig{Seed: seed, Lambda: 1e-2})
+	if err != nil {
+		return nil, fmt.Errorf("core: training dual-mic SVM: %w", err)
+	}
+	return &DualMicVerifier{model: model}, nil
+}
+
+// DefaultDualMicTraining generates the training set at the paper's
+// operating distance: mouths vs earphones, cones, tubes and the
+// electrostatic panel, all measured through the dual-mic short sweep.
+func DefaultDualMicTraining(seed int64) (mouth, machine [][]soundfield.SLDMeasurement, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	negatives := []soundfield.Source{
+		soundfield.Earphone(),
+		soundfield.ConeSpeaker("small-cone", 0.02),
+		soundfield.ConeSpeaker("pc-cone", 0.04),
+		soundfield.ConeSpeaker("large-cone", 0.065),
+		soundfield.Electrostatic(),
+		&soundfield.Tube{OpeningRadius: 0.012, Length: 0.25, LevelAt1m: 60},
+		&soundfield.Tube{OpeningRadius: 0.018, Length: 0.40, LevelAt1m: 60},
+	}
+	const perNegative = 6
+	mouthCount := len(negatives) * perNegative
+	for _, d := range []float64{0.05, 0.06, 0.08} {
+		cfg := soundfield.DefaultDualMic(d)
+		for i := 0; i < mouthCount; i++ {
+			ms, err := soundfield.DualMicSweep(soundfield.Mouth(), cfg, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			mouth = append(mouth, ms)
+		}
+		for _, src := range negatives {
+			for i := 0; i < perNegative; i++ {
+				ms, err := soundfield.DualMicSweep(src, cfg, rng)
+				if err != nil {
+					return nil, nil, err
+				}
+				machine = append(machine, ms)
+			}
+		}
+	}
+	return mouth, machine, nil
+}
+
+// Verify classifies a dual-mic sweep as stage 2.
+func (v *DualMicVerifier) Verify(ms []soundfield.SLDMeasurement) StageResult {
+	res := StageResult{Stage: StageSoundField}
+	if v == nil || v.model == nil {
+		res.Detail = "dual-mic verifier not trained"
+		return res
+	}
+	if len(ms) == 0 {
+		res.Detail = "no dual-mic measurements"
+		return res
+	}
+	margin := v.model.Margin(soundfield.SLDFeatureVector(ms))
+	res.Score = margin
+	if margin >= 0 {
+		res.Pass = true
+		res.Detail = fmt.Sprintf("mouth-like dual-mic field (margin %.2f)", margin)
+	} else {
+		res.Detail = fmt.Sprintf("machine-like dual-mic field (margin %.2f)", margin)
+	}
+	return res
+}

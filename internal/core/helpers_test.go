@@ -1,0 +1,35 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"voiceguard/internal/magnetics"
+	"voiceguard/internal/soundfield"
+	"voiceguard/internal/trajectory"
+)
+
+// simulateGenuineGesture renders the standard mouth-distance gesture in a
+// quiet environment.
+func simulateGenuineGesture(t *testing.T, seed int64) *trajectory.Gesture {
+	t.Helper()
+	g, err := trajectory.SimulateGesture(trajectory.GestureConfig{
+		UseCase: trajectory.StandardUseCase(0.06),
+		Scene:   magnetics.NewEnvironment(magnetics.EnvQuiet, seed),
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// sweepMouth samples a human-mouth sound field at the standard distance.
+func sweepMouth(t *testing.T, rng *rand.Rand) []soundfield.Measurement {
+	t.Helper()
+	ms, err := soundfield.Sweep(soundfield.Mouth(), soundfield.DefaultSweep(0.06), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}

@@ -1,0 +1,136 @@
+package core
+
+// Full four-stage integration tests: the complete cascade with the ASV
+// back-end attached, exercised end-to-end by attack sessions. This is the
+// deployment configuration of the paper's Fig. 4.
+
+import (
+	"math/rand"
+	"testing"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/speech"
+)
+
+// fullSystem builds all four stages, trains the ASV on a background
+// roster, enrolls the victim, and calibrates the victim's threshold on
+// held-out genuine utterances.
+func fullSystem(t *testing.T, victim speech.Profile, passphrase string, seed int64) *System {
+	t.Helper()
+	sys, err := BuildSystem(SystemConfig{FieldSeed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := buildBackground(t, 5, seed+1)
+	verifier, err := TrainSpeakerVerifier(bg, SpeakerVerifierConfig{Components: 16, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	synth, err := speech.NewSynthesizer(victim, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enroll []*audio.Signal
+	for k := 0; k < 4; k++ {
+		utt, err := synth.SayDigits(passphrase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enroll = append(enroll, utt)
+	}
+	if err := verifier.Enroll(victim.Name, [][]*audio.Signal{enroll}); err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate threshold for zero FRR on fresh genuine trials.
+	minG := 1e18
+	for k := 0; k < 3; k++ {
+		utt, err := synth.SayDigits(passphrase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := verifier.Score(victim.Name, utt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < minG {
+			minG = s
+		}
+	}
+	verifier.Threshold = minG - 0.3
+	sys.AttachIdentity(verifier)
+	return sys
+}
+
+func TestFullCascadeRunsAllFourStages(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	victim := speech.NewDistinctRoster(2, 200, 1.2).Profiles()[0]
+	sys := fullSystem(t, victim, "135792", 200)
+	_ = rng
+
+	session := genuineSessionFor(t, victim, "135792", 201)
+	d, err := sys.Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepted {
+		t.Fatalf("genuine rejected at %v: %s", d.FailedStage, d.Stages[len(d.Stages)-1].Detail)
+	}
+	if len(d.Stages) != 4 {
+		t.Fatalf("stages executed = %d, want 4", len(d.Stages))
+	}
+	want := []Stage{StageDistance, StageSoundField, StageLoudspeaker, StageSpeakerID}
+	for i, st := range d.Stages {
+		if st.Stage != want[i] {
+			t.Errorf("stage %d = %v, want %v", i, st.Stage, want[i])
+		}
+	}
+}
+
+func TestFullCascadeStopsImitatorAtIdentityStage(t *testing.T) {
+	roster := speech.NewDistinctRoster(2, 210, 1.5).Profiles()
+	victim, impostor := roster[0], roster[1]
+	sys := fullSystem(t, victim, "864209", 210)
+
+	rng := rand.New(rand.NewSource(211))
+	mimicked := speech.Imitate(impostor, victim, speech.ImitatorProfessional, rng)
+	session := genuineSessionFor(t, mimicked, "864209", 212)
+	session.ClaimedUser = victim.Name
+
+	d, err := sys.Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted {
+		t.Fatal("imitation attack accepted by the full cascade")
+	}
+	if d.FailedStage != StageSpeakerID {
+		t.Errorf("imitation rejected at %v, want the identity stage (stages 1-3 must pass a live human)",
+			d.FailedStage)
+	}
+}
+
+// genuineSessionFor builds a physically genuine session for any speaking
+// profile (the speaker stands at mouth distance; no loudspeaker).
+func genuineSessionFor(t *testing.T, p speech.Profile, passphrase string, seed int64) *SessionData {
+	t.Helper()
+	// attack.Genuine would create an import cycle (attack imports core),
+	// so assemble the session from the substrates directly.
+	rng := rand.New(rand.NewSource(seed))
+	g := simulateGenuineGesture(t, seed)
+	field := sweepMouth(t, rng)
+	synth, err := speech.NewSynthesizer(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voice, err := synth.SayDigits(passphrase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &SessionData{
+		ClaimedUser: p.Name,
+		Gesture:     g,
+		Field:       field,
+		Voice:       voice,
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"voiceguard/internal/sensors"
+)
+
+// LoudspeakerDetector implements stage 3 (§IV-B3): it flags sessions
+// whose magnetometer trace shows the static and dynamic signature of a
+// conventional loudspeaker. Two statistics are thresholded jointly, as in
+// the paper: the magnitude swing of the field during the gesture
+// (approaching a magnet swings |B| by tens of µT) against Mt, and the
+// maximum change rate against βt. Magnitude-based statistics are used
+// because |B| is invariant to phone orientation.
+type LoudspeakerDetector struct {
+	// Mt is the magnitude-swing threshold in µT.
+	Mt float64
+	// Bt is the change-rate threshold in µT/s.
+	Bt float64
+}
+
+// NewLoudspeakerDetector returns the detector at the paper's operating
+// point for a quiet environment.
+func NewLoudspeakerDetector() *LoudspeakerDetector {
+	return &LoudspeakerDetector{Mt: 10, Bt: 150}
+}
+
+// Metrics are the detector's raw statistics for one trace.
+type Metrics struct {
+	// Swing is max|B| - min|B| over the gesture, µT.
+	Swing float64
+	// MaxRate is the maximum |d|B|/dt|, µT/s.
+	MaxRate float64
+}
+
+// Measure computes the detection statistics of a magnetometer trace.
+func Measure(mag *sensors.Trace) Metrics {
+	mags := mag.Magnitudes()
+	if len(mags) == 0 {
+		return Metrics{}
+	}
+	// Light smoothing (3-sample moving average) so single-sample sensor
+	// noise does not dominate the rate statistic.
+	sm := make([]float64, len(mags))
+	for i := range mags {
+		lo, hi := i-1, i+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(mags) {
+			hi = len(mags) - 1
+		}
+		var s float64
+		for k := lo; k <= hi; k++ {
+			s += mags[k]
+		}
+		sm[i] = s / float64(hi-lo+1)
+	}
+	minV, maxV := sm[0], sm[0]
+	for _, v := range sm {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var maxRate float64
+	for i := 1; i < len(sm); i++ {
+		dt := mag.Samples[i].T - mag.Samples[i-1].T
+		if dt <= 0 {
+			continue
+		}
+		r := (sm[i] - sm[i-1]) / dt
+		if r < 0 {
+			r = -r
+		}
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	return Metrics{Swing: maxV - minV, MaxRate: maxRate}
+}
+
+// Verify runs loudspeaker detection on a magnetometer trace. Pass means
+// "no loudspeaker detected".
+func (d *LoudspeakerDetector) Verify(mag *sensors.Trace) StageResult {
+	res := StageResult{Stage: StageLoudspeaker}
+	if mag == nil || mag.Len() < 2 {
+		res.Detail = "no magnetometer trace"
+		return res
+	}
+	m := Measure(mag)
+	// Score: normalized margin below the nearer threshold (positive =
+	// clean).
+	swingMargin := 1 - m.Swing/d.Mt
+	rateMargin := 1 - m.MaxRate/d.Bt
+	res.Score = swingMargin
+	if rateMargin < res.Score {
+		res.Score = rateMargin
+	}
+	switch {
+	case m.Swing >= d.Mt:
+		res.Detail = fmt.Sprintf("magnetic swing %.1f µT ≥ Mt %.1f µT", m.Swing, d.Mt)
+	case m.MaxRate >= d.Bt:
+		res.Detail = fmt.Sprintf("magnetic rate %.0f µT/s ≥ βt %.0f µT/s", m.MaxRate, d.Bt)
+	default:
+		res.Pass = true
+		res.Detail = fmt.Sprintf("clean field (swing %.1f µT, rate %.0f µT/s)", m.Swing, m.MaxRate)
+	}
+	return res
+}
+
+// Calibrate implements the §VII adaptive-thresholding extension: given an
+// ambient magnetometer recording taken *before* the gesture (phone held
+// still), the thresholds are raised above the observed environmental
+// swing and rate so that high-EMF environments (computer, car) do not
+// drown the detector in false alarms. The margins keep genuine
+// loudspeaker signatures (tens of µT up close) detectable.
+func (d *LoudspeakerDetector) Calibrate(ambient *sensors.Trace) {
+	if ambient == nil || ambient.Len() < 2 {
+		return
+	}
+	m := Measure(ambient)
+	base := NewLoudspeakerDetector()
+	if mt := 2.5*m.Swing + 4; mt > base.Mt {
+		d.Mt = mt
+	} else {
+		d.Mt = base.Mt
+	}
+	if bt := 2.5*m.MaxRate + 40; bt > base.Bt {
+		d.Bt = bt
+	} else {
+		d.Bt = base.Bt
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"voiceguard/internal/device"
+	"voiceguard/internal/geometry"
+	"voiceguard/internal/magnetics"
+	"voiceguard/internal/sensors"
+	"voiceguard/internal/trajectory"
+)
+
+// gestureWithScene simulates the standard gesture in a magnetic scene.
+func gestureWithScene(t *testing.T, scene magnetics.FieldSource, dist float64, seed int64) *trajectory.Gesture {
+	t.Helper()
+	g, err := trajectory.SimulateGesture(trajectory.GestureConfig{
+		UseCase: trajectory.StandardUseCase(dist),
+		Scene:   scene,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sceneWithSpeaker(spk device.Loudspeaker, env magnetics.EnvironmentKind, seed int64) *magnetics.Scene {
+	scene := magnetics.NewEnvironment(env, seed)
+	drive := func(t float64) float64 { return math.Sin(2 * math.Pi * 300 * t) }
+	for _, src := range spk.FieldSources(geometry.Vec3{}, drive) {
+		scene.Add(src)
+	}
+	return scene
+}
+
+func TestLoudspeakerDetectorCleanPass(t *testing.T) {
+	d := NewLoudspeakerDetector()
+	g := gestureWithScene(t, magnetics.NewEnvironment(magnetics.EnvQuiet, 1), 0.06, 1)
+	res := d.Verify(g.Mag)
+	if !res.Pass {
+		t.Errorf("quiet genuine gesture flagged: %s", res.Detail)
+	}
+}
+
+func TestLoudspeakerDetectorCatchesSpeakerAt6cm(t *testing.T) {
+	d := NewLoudspeakerDetector()
+	for i, spk := range device.Catalog() {
+		if spk.Class == device.ClassEarphone {
+			continue // earphones are stage-2's job
+		}
+		g := gestureWithScene(t, sceneWithSpeaker(spk, magnetics.EnvQuiet, int64(i)), 0.06, int64(i))
+		res := d.Verify(g.Mag)
+		if res.Pass {
+			t.Errorf("%s %s undetected at 6 cm: %s", spk.Maker, spk.Model, res.Detail)
+		}
+	}
+}
+
+func TestLoudspeakerDetectorMissesSpeakerFar(t *testing.T) {
+	// At 14 cm a small phone-speaker magnet falls under the thresholds —
+	// exactly the FAR growth of Fig. 12(a).
+	d := NewLoudspeakerDetector()
+	small := device.Catalog()[19] // iPhone 5S internal
+	g := gestureWithScene(t, sceneWithSpeaker(small, magnetics.EnvQuiet, 7), 0.14, 7)
+	res := d.Verify(g.Mag)
+	if !res.Pass {
+		t.Logf("small speaker still detected at 14 cm (%s) — acceptable but unexpected", res.Detail)
+	}
+}
+
+func TestLoudspeakerDetectorEmptyTrace(t *testing.T) {
+	d := NewLoudspeakerDetector()
+	if d.Verify(nil).Pass {
+		t.Error("nil trace must not pass")
+	}
+	if d.Verify(&sensors.Trace{}).Pass {
+		t.Error("empty trace must not pass")
+	}
+}
+
+func TestMeasureMetrics(t *testing.T) {
+	tr := &sensors.Trace{Samples: []sensors.Sample{
+		{T: 0.00, V: geometry.Vec3{X: 50}},
+		{T: 0.01, V: geometry.Vec3{X: 50}},
+		{T: 0.02, V: geometry.Vec3{X: 50}},
+		{T: 0.03, V: geometry.Vec3{X: 80}},
+		{T: 0.04, V: geometry.Vec3{X: 80}},
+		{T: 0.05, V: geometry.Vec3{X: 80}},
+	}}
+	m := Measure(tr)
+	// Smoothed swing is slightly under the raw 30 µT step.
+	if m.Swing < 25 || m.Swing > 30 {
+		t.Errorf("swing = %v", m.Swing)
+	}
+	if m.MaxRate <= 0 {
+		t.Errorf("rate = %v", m.MaxRate)
+	}
+	if got := Measure(&sensors.Trace{}); got.Swing != 0 || got.MaxRate != 0 {
+		t.Error("empty trace metrics should be zero")
+	}
+}
+
+func TestCalibrateRaisesThresholdsInCar(t *testing.T) {
+	quiet := NewLoudspeakerDetector()
+	car := NewLoudspeakerDetector()
+
+	// Ambient recording: phone held still in the car for 2 s.
+	carScene := magnetics.NewEnvironment(magnetics.EnvCar, 11)
+	rng := newTestRand(11)
+	magSensor := sensors.New(sensors.AK8975(), rng)
+	ambient, err := magSensor.Record(2, func(tt float64) geometry.Vec3 {
+		return carScene.FieldAt(geometry.Vec3{X: 0.02, Y: 0.01}, tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	car.Calibrate(ambient)
+	if car.Mt <= quiet.Mt && car.Bt <= quiet.Bt {
+		t.Errorf("car calibration did not raise thresholds: Mt %v→%v Bt %v→%v",
+			quiet.Mt, car.Mt, quiet.Bt, car.Bt)
+	}
+	// Calibration against a quiet room keeps the defaults.
+	fresh := NewLoudspeakerDetector()
+	quietScene := magnetics.NewEnvironment(magnetics.EnvQuiet, 12)
+	ambientQuiet, err := magSensor.Record(2, func(tt float64) geometry.Vec3 {
+		return quietScene.FieldAt(geometry.Vec3{X: 0.02, Y: 0.01}, tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Calibrate(ambientQuiet)
+	if fresh.Mt > 2*quiet.Mt {
+		t.Errorf("quiet calibration inflated Mt to %v", fresh.Mt)
+	}
+	// Nil ambient is a no-op.
+	d := NewLoudspeakerDetector()
+	d.Calibrate(nil)
+	if d.Mt != quiet.Mt {
+		t.Error("nil calibration changed thresholds")
+	}
+}
+
+func TestCalibratedCarDetectorStillCatchesSpeakers(t *testing.T) {
+	// The §VII trade-off: after car calibration, a speaker at 6 cm must
+	// still be detected (its swing is far larger than car EMF).
+	d := NewLoudspeakerDetector()
+	carScene := magnetics.NewEnvironment(magnetics.EnvCar, 13)
+	rng := newTestRand(13)
+	magSensor := sensors.New(sensors.AK8975(), rng)
+	ambient, err := magSensor.Record(2, func(tt float64) geometry.Vec3 {
+		return carScene.FieldAt(geometry.Vec3{X: 0.02, Y: 0.01}, tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Calibrate(ambient)
+	spk := device.Catalog()[0]
+	g := gestureWithScene(t, sceneWithSpeaker(spk, magnetics.EnvCar, 13), 0.05, 13)
+	if res := d.Verify(g.Mag); res.Pass {
+		t.Errorf("calibrated detector missed %s at 5 cm: %s", spk.Model, res.Detail)
+	}
+}

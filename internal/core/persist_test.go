@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/soundfield"
+	"voiceguard/internal/speech"
+)
+
+func TestSpeakerVerifierSaveLoadGMM(t *testing.T) {
+	bg := buildBackground(t, 4, 300)
+	v, err := TrainSpeakerVerifier(bg, SpeakerVerifierConfig{Components: 8, Seed: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(301))
+	victim := speech.RandomProfile("victim", rng)
+	enroll := renderUtterances(t, victim, "112233", 3, rng)
+	if err := v.Enroll("victim", [][]*audio.Signal{enroll}); err != nil {
+		t.Fatal(err)
+	}
+	v.Threshold = 0.42
+
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpeakerVerifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold != 0.42 || loaded.Backend() != BackendGMMUBM {
+		t.Errorf("metadata lost: threshold %v backend %v", loaded.Threshold, loaded.Backend())
+	}
+	// Scores identical across the round trip.
+	test := renderUtterances(t, victim, "112233", 1, rng)[0]
+	a, err := v.Score("victim", test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Score("victim", test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("score mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestSpeakerVerifierSaveLoadISV(t *testing.T) {
+	bg := buildBackground(t, 5, 310)
+	v, err := TrainSpeakerVerifier(bg, SpeakerVerifierConfig{
+		Backend: BackendISV, Components: 8, ISVRank: 3, Seed: 310,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(311))
+	victim := speech.RandomProfile("victim", rng)
+	enroll := renderUtterances(t, victim, "445566", 4, rng)
+	if err := v.Enroll("victim", [][]*audio.Signal{enroll[:2], enroll[2:]}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpeakerVerifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := renderUtterances(t, victim, "445566", 1, rng)[0]
+	a, err := v.Score("victim", test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Score("victim", test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("ISV score mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestLoadSpeakerVerifierRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "garbage",
+		"wrong version": `{"version":9}`,
+		"bad backend":   `{"version":1,"backend":7,"relevance":4,"ubm":{}}`,
+		"bad relevance": `{"version":1,"backend":1,"relevance":0,"ubm":{}}`,
+		"bad ubm":       `{"version":1,"backend":1,"relevance":4,"ubm":{"version":1,"weights":[],"means":[],"vars":[]}}`,
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadSpeakerVerifier(strings.NewReader(payload)); err == nil {
+				t.Error("corrupt verifier accepted")
+			}
+		})
+	}
+}
+
+func TestSoundFieldVerifierSaveLoad(t *testing.T) {
+	mouth, machine, err := DefaultSoundFieldTraining(320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := TrainSoundFieldVerifier(mouth, machine, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSoundFieldVerifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(321))
+	ms, err := soundfield.Sweep(soundfield.Mouth(), soundfield.DefaultSweep(0.06), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := v.Verify(ms).Score, loaded.Verify(ms).Score; a != b {
+		t.Errorf("margin mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestLoadSoundFieldVerifierRejectsCorrupt(t *testing.T) {
+	for name, payload := range map[string]string{
+		"not json":      "nope",
+		"wrong version": `{"version":5,"models":{}}`,
+		"empty":         `{"version":1,"models":{}}`,
+		"bad model":     `{"version":1,"models":{"49":{"version":1,"weights":[],"bias":0,"mean":[],"std":[]}}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadSoundFieldVerifier(strings.NewReader(payload)); err == nil {
+				t.Error("corrupt verifier accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"voiceguard/internal/soundfield"
+	"voiceguard/internal/svm"
+)
+
+// SoundFieldVerifier implements stage 2 (§IV-B2): linear SVMs trained to
+// accept sound fields shaped like a human mouth and reject machine
+// sources — most importantly earphones, whose magnets are too weak for
+// stage 3 to sense.
+//
+// The sound field's discriminative structure changes with the sweep
+// standoff (the sweep's angular width is set by the fixed lateral hand
+// travel), so one model is trained per angular-width band and selected at
+// verification time from the sweep geometry itself — an attacker cannot
+// influence the selection except by actually changing the distance, which
+// the measurements then reflect.
+type SoundFieldVerifier struct {
+	// models maps a band key (rounded sweep half-width in degrees) to
+	// its classifier.
+	models map[int]*svm.Model
+}
+
+// bandKey reduces a sweep to its model-selection key: the rounded maximum
+// measurement angle.
+func bandKey(ms []soundfield.Measurement) int {
+	var maxAng float64
+	for _, m := range ms {
+		a := m.AngleDeg
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAng {
+			maxAng = a
+		}
+	}
+	return int(maxAng + 0.5)
+}
+
+// TrainSoundFieldVerifier fits the verifier from labeled sweeps:
+// mouthSweeps are positive examples, machineSweeps negative (earphones,
+// cones, tubes...). Sweeps are grouped into angular-width bands and one
+// SVM is trained per band.
+func TrainSoundFieldVerifier(mouthSweeps, machineSweeps [][]soundfield.Measurement, seed int64) (*SoundFieldVerifier, error) {
+	if len(mouthSweeps) == 0 || len(machineSweeps) == 0 {
+		return nil, fmt.Errorf("core: sound-field training needs both classes (%d mouth, %d machine)",
+			len(mouthSweeps), len(machineSweeps))
+	}
+	type cell struct {
+		x [][]float64
+		y []int
+	}
+	bands := make(map[int]*cell)
+	add := func(ms []soundfield.Measurement, label int) {
+		k := bandKey(ms)
+		c := bands[k]
+		if c == nil {
+			c = &cell{}
+			bands[k] = c
+		}
+		c.x = append(c.x, soundfield.FeatureVector(ms))
+		c.y = append(c.y, label)
+	}
+	for _, ms := range mouthSweeps {
+		add(ms, 1)
+	}
+	for _, ms := range machineSweeps {
+		add(ms, -1)
+	}
+	v := &SoundFieldVerifier{models: make(map[int]*svm.Model, len(bands))}
+	for k, c := range bands {
+		model, err := svm.Train(c.x, c.y, svm.TrainConfig{Seed: seed + int64(k), Lambda: 1e-2})
+		if err != nil {
+			return nil, fmt.Errorf("core: training sound-field SVM band %d°: %w", k, err)
+		}
+		v.models[k] = model
+	}
+	return v, nil
+}
+
+// modelFor returns the band model nearest to the sweep's angular width.
+func (v *SoundFieldVerifier) modelFor(ms []soundfield.Measurement) *svm.Model {
+	if len(v.models) == 0 {
+		return nil
+	}
+	k := bandKey(ms)
+	bestDist := 1 << 30
+	var best *svm.Model
+	for bk, m := range v.models {
+		d := bk - k
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			bestDist = d
+			best = m
+		}
+	}
+	return best
+}
+
+// DefaultSoundFieldTraining generates the standard training set: mouth
+// sweeps as positives; earphone, representative cones and tube sweeps as
+// negatives, across the plausible gesture distance range.
+func DefaultSoundFieldTraining(seed int64) (mouth, machine [][]soundfield.Measurement, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	// Cover the whole plausible gesture range so the verifier inter-
+	// polates rather than extrapolates at off-nominal distances.
+	distances := []float64{0.04, 0.05, 0.06, 0.08, 0.10, 0.12, 0.14}
+	negatives := []soundfield.Source{
+		soundfield.Earphone(),
+		soundfield.ConeSpeaker("small-cone", 0.02),
+		soundfield.ConeSpeaker("pc-cone", 0.04),
+		soundfield.ConeSpeaker("large-cone", 0.065),
+		// §VII: electrostatic panels have no usable magnetic signature,
+		// so the sound-field component must know their (very large)
+		// geometry.
+		soundfield.Electrostatic(),
+	}
+	// Tube negatives span opening sizes and lengths so the verifier
+	// generalizes across the §VII attack's parameter space.
+	for _, r := range []float64{0.010, 0.015, 0.020} {
+		for _, l := range []float64{0.15, 0.25, 0.35, 0.45} {
+			negatives = append(negatives, &soundfield.Tube{OpeningRadius: r, Length: l, LevelAt1m: 60})
+		}
+	}
+	// Balance the classes: the hinge loss shifts its boundary toward the
+	// majority class where the classes overlap (far distances), so the
+	// mouth class gets as many sweeps per distance as all machine
+	// sources combined.
+	const perNegative = 3
+	mouthPerCell := len(negatives) * perNegative
+	for _, d := range distances {
+		for i := 0; i < mouthPerCell; i++ {
+			ms, err := soundfield.Sweep(soundfield.Mouth(), soundfield.DefaultSweep(d), rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			mouth = append(mouth, ms)
+		}
+		for _, src := range negatives {
+			for i := 0; i < perNegative; i++ {
+				ms, err := soundfield.Sweep(src, soundfield.DefaultSweep(d), rng)
+				if err != nil {
+					return nil, nil, err
+				}
+				machine = append(machine, ms)
+			}
+		}
+	}
+	return mouth, machine, nil
+}
+
+// Verify classifies a sweep.
+func (v *SoundFieldVerifier) Verify(ms []soundfield.Measurement) StageResult {
+	res := StageResult{Stage: StageSoundField}
+	if v == nil || len(v.models) == 0 {
+		res.Detail = "verifier not trained"
+		return res
+	}
+	if len(ms) == 0 {
+		res.Detail = "no sound-field measurements"
+		return res
+	}
+	model := v.modelFor(ms)
+	margin := model.Margin(soundfield.FeatureVector(ms))
+	res.Score = margin
+	if margin >= 0 {
+		res.Pass = true
+		res.Detail = fmt.Sprintf("mouth-like sound field (margin %.2f)", margin)
+	} else {
+		res.Detail = fmt.Sprintf("machine-like sound field (margin %.2f)", margin)
+	}
+	return res
+}

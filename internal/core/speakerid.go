@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/features"
+	"voiceguard/internal/gmm"
+)
+
+// Backend selects the ASV scoring model, mirroring the paper's choice of
+// the Spear toolbox's GMM and ISV toolchains (Table I).
+type Backend int
+
+// Supported ASV back-ends.
+const (
+	BackendGMMUBM Backend = iota + 1
+	BackendISV
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendGMMUBM:
+		return "gmm-ubm"
+	case BackendISV:
+		return "isv"
+	default:
+		return "unknown"
+	}
+}
+
+// SpeakerVerifier implements stage 4 (§IV-C): classical text-dependent
+// speaker verification over MFCC features.
+type SpeakerVerifier struct {
+	backend   Backend
+	mfcc      features.MFCCConfig
+	ubm       *gmm.GMM
+	isv       *gmm.ISV
+	relevance float64
+	// Threshold is the accept threshold on the back-end score (a
+	// log-likelihood ratio for both back-ends). Set it directly or via
+	// CalibrateThreshold.
+	Threshold float64
+
+	users    map[string]*gmm.Verifier
+	isvUsers map[string]*gmm.ISVSpeaker
+}
+
+// SpeakerVerifierConfig configures training.
+type SpeakerVerifierConfig struct {
+	// Backend selects GMM-UBM or ISV (default GMM-UBM).
+	Backend Backend
+	// Components is the UBM size (default 32).
+	Components int
+	// Relevance is the MAP relevance factor (default 4, Spear's choice
+	// for small enrollment sets).
+	Relevance float64
+	// ISVRank is the session-subspace rank for the ISV back-end
+	// (default 10).
+	ISVRank int
+	// MFCC overrides the feature front-end; the zero value selects
+	// features.DefaultMFCCConfig with CMVN disabled. Text-dependent
+	// verification of one short passphrase keeps the speaker's static
+	// spectral identity in the cepstral mean, which per-utterance CMVN
+	// would erase; session variability is instead handled by the model
+	// (MAP prior, ISV subspace).
+	MFCC *features.MFCCConfig
+	// Seed seeds UBM training.
+	Seed int64
+}
+
+func (c *SpeakerVerifierConfig) setDefaults() {
+	if c.Backend == 0 {
+		c.Backend = BackendGMMUBM
+	}
+	if c.Components == 0 {
+		c.Components = 32
+	}
+	if c.Relevance == 0 {
+		c.Relevance = 4
+	}
+	if c.ISVRank == 0 {
+		c.ISVRank = 10
+	}
+	if c.MFCC == nil {
+		mfcc := features.DefaultMFCCConfig()
+		mfcc.CMVN = false
+		c.MFCC = &mfcc
+	}
+}
+
+// ErrUnknownUser is returned when verifying an identity that was never
+// enrolled.
+var ErrUnknownUser = errors.New("core: unknown user")
+
+// extract runs the MFCC front-end over an utterance.
+func (v *SpeakerVerifier) extract(s *audio.Signal) ([][]float64, error) {
+	return features.Extract(s, v.mfcc)
+}
+
+// TrainSpeakerVerifier builds the back-end from background (non-user)
+// speech. background maps speaker → sessions → utterances; it trains the
+// UBM and, for the ISV back-end, the session subspace.
+func TrainSpeakerVerifier(background map[string][][]*audio.Signal, cfg SpeakerVerifierConfig) (*SpeakerVerifier, error) {
+	cfg.setDefaults()
+	v := &SpeakerVerifier{
+		backend:   cfg.Backend,
+		mfcc:      *cfg.MFCC,
+		relevance: cfg.Relevance,
+		users:     make(map[string]*gmm.Verifier),
+		isvUsers:  make(map[string]*gmm.ISVSpeaker),
+	}
+	// Iterate speakers in sorted order: map order would otherwise make
+	// the pooled frame order — and therefore the k-means initialization
+	// and the trained UBM — nondeterministic across runs.
+	names := make([]string, 0, len(background))
+	for spk := range background {
+		names = append(names, spk)
+	}
+	sort.Strings(names)
+	var pooled [][]float64
+	sessions := make(map[string][][][]float64)
+	for _, spk := range names {
+		for _, sess := range background[spk] {
+			var sessFrames [][]float64
+			for _, utt := range sess {
+				f, err := v.extract(utt)
+				if err != nil {
+					return nil, fmt.Errorf("core: extracting background features for %s: %w", spk, err)
+				}
+				pooled = append(pooled, f...)
+				sessFrames = append(sessFrames, f...)
+			}
+			if len(sessFrames) > 0 {
+				sessions[spk] = append(sessions[spk], sessFrames)
+			}
+		}
+	}
+	if len(pooled) == 0 {
+		return nil, errors.New("core: no background speech for ASV training")
+	}
+	ubm, err := gmm.TrainUBM(pooled, gmm.TrainConfig{Components: cfg.Components, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: training UBM: %w", err)
+	}
+	v.ubm = ubm
+	if cfg.Backend == BackendISV {
+		isv, err := gmm.TrainISV(ubm, sessions, gmm.ISVConfig{Rank: cfg.ISVRank, Relevance: cfg.Relevance})
+		if err != nil {
+			return nil, fmt.Errorf("core: training ISV: %w", err)
+		}
+		v.isv = isv
+	}
+	return v, nil
+}
+
+// Enroll registers a user from enrollment utterances (grouped by session
+// for the ISV back-end; a flat list may be passed as one session).
+func (v *SpeakerVerifier) Enroll(user string, sessions [][]*audio.Signal) error {
+	if user == "" {
+		return errors.New("core: empty user name")
+	}
+	if len(sessions) == 0 {
+		return fmt.Errorf("core: no enrollment sessions for %q", user)
+	}
+	var all [][]float64
+	var perSession [][][]float64
+	for _, sess := range sessions {
+		var sessFrames [][]float64
+		for _, utt := range sess {
+			f, err := v.extract(utt)
+			if err != nil {
+				return fmt.Errorf("core: extracting enrollment features for %q: %w", user, err)
+			}
+			all = append(all, f...)
+			sessFrames = append(sessFrames, f...)
+		}
+		if len(sessFrames) > 0 {
+			perSession = append(perSession, sessFrames)
+		}
+	}
+	switch v.backend {
+	case BackendISV:
+		spk, err := v.isv.Enroll(perSession)
+		if err != nil {
+			return fmt.Errorf("core: ISV enrollment for %q: %w", user, err)
+		}
+		v.isvUsers[user] = spk
+	default:
+		ver, err := gmm.NewVerifier(v.ubm, all, v.relevance)
+		if err != nil {
+			return fmt.Errorf("core: GMM enrollment for %q: %w", user, err)
+		}
+		v.users[user] = ver
+	}
+	return nil
+}
+
+// Score returns the back-end score of an utterance against a user.
+func (v *SpeakerVerifier) Score(user string, utt *audio.Signal) (float64, error) {
+	frames, err := v.extract(utt)
+	if err != nil {
+		return 0, fmt.Errorf("core: extracting test features: %w", err)
+	}
+	switch v.backend {
+	case BackendISV:
+		spk, ok := v.isvUsers[user]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+		}
+		return spk.Score(frames)
+	default:
+		ver, ok := v.users[user]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+		}
+		return ver.Score(frames), nil
+	}
+}
+
+// Verify runs the identity check as a pipeline stage.
+func (v *SpeakerVerifier) Verify(user string, utt *audio.Signal) StageResult {
+	res := StageResult{Stage: StageSpeakerID}
+	score, err := v.Score(user, utt)
+	if err != nil {
+		res.Detail = err.Error()
+		return res
+	}
+	res.Score = score - v.Threshold
+	if score >= v.Threshold {
+		res.Pass = true
+		res.Detail = fmt.Sprintf("speaker accepted (score %.3f ≥ %.3f)", score, v.Threshold)
+	} else {
+		res.Detail = fmt.Sprintf("speaker rejected (score %.3f < %.3f)", score, v.Threshold)
+	}
+	return res
+}
+
+// Backend returns the configured back-end.
+func (v *SpeakerVerifier) Backend() Backend { return v.backend }
+
+// CalibrateThreshold sets the accept threshold from held-out genuine
+// utterances of an enrolled user: the minimum genuine score minus the
+// safety margin, i.e. the paper's zero-FRR operating point. Margin > 0
+// trades FAR headroom for robustness to genuine-score variation.
+func (v *SpeakerVerifier) CalibrateThreshold(user string, genuine []*audio.Signal, margin float64) error {
+	if len(genuine) == 0 {
+		return fmt.Errorf("core: calibration needs genuine utterances for %q", user)
+	}
+	minScore := math.Inf(1)
+	for i, utt := range genuine {
+		s, err := v.Score(user, utt)
+		if err != nil {
+			return fmt.Errorf("core: calibration utterance %d: %w", i, err)
+		}
+		if s < minScore {
+			minScore = s
+		}
+	}
+	v.Threshold = minScore - margin
+	return nil
+}

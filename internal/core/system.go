@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"voiceguard/internal/sensors"
+)
+
+// System is the assembled VoiceGuard pipeline.
+type System struct {
+	// Distance is stage 1.
+	Distance *DistanceVerifier
+	// Field is stage 2.
+	Field *SoundFieldVerifier
+	// Speaker is stage 3 (loudspeaker detection).
+	Speaker *LoudspeakerDetector
+	// Identity is stage 4.
+	Identity *SpeakerVerifier
+}
+
+// SystemConfig assembles a System with defaults.
+type SystemConfig struct {
+	// FieldSeed seeds the sound-field verifier's training sweeps.
+	FieldSeed int64
+	// ASV configures the identity back-end.
+	ASV SpeakerVerifierConfig
+	// DisableDistance, DisableField and DisableMagnetic drop individual
+	// stages — used by the ablation benchmarks, not production.
+	DisableDistance, DisableField, DisableMagnetic bool
+}
+
+// BuildSystem assembles the machine-attack stages (1–3). The ASV stage is
+// attached separately with AttachIdentity because many experiments run
+// without it (the paper's §VI evaluates the anti-spoofing subsystem in
+// isolation, Spear handling human impostors).
+func BuildSystem(cfg SystemConfig) (*System, error) {
+	s := &System{}
+	if !cfg.DisableDistance {
+		s.Distance = NewDistanceVerifier()
+	}
+	if !cfg.DisableField {
+		mouth, machine, err := DefaultSoundFieldTraining(cfg.FieldSeed)
+		if err != nil {
+			return nil, fmt.Errorf("core: generating sound-field training data: %w", err)
+		}
+		fv, err := TrainSoundFieldVerifier(mouth, machine, cfg.FieldSeed)
+		if err != nil {
+			return nil, err
+		}
+		s.Field = fv
+	}
+	if !cfg.DisableMagnetic {
+		s.Speaker = NewLoudspeakerDetector()
+	}
+	return s, nil
+}
+
+// AttachIdentity plugs in a trained ASV back-end as stage 4.
+func (s *System) AttachIdentity(v *SpeakerVerifier) { s.Identity = v }
+
+// CalibrateEnvironment applies §VII adaptive thresholding from an ambient
+// magnetometer recording.
+func (s *System) CalibrateEnvironment(ambient *sensors.Trace) {
+	if s.Speaker != nil {
+		s.Speaker.Calibrate(ambient)
+	}
+}
+
+// ErrIncompleteSystem is returned when Verify runs with no stages.
+var ErrIncompleteSystem = errors.New("core: system has no configured stages")
+
+// Verify runs the cascade over a session. Stages execute in the paper's
+// order and the first failure rejects; all executed stage results are
+// returned for diagnostics.
+func (s *System) Verify(session *SessionData) (Decision, error) {
+	if err := session.Validate(); err != nil {
+		return Decision{}, err
+	}
+	if s.Distance == nil && s.Field == nil && s.Speaker == nil && s.Identity == nil {
+		return Decision{}, ErrIncompleteSystem
+	}
+	var d Decision
+	run := func(r StageResult) bool {
+		d.Stages = append(d.Stages, r)
+		if !r.Pass {
+			d.FailedStage = r.Stage
+			return false
+		}
+		return true
+	}
+	if s.Distance != nil && !run(s.Distance.Verify(session.Gesture)) {
+		return d, nil
+	}
+	if s.Field != nil && !run(s.Field.Verify(session.Field)) {
+		return d, nil
+	}
+	if s.Speaker != nil && !run(s.Speaker.Verify(session.Gesture.Mag)) {
+		return d, nil
+	}
+	if s.Identity != nil && !run(s.Identity.Verify(session.ClaimedUser, session.Voice)) {
+		return d, nil
+	}
+	d.Accepted = true
+	return d, nil
+}

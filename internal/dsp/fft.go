@@ -1,0 +1,199 @@
+// Package dsp provides the signal-processing primitives the rest of the
+// system is built on: FFT, short-time Fourier transform, window functions,
+// Goertzel tone detection, IIR/FIR filtering, phase unwrapping and
+// decimation. Everything is stdlib-only and allocation-conscious; the
+// hot paths (FFT, biquads) avoid per-sample allocation entirely.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Power-of-two lengths use an iterative radix-2
+// Cooley–Tukey transform; other lengths fall back to Bluestein's
+// algorithm. An empty input returns an empty slice.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, normalized by
+// 1/N so that IFFT(FFT(x)) == x.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, true)
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal computes the DFT of a real-valued signal and returns the full
+// complex spectrum of the same length.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	fftInPlace(c, false)
+	return c
+}
+
+// fftInPlace transforms x in place. inverse selects the conjugate
+// transform (without the 1/N normalization).
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 is an iterative in-place Cooley–Tukey FFT for power-of-two sizes.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	// Bit-reversal permutation.
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		ws, wc := math.Sincos(step)
+		w := complex(wc, ws)
+		for start := 0; start < n; start += size {
+			tw := complex(1, 0)
+			for k := start; k < start+half; k++ {
+				a := x[k]
+				b := x[k+half] * tw
+				x[k] = a + b
+				x[k+half] = a - b
+				tw *= w
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// reducing it to a power-of-two convolution.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w_k = exp(sign * iπ k² / n). Compute k² mod 2n to avoid
+	// precision loss for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		s, c := math.Sincos(ang)
+		chirp[k] = complex(c, s)
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * chirp[k]
+	}
+}
+
+// Magnitudes returns |X_k| for each bin of a spectrum.
+func Magnitudes(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, c := range spec {
+		out[i] = cmplx.Abs(c)
+	}
+	return out
+}
+
+// PowerSpectrum returns |X_k|² for each bin of a spectrum.
+func PowerSpectrum(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, c := range spec {
+		re, im := real(c), imag(c)
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// BinFrequency returns the center frequency in Hz of FFT bin k for a
+// transform of length n over a signal sampled at sampleRate.
+func BinFrequency(k, n int, sampleRate float64) float64 {
+	return float64(k) * sampleRate / float64(n)
+}
+
+// FrequencyBin returns the FFT bin index closest to freq for a transform of
+// length n over a signal sampled at sampleRate.
+func FrequencyBin(freq float64, n int, sampleRate float64) int {
+	k := int(math.Round(freq * float64(n) / sampleRate))
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// validateLength panics with a descriptive message on negative lengths;
+// used by window constructors.
+func validateLength(name string, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("dsp: %s window with negative length %d", name, n))
+	}
+}

@@ -1,0 +1,192 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a second-order IIR filter section in direct form II transposed.
+// It is the building block for the vocal-tract formant resonators in the
+// speech synthesizer and for the demodulation low-pass filters in the
+// acoustic ranging pipeline.
+type Biquad struct {
+	B0, B1, B2 float64 // feedforward coefficients
+	A1, A2     float64 // feedback coefficients (a0 normalized to 1)
+	z1, z2     float64 // state
+}
+
+// Process filters a single sample.
+func (f *Biquad) Process(x float64) float64 {
+	y := f.B0*x + f.z1
+	f.z1 = f.B1*x - f.A1*y + f.z2
+	f.z2 = f.B2*x - f.A2*y
+	return y
+}
+
+// ProcessBlock filters x in place.
+func (f *Biquad) ProcessBlock(x []float64) {
+	for i, v := range x {
+		x[i] = f.Process(v)
+	}
+}
+
+// Reset clears the filter state.
+func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
+
+// NewResonator returns a two-pole resonator centered at freq Hz with the
+// given -3 dB bandwidth, for a signal sampled at sampleRate. The gain is
+// normalized to unity at the center frequency. This is the classic Klatt
+// formant resonator.
+func NewResonator(freq, bandwidth, sampleRate float64) *Biquad {
+	r := math.Exp(-math.Pi * bandwidth / sampleRate)
+	theta := 2 * math.Pi * freq / sampleRate
+	a1 := -2 * r * math.Cos(theta)
+	a2 := r * r
+	b0 := 1 + a1 + a2 // unity gain at DC for the all-pole section scaled below
+	// Normalize gain at the resonance frequency instead of DC: evaluate
+	// |H(e^{jθ})| of the all-pole filter and scale.
+	re := 1 + a1*math.Cos(theta) + a2*math.Cos(2*theta)
+	im := a1*math.Sin(theta) + a2*math.Sin(2*theta)
+	g := math.Hypot(re, im)
+	if g > 0 {
+		b0 = g
+	}
+	return &Biquad{B0: b0, A1: a1, A2: a2}
+}
+
+// NewLowPassBiquad returns a Butterworth-style low-pass biquad with cutoff
+// freq Hz (Q = 1/√2) for a signal sampled at sampleRate.
+func NewLowPassBiquad(freq, sampleRate float64) *Biquad {
+	return newRBJ(freq, sampleRate, math.Sqrt2/2, false)
+}
+
+// NewHighPassBiquad returns a Butterworth-style high-pass biquad with
+// cutoff freq Hz (Q = 1/√2) for a signal sampled at sampleRate.
+func NewHighPassBiquad(freq, sampleRate float64) *Biquad {
+	return newRBJ(freq, sampleRate, math.Sqrt2/2, true)
+}
+
+// newRBJ constructs an RBJ audio-EQ-cookbook low/high-pass biquad.
+func newRBJ(freq, sampleRate, q float64, highpass bool) *Biquad {
+	w0 := 2 * math.Pi * freq / sampleRate
+	cw, sw := math.Cos(w0), math.Sin(w0)
+	alpha := sw / (2 * q)
+	a0 := 1 + alpha
+	var b0, b1, b2 float64
+	if highpass {
+		b0 = (1 + cw) / 2
+		b1 = -(1 + cw)
+		b2 = (1 + cw) / 2
+	} else {
+		b0 = (1 - cw) / 2
+		b1 = 1 - cw
+		b2 = (1 - cw) / 2
+	}
+	return &Biquad{
+		B0: b0 / a0,
+		B1: b1 / a0,
+		B2: b2 / a0,
+		A1: -2 * cw / a0,
+		A2: (1 - alpha) / a0,
+	}
+}
+
+// FIRFilter is a finite-impulse-response filter applied by direct
+// convolution.
+type FIRFilter struct {
+	taps  []float64
+	delay []float64
+	pos   int
+}
+
+// NewLowPassFIR designs a windowed-sinc low-pass FIR filter with the given
+// cutoff in Hz, sample rate in Hz and number of taps (made odd if even, for
+// a symmetric linear-phase design). It panics on non-positive arguments;
+// the filter design parameters are programmer-chosen constants, not runtime
+// inputs.
+func NewLowPassFIR(cutoff, sampleRate float64, taps int) *FIRFilter {
+	if cutoff <= 0 || sampleRate <= 0 || taps <= 0 {
+		panic(fmt.Sprintf("dsp: invalid FIR design cutoff=%v rate=%v taps=%d", cutoff, sampleRate, taps))
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	fc := cutoff / sampleRate
+	mid := taps / 2
+	h := make([]float64, taps)
+	var sum float64
+	for i := range h {
+		n := i - mid
+		var v float64
+		if n == 0 {
+			v = 2 * fc
+		} else {
+			v = math.Sin(2*math.Pi*fc*float64(n)) / (math.Pi * float64(n))
+		}
+		// Hamming window for side-lobe suppression.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = v
+		sum += v
+	}
+	// Normalize DC gain to 1.
+	for i := range h {
+		h[i] /= sum
+	}
+	return &FIRFilter{taps: h, delay: make([]float64, taps)}
+}
+
+// Process filters a single sample.
+func (f *FIRFilter) Process(x float64) float64 {
+	f.delay[f.pos] = x
+	var y float64
+	idx := f.pos
+	for _, t := range f.taps {
+		y += t * f.delay[idx]
+		idx--
+		if idx < 0 {
+			idx = len(f.delay) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.delay) {
+		f.pos = 0
+	}
+	return y
+}
+
+// ProcessBlock filters x in place.
+func (f *FIRFilter) ProcessBlock(x []float64) {
+	for i, v := range x {
+		x[i] = f.Process(v)
+	}
+}
+
+// Reset clears the delay line.
+func (f *FIRFilter) Reset() {
+	for i := range f.delay {
+		f.delay[i] = 0
+	}
+	f.pos = 0
+}
+
+// NumTaps returns the filter length.
+func (f *FIRFilter) NumTaps() int { return len(f.taps) }
+
+// Decimate returns every factor-th sample of x after low-pass filtering at
+// 0.45× the new Nyquist frequency to prevent aliasing. factor must be ≥ 1.
+func Decimate(x []float64, factor int, sampleRate float64) []float64 {
+	if factor <= 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	lp := NewLowPassFIR(0.45*sampleRate/float64(2*factor)*2, sampleRate, 63)
+	filtered := make([]float64, len(x))
+	copy(filtered, x)
+	lp.ProcessBlock(filtered)
+	out := make([]float64, 0, len(x)/factor+1)
+	for i := 0; i < len(filtered); i += factor {
+		out = append(out, filtered[i])
+	}
+	return out
+}

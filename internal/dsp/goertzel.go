@@ -1,0 +1,65 @@
+package dsp
+
+import "math"
+
+// Goertzel computes the magnitude of a single DFT bin at the target
+// frequency over the block x. It is cheaper than a full FFT when only one
+// tone matters — exactly the situation in the ranging pipeline, which
+// tracks a single ~19 kHz pilot tone.
+func Goertzel(x []float64, freq, sampleRate float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * freq / sampleRate
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	if power < 0 {
+		power = 0
+	}
+	return math.Sqrt(power)
+}
+
+// GoertzelPhase computes both the magnitude and the phase (radians) of the
+// DFT at the target frequency over the block x.
+func GoertzelPhase(x []float64, freq, sampleRate float64) (mag, phase float64) {
+	n := len(x)
+	if n == 0 {
+		return 0, 0
+	}
+	w := 2 * math.Pi * freq / sampleRate
+	coeff := 2 * math.Cos(w)
+	var s1, s2 float64
+	for _, v := range x {
+		s0 := v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	re := s1 - s2*math.Cos(w)
+	im := s2 * math.Sin(w)
+	return math.Hypot(re, im), math.Atan2(im, re)
+}
+
+// Unwrap removes 2π discontinuities from a phase sequence in place and
+// returns it. Successive samples are assumed to differ by less than π in
+// the underlying continuous phase.
+func Unwrap(phase []float64) []float64 {
+	for i := 1; i < len(phase); i++ {
+		d := phase[i] - phase[i-1]
+		for d > math.Pi {
+			phase[i] -= 2 * math.Pi
+			d = phase[i] - phase[i-1]
+		}
+		for d < -math.Pi {
+			phase[i] += 2 * math.Pi
+			d = phase[i] - phase[i-1]
+		}
+	}
+	return phase
+}

@@ -1,0 +1,146 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Spectrogram is the output of a short-time Fourier transform: a sequence
+// of magnitude spectra over time, as used by the paper's Fig. 6 (the
+// received 19 kHz ranging tone while the phone moves).
+type Spectrogram struct {
+	// Frames holds one magnitude spectrum per analysis frame; each row has
+	// FFTSize/2+1 bins (real input, non-negative frequencies).
+	Frames [][]float64
+	// SampleRate is the sample rate of the analyzed signal in Hz.
+	SampleRate float64
+	// FFTSize is the transform length.
+	FFTSize int
+	// HopSize is the frame advance in samples.
+	HopSize int
+}
+
+// STFTConfig configures STFT analysis.
+type STFTConfig struct {
+	FrameSize  int     // analysis frame length in samples
+	HopSize    int     // frame advance in samples
+	FFTSize    int     // transform length; 0 means NextPow2(FrameSize)
+	Window     Window  // taper; 0 value defaults to Hann
+	SampleRate float64 // sample rate of the input signal in Hz
+}
+
+func (c *STFTConfig) setDefaults() error {
+	if c.FrameSize <= 0 {
+		return fmt.Errorf("dsp: FrameSize %d must be positive", c.FrameSize)
+	}
+	if c.HopSize <= 0 {
+		return fmt.Errorf("dsp: HopSize %d must be positive", c.HopSize)
+	}
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("dsp: SampleRate %v must be positive", c.SampleRate)
+	}
+	if c.FFTSize == 0 {
+		c.FFTSize = NextPow2(c.FrameSize)
+	}
+	if c.FFTSize < c.FrameSize {
+		return fmt.Errorf("dsp: FFTSize %d smaller than FrameSize %d", c.FFTSize, c.FrameSize)
+	}
+	if c.Window == 0 {
+		c.Window = WindowHann
+	}
+	return nil
+}
+
+// ErrShortSignal is returned when the input is shorter than one frame.
+var ErrShortSignal = errors.New("dsp: signal shorter than one analysis frame")
+
+// STFT computes the magnitude spectrogram of x.
+func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if len(x) < cfg.FrameSize {
+		return nil, ErrShortSignal
+	}
+	nFrames := 1 + (len(x)-cfg.FrameSize)/cfg.HopSize
+	win := cfg.Window.Coefficients(cfg.FrameSize)
+	nBins := cfg.FFTSize/2 + 1
+
+	sp := &Spectrogram{
+		Frames:     make([][]float64, nFrames),
+		SampleRate: cfg.SampleRate,
+		FFTSize:    cfg.FFTSize,
+		HopSize:    cfg.HopSize,
+	}
+	buf := make([]complex128, cfg.FFTSize)
+	for f := 0; f < nFrames; f++ {
+		off := f * cfg.HopSize
+		for i := 0; i < cfg.FrameSize; i++ {
+			buf[i] = complex(x[off+i]*win[i], 0)
+		}
+		for i := cfg.FrameSize; i < cfg.FFTSize; i++ {
+			buf[i] = 0
+		}
+		fftInPlace(buf, false)
+		row := make([]float64, nBins)
+		for k := 0; k < nBins; k++ {
+			re, im := real(buf[k]), imag(buf[k])
+			row[k] = math.Sqrt(re*re + im*im)
+		}
+		sp.Frames[f] = row
+	}
+	return sp, nil
+}
+
+// NumFrames returns the number of analysis frames.
+func (s *Spectrogram) NumFrames() int { return len(s.Frames) }
+
+// FrameTime returns the start time in seconds of frame f.
+func (s *Spectrogram) FrameTime(f int) float64 {
+	return float64(f*s.HopSize) / s.SampleRate
+}
+
+// BinFreq returns the center frequency in Hz of bin k.
+func (s *Spectrogram) BinFreq(k int) float64 {
+	return BinFrequency(k, s.FFTSize, s.SampleRate)
+}
+
+// PeakBin returns, for frame f, the bin with the largest magnitude within
+// the frequency band [lo, hi] Hz, along with that magnitude. It returns
+// (-1, 0) if the band is empty.
+func (s *Spectrogram) PeakBin(f int, lo, hi float64) (bin int, mag float64) {
+	if f < 0 || f >= len(s.Frames) {
+		return -1, 0
+	}
+	kLo := FrequencyBin(lo, s.FFTSize, s.SampleRate)
+	kHi := FrequencyBin(hi, s.FFTSize, s.SampleRate)
+	if kHi >= len(s.Frames[f]) {
+		kHi = len(s.Frames[f]) - 1
+	}
+	bin = -1
+	for k := kLo; k <= kHi; k++ {
+		if m := s.Frames[f][k]; m > mag {
+			mag = m
+			bin = k
+		}
+	}
+	return bin, mag
+}
+
+// BandEnergy returns the total spectral energy of frame f within [lo, hi] Hz.
+func (s *Spectrogram) BandEnergy(f int, lo, hi float64) float64 {
+	if f < 0 || f >= len(s.Frames) {
+		return 0
+	}
+	kLo := FrequencyBin(lo, s.FFTSize, s.SampleRate)
+	kHi := FrequencyBin(hi, s.FFTSize, s.SampleRate)
+	if kHi >= len(s.Frames[f]) {
+		kHi = len(s.Frames[f]) - 1
+	}
+	var e float64
+	for k := kLo; k <= kHi; k++ {
+		e += s.Frames[f][k] * s.Frames[f][k]
+	}
+	return e
+}

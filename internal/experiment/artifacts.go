@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"voiceguard/internal/device"
+	"voiceguard/internal/geometry"
+	"voiceguard/internal/magnetics"
+	"voiceguard/internal/pca"
+	"voiceguard/internal/ranging"
+	"voiceguard/internal/soundfield"
+	"voiceguard/internal/trajectory"
+)
+
+// Fig6Point is one spectrogram ridge sample of the moving-phone pilot
+// tone (the paper's Fig. 6).
+type Fig6Point struct {
+	// TimeSec is the frame time.
+	TimeSec float64
+	// PeakHz is the pilot peak frequency in that frame.
+	PeakHz float64
+	// Magnitude is the peak magnitude.
+	Magnitude float64
+}
+
+// RunFig6 simulates the gesture's ranging capture and extracts the
+// pilot-band spectrogram ridge over time.
+func RunFig6(seed int64) ([]Fig6Point, error) {
+	u := trajectory.StandardUseCase(0.06)
+	rng := rand.New(rand.NewSource(seed))
+	capture, err := ranging.Simulate(ranging.DefaultChannel(), u.Duration(), u.DistanceAt, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6 capture: %w", err)
+	}
+	sp, err := ranging.SpectrogramOfCapture(capture)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6 spectrogram: %w", err)
+	}
+	var pts []Fig6Point
+	for f := 0; f < sp.NumFrames(); f += 4 {
+		bin, mag := sp.PeakBin(f, 16000, 24000)
+		if bin < 0 {
+			continue
+		}
+		pts = append(pts, Fig6Point{TimeSec: sp.FrameTime(f), PeakHz: sp.BinFreq(bin), Magnitude: mag})
+	}
+	return pts, nil
+}
+
+// Fig8Point is one PCA-projected sound-field feature point.
+type Fig8Point struct {
+	// Class is "mouth" or "earphone".
+	Class string
+	// PC1 and PC2 are the first two principal coordinates.
+	PC1, PC2 float64
+}
+
+// RunFig8 reproduces Fig. 8: PCA of mouth vs earphone sound-field feature
+// vectors.
+func RunFig8(seed int64, perClass int) ([]Fig8Point, error) {
+	if perClass <= 0 {
+		perClass = 40
+	}
+	rng := rand.New(rand.NewSource(seed))
+	collect := func(src soundfield.Source) ([][]float64, error) {
+		var out [][]float64
+		for i := 0; i < perClass; i++ {
+			ms, err := soundfield.Sweep(src, soundfield.DefaultSweep(0.06), rng)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, soundfield.FeatureVector(ms))
+		}
+		return out, nil
+	}
+	mouth, err := collect(soundfield.Mouth())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig8 mouth sweeps: %w", err)
+	}
+	ear, err := collect(soundfield.Earphone())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig8 earphone sweeps: %w", err)
+	}
+	all := append(append([][]float64{}, mouth...), ear...)
+	model, err := pca.Fit(all, 2)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig8 PCA: %w", err)
+	}
+	var pts []Fig8Point
+	for _, p := range model.ProjectAll(mouth) {
+		pts = append(pts, Fig8Point{Class: "mouth", PC1: p[0], PC2: p[1]})
+	}
+	for _, p := range model.ProjectAll(ear) {
+		pts = append(pts, Fig8Point{Class: "earphone", PC1: p[0], PC2: p[1]})
+	}
+	return pts, nil
+}
+
+// Fig10Point is one angle sample of the loudspeaker polar field plot.
+type Fig10Point struct {
+	// AngleDeg is the measurement bearing around the speaker.
+	AngleDeg float64
+	// FieldUT is the field magnitude in µT.
+	FieldUT float64
+}
+
+// RunFig10 sweeps a magnetometer around the Logitech LS21 (the paper's
+// Fig. 10 subject) at the given radius and returns the polar profile.
+func RunFig10(radiusM float64) []Fig10Point {
+	if radiusM <= 0 {
+		radiusM = 0.045
+	}
+	ls21 := device.Catalog()[0]
+	sources := ls21.FieldSources(geometry.Vec3{}, nil)
+	var pts []Fig10Point
+	for deg := 0; deg < 360; deg += 10 {
+		rad := float64(deg) * math.Pi / 180
+		p := geometry.Vec3{X: radiusM * math.Cos(rad), Y: radiusM * math.Sin(rad)}
+		var b geometry.Vec3
+		for _, src := range sources {
+			b = b.Add(src.FieldAt(p, 0))
+		}
+		pts = append(pts, Fig10Point{AngleDeg: float64(deg), FieldUT: b.Norm()})
+	}
+	return pts
+}
+
+// MaxField returns the maximum field magnitude of a polar profile, used
+// to check the 30–210 µT calibration claim.
+func MaxField(pts []Fig10Point) float64 {
+	var m float64
+	for _, p := range pts {
+		if p.FieldUT > m {
+			m = p.FieldUT
+		}
+	}
+	return m
+}
+
+// Fig13Point is one distance sample of the shielded-vs-bare field
+// comparison (the quantitative analog of the paper's Fig. 13 field-
+// distribution illustration).
+type Fig13Point struct {
+	// DistanceCM is the measurement distance from the speaker.
+	DistanceCM float64
+	// BareUT and ShieldedUT are the emitted field magnitudes in µT.
+	BareUT, ShieldedUT float64
+}
+
+// RunFig13 measures a representative speaker's field versus distance,
+// bare and inside a Mu-metal box (including the box's induced soft-iron
+// dipole, which keeps the shielded unit detectable up close).
+func RunFig13() []Fig13Point {
+	spk := device.Catalog()[0]
+	bare := magnetics.Dipole{Moment: geometry.Vec3{X: spk.MagnetMoment}}
+	geo := magnetics.DefaultGeomagnetic()
+	shielded := &magnetics.Shield{
+		Enclosed:      bare,
+		Attenuation:   magnetics.MuMetalAttenuation,
+		InducedMoment: 2e-4,
+		Ambient:       geo,
+	}
+	var pts []Fig13Point
+	for _, dcm := range []float64{2, 3, 4, 5, 6, 8, 10, 12, 14} {
+		p := geometry.Vec3{X: dcm / 100}
+		pts = append(pts, Fig13Point{
+			DistanceCM: dcm,
+			BareUT:     bare.FieldAt(p, 0).Norm(),
+			ShieldedUT: shielded.FieldAt(p, 0).Norm(),
+		})
+	}
+	return pts
+}
+
+// EnvironmentSummary describes an EMF environment's ambient statistics,
+// used by the Fig. 14 discussion.
+type EnvironmentSummary struct {
+	// Kind is the environment.
+	Kind magnetics.EnvironmentKind
+	// MeanUT and SwingUT summarize two seconds of ambient magnitude.
+	MeanUT, SwingUT float64
+}
+
+// SummarizeEnvironments reports ambient statistics for all environments.
+func SummarizeEnvironments(seed int64) ([]EnvironmentSummary, error) {
+	var out []EnvironmentSummary
+	for _, kind := range []magnetics.EnvironmentKind{
+		magnetics.EnvQuiet, magnetics.EnvNearComputer, magnetics.EnvCar,
+	} {
+		tr, err := AmbientTrace(kind, seed)
+		if err != nil {
+			return nil, err
+		}
+		mags := tr.Magnitudes()
+		var mean, lo, hi float64
+		lo, hi = mags[0], mags[0]
+		for _, v := range mags {
+			mean += v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		out = append(out, EnvironmentSummary{
+			Kind:    kind,
+			MeanUT:  mean / float64(len(mags)),
+			SwingUT: hi - lo,
+		})
+	}
+	return out, nil
+}

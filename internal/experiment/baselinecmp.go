@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/audio"
+	"voiceguard/internal/baseline"
+	"voiceguard/internal/speech"
+	"voiceguard/internal/stats"
+)
+
+// BaselineRow compares one defense against the replay attack battery.
+type BaselineRow struct {
+	// Defense names the approach.
+	Defense string
+	// EERPercent is the equal error rate over the trial set.
+	EERPercent float64
+	// FARPercent is the FAR at the zero-FRR operating point.
+	FARPercent float64
+	// Trials is the per-class population.
+	Trials int
+}
+
+// String implements fmt.Stringer.
+func (r BaselineRow) String() string {
+	return fmt.Sprintf("%-32s EER %5.1f%%  FAR@zeroFRR %5.1f%%  (%d trials/class)",
+		r.Defense, r.EERPercent, r.FARPercent, r.Trials)
+}
+
+// RunBaselineComparison contrasts the §II acoustic-only replay detector
+// with VoiceGuard's physical stages on the same replay scenario at the
+// operating distance — the quantitative version of the paper's argument
+// that spectral countermeasures are not enough.
+func RunBaselineComparison(seed int64) ([]BaselineRow, error) {
+	const trials = 25
+
+	// --- Acoustic-only baseline: train on one population, test on a
+	// disjoint one (same speakers would be too easy).
+	rng := rand.New(rand.NewSource(seed))
+	mkPair := func() (*audio.Signal, *audio.Signal, error) {
+		p := speech.RandomProfile("spk", rng)
+		synth, err := speech.NewSynthesizer(p, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		utt, err := synth.SayDigits(DefaultPassphrase)
+		if err != nil {
+			return nil, nil, err
+		}
+		ch := speech.Channel{Gain: 0.8, NoiseRMS: 0.003, LowCut: 90, HighCut: 7200}
+		live := ch.Apply(utt, rng)
+		replayed := attack.PlaybackColoration(ch.Apply(utt, rng), rng)
+		return live, replayed, nil
+	}
+	var liveTrain, repTrain []*audio.Signal
+	for i := 0; i < 30; i++ {
+		l, r, err := mkPair()
+		if err != nil {
+			return nil, err
+		}
+		liveTrain = append(liveTrain, l)
+		repTrain = append(repTrain, r)
+	}
+	det, err := baseline.Train(liveTrain, repTrain, seed)
+	if err != nil {
+		return nil, err
+	}
+	acousticScores := &stats.ScoreSet{}
+	for i := 0; i < trials; i++ {
+		l, r, err := mkPair()
+		if err != nil {
+			return nil, err
+		}
+		ls, err := det.Score(l)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := det.Score(r)
+		if err != nil {
+			return nil, err
+		}
+		acousticScores.Add(ls, true)
+		acousticScores.Add(rs, false)
+	}
+
+	// --- VoiceGuard physical stages on full replay sessions.
+	sys, err := machineSystem(seed)
+	if err != nil {
+		return nil, err
+	}
+	victims := victimRoster(seed)
+	recs, err := recordingsFor(victims, DefaultPassphrase, seed)
+	if err != nil {
+		return nil, err
+	}
+	physScores := &stats.ScoreSet{}
+	speakers := SpeakerSubset(1)
+	trialSeed := seed + 1000
+	for i := 0; i < trials; i++ {
+		trialSeed++
+		v := victims[i%len(victims)]
+		g, err := attack.Genuine(v, attack.Scenario{Distance: 0.06, Seed: trialSeed})
+		if err != nil {
+			return nil, err
+		}
+		score, _, err := runTrial(sys, g)
+		if err != nil {
+			return nil, err
+		}
+		physScores.Add(score, true)
+
+		trialSeed++
+		spk := speakers[i%len(speakers)]
+		a, err := attack.Replay(recs[v.Name].audio, spk, attack.Scenario{Distance: 0.06, Seed: trialSeed})
+		if err != nil {
+			return nil, err
+		}
+		score, _, err = runTrial(sys, a)
+		if err != nil {
+			return nil, err
+		}
+		physScores.Add(score, false)
+	}
+
+	rows := make([]BaselineRow, 0, 2)
+	for _, c := range []struct {
+		name   string
+		scores *stats.ScoreSet
+	}{
+		{"acoustic-only (channel noise)", acousticScores},
+		{"voiceguard physical stages", physScores},
+	} {
+		eer, _ := c.scores.EER()
+		th := minFloat(c.scores.Genuine)
+		rows = append(rows, BaselineRow{
+			Defense:    c.name,
+			EERPercent: 100 * eer,
+			FARPercent: 100 * c.scores.FAR(th),
+			Trials:     trials,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,297 @@
+package experiment
+
+import (
+	"fmt"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/core"
+	"voiceguard/internal/device"
+	"voiceguard/internal/magnetics"
+	"voiceguard/internal/soundfield"
+)
+
+// BatteryRow is one loudspeaker's detection outcome (Table IV battery).
+type BatteryRow struct {
+	// Speaker identifies the unit.
+	Speaker device.Loudspeaker
+	// Detected reports whether the pipeline rejected the replay.
+	Detected bool
+	// FailedStage is the cascade stage that caught it first.
+	FailedStage core.Stage
+	// MagneticHit reports whether the loudspeaker-detection stage alone
+	// would also have caught it (the cascade may reject earlier).
+	MagneticHit bool
+	// Swing is the measured magnetic swing in µT.
+	Swing float64
+}
+
+// String implements fmt.Stringer.
+func (r BatteryRow) String() string {
+	verdict := "MISSED"
+	if r.Detected {
+		verdict = fmt.Sprintf("detected at %v", r.FailedStage)
+	}
+	mag := "mag:no "
+	if r.MagneticHit {
+		mag = "mag:yes"
+	}
+	return fmt.Sprintf("%-45s %-20s swing %6.1f µT  %s  %s",
+		r.Speaker.Maker+" "+r.Speaker.Model, r.Speaker.Class, r.Swing, mag, verdict)
+}
+
+// RunSpeakerBattery replays through every cataloged loudspeaker at the
+// paper's operating distance and reports per-unit detection — the result
+// behind Table IV's claim that all 25 units are caught.
+func RunSpeakerBattery(seed int64) ([]BatteryRow, error) {
+	sys, err := machineSystem(seed)
+	if err != nil {
+		return nil, err
+	}
+	victims := victimRoster(seed)
+	recs, err := recordingsFor(victims, DefaultPassphrase, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BatteryRow
+	for i, spk := range device.Catalog() {
+		rec := recs[victims[i%len(victims)].Name]
+		s, err := attack.Replay(rec.audio, spk, attack.Scenario{
+			Distance: 0.05,
+			Seed:     seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: battery replay via %s: %w", spk.Model, err)
+		}
+		d, err := sys.Verify(s)
+		if err != nil {
+			return nil, err
+		}
+		magResult := core.NewLoudspeakerDetector().Verify(s.Gesture.Mag)
+		rows = append(rows, BatteryRow{
+			Speaker:     spk,
+			Detected:    !d.Accepted,
+			FailedStage: d.FailedStage,
+			MagneticHit: !magResult.Pass,
+			Swing:       core.Measure(s.Gesture.Mag).Swing,
+		})
+	}
+	return rows, nil
+}
+
+// TubeRow is one sound-tube attack outcome (§VII).
+type TubeRow struct {
+	// Tube is the attack hardware.
+	Tube *soundfield.Tube
+	// Rejected reports whether the attack failed.
+	Rejected bool
+	// FailedStage is the stage that caught it.
+	FailedStage core.Stage
+}
+
+// String implements fmt.Stringer.
+func (r TubeRow) String() string {
+	verdict := "BROKE THROUGH"
+	if r.Rejected {
+		verdict = fmt.Sprintf("rejected at %v", r.FailedStage)
+	}
+	return fmt.Sprintf("%-20s %s", r.Tube.Name(), verdict)
+}
+
+// RunSoundTube evaluates the §VII sound-tube attacks across tube sizes.
+func RunSoundTube(seed int64) ([]TubeRow, error) {
+	sys, err := machineSystem(seed)
+	if err != nil {
+		return nil, err
+	}
+	victims := victimRoster(seed)
+	recs, err := recordingsFor(victims[:1], DefaultPassphrase, seed)
+	if err != nil {
+		return nil, err
+	}
+	rec := recs[victims[0].Name]
+	spk := device.Catalog()[0]
+	tubes := []*soundfield.Tube{
+		{OpeningRadius: 0.008, Length: 0.18, LevelAt1m: 62},
+		{OpeningRadius: 0.010, Length: 0.22, LevelAt1m: 62},
+		{OpeningRadius: 0.012, Length: 0.28, LevelAt1m: 62},
+		{OpeningRadius: 0.015, Length: 0.33, LevelAt1m: 62},
+		{OpeningRadius: 0.018, Length: 0.38, LevelAt1m: 62},
+		{OpeningRadius: 0.020, Length: 0.42, LevelAt1m: 62},
+	}
+	var rows []TubeRow
+	for i, tube := range tubes {
+		s, err := attack.SoundTube(rec.audio, spk, tube, attack.Scenario{Seed: seed + int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: tube attack %s: %w", tube.Name(), err)
+		}
+		d, err := sys.Verify(s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TubeRow{Tube: tube, Rejected: !d.Accepted, FailedStage: d.FailedStage})
+	}
+	return rows, nil
+}
+
+// UnconventionalRow is one §VII unconventional-speaker outcome.
+type UnconventionalRow struct {
+	// Speaker is the unit under test.
+	Speaker device.Loudspeaker
+	// Rejected reports whether the replay failed.
+	Rejected bool
+	// FailedStage is the stage that caught it.
+	FailedStage core.Stage
+}
+
+// String implements fmt.Stringer.
+func (r UnconventionalRow) String() string {
+	verdict := "BROKE THROUGH"
+	if r.Rejected {
+		verdict = fmt.Sprintf("rejected at %v", r.FailedStage)
+	}
+	return fmt.Sprintf("%-35s %s", r.Speaker.Maker+" "+r.Speaker.Model, verdict)
+}
+
+// RunUnconventional evaluates the electrostatic and piezoelectric
+// speakers of §VII: the ESL has no magnet but a huge radiating panel
+// (sound field catches it, and its grids still disturb the field up
+// close); the piezo has no magnetic signature at all and must be caught
+// by the sound-field stage.
+func RunUnconventional(seed int64) ([]UnconventionalRow, error) {
+	sys, err := machineSystem(seed)
+	if err != nil {
+		return nil, err
+	}
+	victims := victimRoster(seed)
+	recs, err := recordingsFor(victims[:1], DefaultPassphrase, seed)
+	if err != nil {
+		return nil, err
+	}
+	rec := recs[victims[0].Name]
+	var rows []UnconventionalRow
+	for i, spk := range []device.Loudspeaker{device.Electrostatic(), device.Piezoelectric()} {
+		s, err := attack.Replay(rec.audio, spk, attack.Scenario{Seed: seed + int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: unconventional replay: %w", err)
+		}
+		d, err := sys.Verify(s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, UnconventionalRow{Speaker: spk, Rejected: !d.Accepted, FailedStage: d.FailedStage})
+	}
+	return rows, nil
+}
+
+// AdaptiveRow compares fixed vs calibrated thresholds in one environment.
+type AdaptiveRow struct {
+	// Environment is the ambient scene.
+	Environment magnetics.EnvironmentKind
+	// Adaptive reports whether §VII calibration was applied.
+	Adaptive bool
+	// Rates holds the resulting FAR/FRR/EER at 6 cm.
+	Rates Rates
+}
+
+// String implements fmt.Stringer.
+func (r AdaptiveRow) String() string {
+	mode := "fixed   "
+	if r.Adaptive {
+		mode = "adaptive"
+	}
+	return fmt.Sprintf("%-14s %s: %v", r.Environment, mode, r.Rates)
+}
+
+// RunAdaptiveThresholding contrasts the fixed-threshold detector with the
+// §VII adaptive calibration in the high-EMF environments.
+func RunAdaptiveThresholding(seed int64) ([]AdaptiveRow, error) {
+	var rows []AdaptiveRow
+	for _, env := range []magnetics.EnvironmentKind{magnetics.EnvNearComputer, magnetics.EnvCar} {
+		for _, adaptive := range []bool{false, true} {
+			sys, err := machineSystem(seed)
+			if err != nil {
+				return nil, err
+			}
+			if adaptive {
+				amb, err := AmbientTrace(env, seed)
+				if err != nil {
+					return nil, err
+				}
+				sys.CalibrateEnvironment(amb)
+			}
+			rates, err := ratesAtDistance(sys, env, 0.06, seed)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AdaptiveRow{Environment: env, Adaptive: adaptive, Rates: rates})
+		}
+	}
+	return rows, nil
+}
+
+// RunAblation evaluates a custom stage configuration at one distance in
+// the quiet environment — the harness behind the DESIGN.md §5 ablation
+// benches.
+func RunAblation(cfg core.SystemConfig, dist float64, seed int64) (Rates, error) {
+	if cfg.FieldSeed == 0 {
+		cfg.FieldSeed = seed
+	}
+	sys, err := core.BuildSystem(cfg)
+	if err != nil {
+		return Rates{}, err
+	}
+	return ratesAtDistance(sys, magnetics.EnvQuiet, dist, seed)
+}
+
+// ratesAtDistance evaluates a system at a single distance in one
+// environment.
+func ratesAtDistance(sys *core.System, env magnetics.EnvironmentKind, dist float64, seed int64) (Rates, error) {
+	victims := victimRoster(seed)
+	recs, err := recordingsFor(victims, DefaultPassphrase, seed)
+	if err != nil {
+		return Rates{}, err
+	}
+	scores := newScoreSet()
+	var genAccept, genTotal, attAccept, attTotal int
+	trialSeed := seed
+	for _, v := range victims {
+		for k := 0; k < 3; k++ {
+			trialSeed++
+			s, err := attack.Genuine(v, attack.Scenario{
+				Environment: env, Distance: dist, Seed: trialSeed,
+			})
+			if err != nil {
+				return Rates{}, err
+			}
+			score, ok, err := runTrial(sys, s)
+			if err != nil {
+				return Rates{}, err
+			}
+			scores.Add(score, true)
+			genTotal++
+			if ok {
+				genAccept++
+			}
+		}
+	}
+	for i, spk := range SpeakerSubset(2) {
+		trialSeed++
+		rec := recs[victims[i%len(victims)].Name]
+		s, err := attack.Replay(rec.audio, spk, attack.Scenario{
+			Environment: env, Distance: dist, Seed: trialSeed,
+		})
+		if err != nil {
+			return Rates{}, err
+		}
+		score, ok, err := runTrial(sys, s)
+		if err != nil {
+			return Rates{}, err
+		}
+		scores.Add(score, false)
+		attTotal++
+		if ok {
+			attAccept++
+		}
+	}
+	return ratesFrom(scores, genAccept, genTotal, attAccept, attTotal), nil
+}

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/core"
+	"voiceguard/internal/magnetics"
+	"voiceguard/internal/stats"
+)
+
+// DistanceSweepConfig parameterizes the Fig. 12 / Fig. 14 experiments.
+type DistanceSweepConfig struct {
+	// DistancesCM are the true sound-source distances to test; the paper
+	// uses 4–14 cm in 2 cm steps.
+	DistancesCM []float64
+	// Environment selects the ambient EMF scene.
+	Environment magnetics.EnvironmentKind
+	// Shielded wraps every attack loudspeaker in Mu-metal (Fig. 12b).
+	Shielded bool
+	// GenuinePerSpeaker is the number of genuine trials per victim
+	// (5 victims).
+	GenuinePerSpeaker int
+	// SpeakerStride thins the 25-speaker catalog (1 = all 25).
+	SpeakerStride int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *DistanceSweepConfig) setDefaults() {
+	if len(c.DistancesCM) == 0 {
+		c.DistancesCM = []float64{4, 6, 8, 10, 12, 14}
+	}
+	if c.Environment == 0 {
+		c.Environment = magnetics.EnvQuiet
+	}
+	if c.GenuinePerSpeaker == 0 {
+		c.GenuinePerSpeaker = 3
+	}
+	if c.SpeakerStride == 0 {
+		c.SpeakerStride = 1
+	}
+}
+
+// DistanceRow is one row of the Fig. 12/14 bar charts.
+type DistanceRow struct {
+	// DistanceCM is the true source distance in centimeters.
+	DistanceCM float64
+	// Rates holds FAR/FRR/EER for this distance.
+	Rates Rates
+	// GenuineTrials and AttackTrials count the cell's population.
+	GenuineTrials, AttackTrials int
+}
+
+// String implements fmt.Stringer.
+func (r DistanceRow) String() string {
+	return fmt.Sprintf("%2.0f cm: %v  (%d genuine, %d attack)",
+		r.DistanceCM, r.Rates, r.GenuineTrials, r.AttackTrials)
+}
+
+// RunDistanceSweep evaluates the anti-spoofing subsystem across source
+// distances, reproducing Fig. 12(a) (quiet), Fig. 12(b) (Shielded),
+// Fig. 14(a) (EnvNearComputer) and Fig. 14(b) (EnvCar).
+func RunDistanceSweep(cfg DistanceSweepConfig) ([]DistanceRow, error) {
+	cfg.setDefaults()
+	sys, err := machineSystem(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Environment != magnetics.EnvQuiet {
+		// §VII adaptive thresholding: calibrate against the ambient
+		// environment before the sweep, as the deployed system would.
+		amb, err := AmbientTrace(cfg.Environment, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sys.CalibrateEnvironment(amb)
+	}
+	victims := victimRoster(cfg.Seed)
+	recs, err := recordingsFor(victims, DefaultPassphrase, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	speakers := SpeakerSubset(cfg.SpeakerStride)
+
+	var rows []DistanceRow
+	trialSeed := cfg.Seed
+	for _, dcm := range cfg.DistancesCM {
+		dist := dcm / 100
+		scores := &stats.ScoreSet{}
+		var genAccept, genTotal, attAccept, attTotal int
+
+		for _, v := range victims {
+			for k := 0; k < cfg.GenuinePerSpeaker; k++ {
+				trialSeed++
+				s, err := attack.Genuine(v, attack.Scenario{
+					Environment: cfg.Environment,
+					Distance:    dist,
+					Passphrase:  DefaultPassphrase,
+					Seed:        trialSeed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiment: genuine trial: %w", err)
+				}
+				score, ok, err := runTrial(sys, s)
+				if err != nil {
+					return nil, err
+				}
+				scores.Add(score, true)
+				genTotal++
+				if ok {
+					genAccept++
+				}
+			}
+		}
+		for i, spk := range speakers {
+			rec := recs[victims[i%len(victims)].Name]
+			trialSeed++
+			sc := attack.Scenario{
+				Environment: cfg.Environment,
+				Distance:    dist,
+				Passphrase:  DefaultPassphrase,
+				Seed:        trialSeed,
+			}
+			var s *core.SessionData
+			var err error
+			if cfg.Shielded {
+				s, err = attack.ShieldedReplay(rec.audio, spk, sc)
+			} else {
+				s, err = attack.Replay(rec.audio, spk, sc)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("experiment: replay trial via %s: %w", spk.Model, err)
+			}
+			score, ok, err := runTrial(sys, s)
+			if err != nil {
+				return nil, err
+			}
+			scores.Add(score, false)
+			attTotal++
+			if ok {
+				attAccept++
+			}
+		}
+		rows = append(rows, DistanceRow{
+			DistanceCM:    dcm,
+			Rates:         ratesFrom(scores, genAccept, genTotal, attAccept, attTotal),
+			GenuineTrials: genTotal,
+			AttackTrials:  attTotal,
+		})
+	}
+	return rows, nil
+}

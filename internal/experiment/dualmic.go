@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"voiceguard/internal/core"
+	"voiceguard/internal/soundfield"
+)
+
+// DualMicRow compares the single-mic full sweep against the §VII
+// dual-mic short sweep for one source type.
+type DualMicRow struct {
+	// SourceName identifies the tested sound source.
+	SourceName string
+	// IsMouth marks the genuine class.
+	IsMouth bool
+	// SingleAccept and DualAccept are acceptance rates in [0, 1] under
+	// the two verifier variants.
+	SingleAccept, DualAccept float64
+	// Trials is the per-cell population.
+	Trials int
+}
+
+// String implements fmt.Stringer.
+func (r DualMicRow) String() string {
+	class := "machine"
+	if r.IsMouth {
+		class = "mouth  "
+	}
+	return fmt.Sprintf("%-22s %s  single-mic accept %4.0f%%  dual-mic accept %4.0f%%  (%d trials)",
+		r.SourceName, class, 100*r.SingleAccept, 100*r.DualAccept, r.Trials)
+}
+
+// RunDualMic evaluates the §VII dual-microphone extension: the shortened
+// sweep plus SLD features against the full single-mic sweep, per source.
+func RunDualMic(seed int64) ([]DualMicRow, error) {
+	mouthS, machineS, err := core.DefaultSoundFieldTraining(seed)
+	if err != nil {
+		return nil, err
+	}
+	single, err := core.TrainSoundFieldVerifier(mouthS, machineS, seed)
+	if err != nil {
+		return nil, err
+	}
+	mouthD, machineD, err := core.DefaultDualMicTraining(seed)
+	if err != nil {
+		return nil, err
+	}
+	dual, err := core.TrainDualMicVerifier(mouthD, machineD, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed + 7))
+	const trials = 20
+	sources := []struct {
+		src     soundfield.Source
+		isMouth bool
+	}{
+		{soundfield.Mouth(), true},
+		{soundfield.Earphone(), false},
+		{soundfield.ConeSpeaker("pc-cone", 0.04), false},
+		{&soundfield.Tube{OpeningRadius: 0.015, Length: 0.33, LevelAt1m: 62}, false},
+		{soundfield.Electrostatic(), false},
+	}
+	var rows []DualMicRow
+	for _, s := range sources {
+		var singleAccepts, dualAccepts int
+		for k := 0; k < trials; k++ {
+			ms, err := soundfield.Sweep(s.src, soundfield.DefaultSweep(0.06), rng)
+			if err != nil {
+				return nil, err
+			}
+			if single.Verify(ms).Pass {
+				singleAccepts++
+			}
+			ds, err := soundfield.DualMicSweep(s.src, soundfield.DefaultDualMic(0.06), rng)
+			if err != nil {
+				return nil, err
+			}
+			if dual.Verify(ds).Pass {
+				dualAccepts++
+			}
+		}
+		rows = append(rows, DualMicRow{
+			SourceName:   s.src.Name(),
+			IsMouth:      s.isMouth,
+			SingleAccept: float64(singleAccepts) / trials,
+			DualAccept:   float64(dualAccepts) / trials,
+			Trials:       trials,
+		})
+	}
+	return rows, nil
+}

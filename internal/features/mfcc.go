@@ -1,0 +1,282 @@
+// Package features extracts the spectral features the ASV back-end
+// consumes: mel-frequency cepstral coefficients with log-energy, delta
+// coefficients and cepstral mean/variance normalization — the standard
+// front-end of the Spear toolchains the paper builds on.
+package features
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/dsp"
+)
+
+// MFCCConfig configures the MFCC front-end. The zero value is not valid;
+// use DefaultMFCCConfig.
+type MFCCConfig struct {
+	// FrameLength is the analysis window in seconds.
+	FrameLength float64
+	// FrameShift is the hop in seconds.
+	FrameShift float64
+	// NumFilters is the mel filterbank size.
+	NumFilters int
+	// NumCoeffs is the number of cepstral coefficients kept (excluding C0;
+	// log-energy is appended separately).
+	NumCoeffs int
+	// LowFreq and HighFreq bound the filterbank in Hz. HighFreq 0 means
+	// Nyquist.
+	LowFreq, HighFreq float64
+	// PreEmphasis is the pre-emphasis coefficient (0 disables).
+	PreEmphasis float64
+	// Deltas appends first-order delta coefficients.
+	Deltas bool
+	// CMVN applies per-utterance cepstral mean/variance normalization.
+	CMVN bool
+}
+
+// DefaultMFCCConfig returns the standard 19-coefficient + energy setup
+// used by Spear's GMM/ISV toolchains.
+func DefaultMFCCConfig() MFCCConfig {
+	return MFCCConfig{
+		FrameLength: 0.025,
+		FrameShift:  0.010,
+		NumFilters:  24,
+		NumCoeffs:   19,
+		LowFreq:     60,
+		HighFreq:    0,
+		PreEmphasis: 0.97,
+		Deltas:      true,
+		CMVN:        true,
+	}
+}
+
+func (c *MFCCConfig) validate(rate float64) error {
+	switch {
+	case c.FrameLength <= 0 || c.FrameShift <= 0:
+		return fmt.Errorf("features: frame length %v / shift %v must be positive", c.FrameLength, c.FrameShift)
+	case c.NumFilters < 2:
+		return fmt.Errorf("features: need at least 2 mel filters, have %d", c.NumFilters)
+	case c.NumCoeffs < 1 || c.NumCoeffs >= c.NumFilters:
+		return fmt.Errorf("features: NumCoeffs %d must be in [1, NumFilters)", c.NumCoeffs)
+	case c.LowFreq < 0 || (c.HighFreq != 0 && c.HighFreq <= c.LowFreq):
+		return fmt.Errorf("features: bad band [%v, %v]", c.LowFreq, c.HighFreq)
+	case c.HighFreq > rate/2:
+		return fmt.Errorf("features: HighFreq %v above Nyquist %v", c.HighFreq, rate/2)
+	}
+	return nil
+}
+
+// ErrTooShort is returned when the utterance has fewer than two frames.
+var ErrTooShort = errors.New("features: utterance too short for analysis")
+
+// MelScale converts Hz to mel.
+func MelScale(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// InvMelScale converts mel to Hz.
+func InvMelScale(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// Extract computes the MFCC matrix for the signal: one row per frame.
+// Row layout: [c1..cN, logE] plus deltas of the same when cfg.Deltas.
+func Extract(s *audio.Signal, cfg MFCCConfig) ([][]float64, error) {
+	if err := cfg.validate(s.Rate); err != nil {
+		return nil, err
+	}
+	frameLen := int(cfg.FrameLength * s.Rate)
+	frameShift := int(cfg.FrameShift * s.Rate)
+	samples := s.Samples
+	if cfg.PreEmphasis > 0 {
+		samples = audio.PreEmphasis(samples, cfg.PreEmphasis)
+	}
+	frames := audio.Frame(samples, frameLen, frameShift)
+	if len(frames) < 2 {
+		return nil, ErrTooShort
+	}
+	fftSize := dsp.NextPow2(frameLen)
+	high := cfg.HighFreq
+	if high == 0 {
+		high = s.Rate / 2
+	}
+	bank := melFilterbank(cfg.NumFilters, fftSize, s.Rate, cfg.LowFreq, high)
+	win := dsp.WindowHamming.Coefficients(frameLen)
+	dct := dctMatrix(cfg.NumCoeffs, cfg.NumFilters)
+
+	base := make([][]float64, len(frames))
+	buf := make([]complex128, fftSize)
+	logFB := make([]float64, cfg.NumFilters)
+	for fi, frame := range frames {
+		for i := 0; i < frameLen; i++ {
+			buf[i] = complex(frame[i]*win[i], 0)
+		}
+		for i := frameLen; i < fftSize; i++ {
+			buf[i] = 0
+		}
+		spec := dsp.FFT(buf)
+		power := dsp.PowerSpectrum(spec[:fftSize/2+1])
+		var energy float64
+		for _, v := range frame {
+			energy += v * v
+		}
+		logE := math.Log(energy + 1e-12)
+
+		for m, filt := range bank {
+			var acc float64
+			for _, tap := range filt {
+				acc += power[tap.bin] * tap.weight
+			}
+			logFB[m] = math.Log(acc + 1e-12)
+		}
+		row := make([]float64, cfg.NumCoeffs+1)
+		for k := 0; k < cfg.NumCoeffs; k++ {
+			var acc float64
+			for m := 0; m < cfg.NumFilters; m++ {
+				acc += dct[k][m] * logFB[m]
+			}
+			row[k] = acc
+		}
+		row[cfg.NumCoeffs] = logE
+		base[fi] = row
+	}
+	out := base
+	if cfg.Deltas {
+		deltas := Deltas(base, 2)
+		out = make([][]float64, len(base))
+		for i := range base {
+			row := make([]float64, 0, 2*len(base[i]))
+			row = append(row, base[i]...)
+			row = append(row, deltas[i]...)
+			out[i] = row
+		}
+	}
+	if cfg.CMVN {
+		ApplyCMVN(out)
+	}
+	return out, nil
+}
+
+// filterTap is one (bin, weight) entry of a triangular mel filter.
+type filterTap struct {
+	bin    int
+	weight float64
+}
+
+// melFilterbank builds numFilters triangular filters spanning [low, high]
+// Hz over an fftSize-point spectrum.
+func melFilterbank(numFilters, fftSize int, rate, low, high float64) [][]filterTap {
+	mLow := MelScale(low)
+	mHigh := MelScale(high)
+	centers := make([]float64, numFilters+2)
+	for i := range centers {
+		mel := mLow + (mHigh-mLow)*float64(i)/float64(numFilters+1)
+		centers[i] = InvMelScale(mel)
+	}
+	toBin := func(hz float64) float64 { return hz * float64(fftSize) / rate }
+	bank := make([][]filterTap, numFilters)
+	for m := 0; m < numFilters; m++ {
+		lo, mid, hi := toBin(centers[m]), toBin(centers[m+1]), toBin(centers[m+2])
+		var taps []filterTap
+		for b := int(math.Ceil(lo)); b <= int(math.Floor(hi)) && b <= fftSize/2; b++ {
+			fb := float64(b)
+			var w float64
+			switch {
+			case fb < mid && mid > lo:
+				w = (fb - lo) / (mid - lo)
+			case fb >= mid && hi > mid:
+				w = (hi - fb) / (hi - mid)
+			}
+			if w > 0 {
+				taps = append(taps, filterTap{bin: b, weight: w})
+			}
+		}
+		bank[m] = taps
+	}
+	return bank
+}
+
+// dctMatrix returns the DCT-II basis rows 1..numCoeffs (row 0, the DC
+// term, is skipped as usual for MFCCs).
+func dctMatrix(numCoeffs, numFilters int) [][]float64 {
+	m := make([][]float64, numCoeffs)
+	norm := math.Sqrt(2 / float64(numFilters))
+	for k := 0; k < numCoeffs; k++ {
+		row := make([]float64, numFilters)
+		for n := 0; n < numFilters; n++ {
+			row[n] = norm * math.Cos(math.Pi*float64(k+1)*(float64(n)+0.5)/float64(numFilters))
+		}
+		m[k] = row
+	}
+	return m
+}
+
+// Deltas computes first-order regression deltas with the given window
+// half-width over a feature matrix.
+func Deltas(feats [][]float64, width int) [][]float64 {
+	n := len(feats)
+	if n == 0 {
+		return nil
+	}
+	dim := len(feats[0])
+	var denom float64
+	for w := 1; w <= width; w++ {
+		denom += 2 * float64(w*w)
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			var num float64
+			for w := 1; w <= width; w++ {
+				lo := i - w
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + w
+				if hi >= n {
+					hi = n - 1
+				}
+				num += float64(w) * (feats[hi][d] - feats[lo][d])
+			}
+			row[d] = num / denom
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// ApplyCMVN normalizes each feature dimension to zero mean and unit
+// variance in place.
+func ApplyCMVN(feats [][]float64) {
+	if len(feats) == 0 {
+		return
+	}
+	dim := len(feats[0])
+	mean := make([]float64, dim)
+	for _, row := range feats {
+		for d, v := range row {
+			mean[d] += v
+		}
+	}
+	n := float64(len(feats))
+	for d := range mean {
+		mean[d] /= n
+	}
+	variance := make([]float64, dim)
+	for _, row := range feats {
+		for d, v := range row {
+			diff := v - mean[d]
+			variance[d] += diff * diff
+		}
+	}
+	for d := range variance {
+		variance[d] /= n
+		if variance[d] < 1e-12 {
+			variance[d] = 1e-12
+		}
+	}
+	for _, row := range feats {
+		for d := range row {
+			row[d] = (row[d] - mean[d]) / math.Sqrt(variance[d])
+		}
+	}
+}

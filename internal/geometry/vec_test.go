@@ -1,0 +1,129 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestVec2Basics(t *testing.T) {
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"norm 3-4-5", Vec2{3, 4}.Norm(), 5},
+		{"dot orthogonal", Vec2{1, 0}.Dot(Vec2{0, 1}), 0},
+		{"dot parallel", Vec2{2, 3}.Dot(Vec2{2, 3}), 13},
+		{"cross unit", Vec2{1, 0}.Cross(Vec2{0, 1}), 1},
+		{"cross anti", Vec2{0, 1}.Cross(Vec2{1, 0}), -1},
+		{"dist", Vec2{1, 1}.Dist(Vec2{4, 5}), 5},
+		{"angle x-axis", Vec2{1, 0}.Angle(), 0},
+		{"angle y-axis", Vec2{0, 2}.Angle(), math.Pi / 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !almostEq(tt.got, tt.want, eps) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVec2AddSubScale(t *testing.T) {
+	v := Vec2{1, 2}
+	w := Vec2{-3, 4}
+	if got := v.Add(w); got != (Vec2{-2, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec2{4, -2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2.5); got != (Vec2{2.5, 5}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestVec2RotatePreservesNorm(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(theta, 0) {
+			return true
+		}
+		// Constrain magnitudes so float error stays bounded.
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		theta = math.Mod(theta, 2*math.Pi)
+		v := Vec2{x, y}
+		r := v.Rotate(theta)
+		return almostEq(v.Norm(), r.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec2RotateRoundTrip(t *testing.T) {
+	v := Vec2{3, -7}
+	got := v.Rotate(1.234).Rotate(-1.234)
+	if !almostEq(got.X, v.X, 1e-12) || !almostEq(got.Y, v.Y, 1e-12) {
+		t.Errorf("round trip = %v, want %v", got, v)
+	}
+}
+
+func TestVec2NormalizeZero(t *testing.T) {
+	if got := (Vec2{}).Normalize(); got != (Vec2{}) {
+		t.Errorf("Normalize(0) = %v, want zero vector", got)
+	}
+	u := Vec2{5, 12}.Normalize()
+	if !almostEq(u.Norm(), 1, eps) {
+		t.Errorf("unit norm = %v", u.Norm())
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	c := v.Cross(w)
+	want := Vec3{-3, 6, -3}
+	if c != want {
+		t.Errorf("Cross = %v, want %v", c, want)
+	}
+	// Cross product is orthogonal to both inputs.
+	if !almostEq(c.Dot(v), 0, eps) || !almostEq(c.Dot(w), 0, eps) {
+		t.Errorf("cross not orthogonal: %v, %v", c.Dot(v), c.Dot(w))
+	}
+	if !almostEq(Vec3{2, 3, 6}.Norm(), 7, eps) {
+		t.Error("Vec3 norm")
+	}
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize(0) = %v", got)
+	}
+}
+
+func TestVec3CrossAnticommutative(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		for _, v := range []float64{ax, ay, az, bx, by, bz} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := Vec3{math.Mod(ax, 1e3), math.Mod(ay, 1e3), math.Mod(az, 1e3)}
+		b := Vec3{math.Mod(bx, 1e3), math.Mod(by, 1e3), math.Mod(bz, 1e3)}
+		c1 := a.Cross(b)
+		c2 := b.Cross(a).Scale(-1)
+		return c1 == c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

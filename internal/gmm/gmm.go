@@ -1,0 +1,391 @@
+// Package gmm implements the speaker-verification back-end the paper
+// adopts from the Spear toolbox: diagonal-covariance Gaussian mixture
+// models trained by EM, a universal background model (UBM), MAP-adapted
+// speaker models with log-likelihood-ratio scoring, and a simplified
+// inter-session variability (ISV) back-end that compensates session
+// effects in GMM mean-supervector space.
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GMM is a mixture of diagonal-covariance Gaussians.
+type GMM struct {
+	// Weights are the mixture weights (sum to 1).
+	Weights []float64
+	// Means holds one mean vector per component.
+	Means [][]float64
+	// Vars holds the per-dimension variances per component.
+	Vars [][]float64
+
+	// logNorm caches the per-component Gaussian normalization constants.
+	logNorm []float64
+}
+
+// NumComponents returns the mixture size.
+func (g *GMM) NumComponents() int { return len(g.Weights) }
+
+// Dim returns the feature dimensionality.
+func (g *GMM) Dim() int {
+	if len(g.Means) == 0 {
+		return 0
+	}
+	return len(g.Means[0])
+}
+
+// varFloor keeps variances strictly positive during EM.
+const varFloor = 1e-4
+
+// ErrBadTrainingData is returned when training data is insufficient.
+var ErrBadTrainingData = errors.New("gmm: insufficient or inconsistent training data")
+
+// TrainConfig controls EM training.
+type TrainConfig struct {
+	// Components is the mixture size.
+	Components int
+	// MaxIter bounds the number of EM iterations (default 25).
+	MaxIter int
+	// Tol stops EM when the mean log-likelihood improves by less than
+	// this amount (default 1e-4).
+	Tol float64
+	// Seed seeds k-means initialization.
+	Seed int64
+}
+
+func (c *TrainConfig) setDefaults() {
+	if c.MaxIter == 0 {
+		c.MaxIter = 25
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-4
+	}
+}
+
+// Train fits a GMM to data (rows are frames) using k-means initialization
+// followed by EM.
+func Train(data [][]float64, cfg TrainConfig) (*GMM, error) {
+	cfg.setDefaults()
+	if cfg.Components < 1 {
+		return nil, fmt.Errorf("%w: %d components", ErrBadTrainingData, cfg.Components)
+	}
+	if len(data) < cfg.Components*2 {
+		return nil, fmt.Errorf("%w: %d frames for %d components", ErrBadTrainingData, len(data), cfg.Components)
+	}
+	dim := len(data[0])
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("%w: row %d has dim %d, want %d", ErrBadTrainingData, i, len(row), dim)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := kmeansInit(data, cfg.Components, rng)
+	g.refreshNorm()
+
+	prev := math.Inf(-1)
+	resp := make([]float64, cfg.Components)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// E-step accumulators.
+		n := make([]float64, cfg.Components)
+		sum := newMatrix(cfg.Components, dim)
+		sqsum := newMatrix(cfg.Components, dim)
+		var total float64
+		for _, x := range data {
+			ll := g.responsibilities(x, resp)
+			total += ll
+			for k := 0; k < cfg.Components; k++ {
+				r := resp[k]
+				if r == 0 {
+					continue
+				}
+				n[k] += r
+				for d, v := range x {
+					sum[k][d] += r * v
+					sqsum[k][d] += r * v * v
+				}
+			}
+		}
+		// M-step.
+		for k := 0; k < cfg.Components; k++ {
+			if n[k] < 1e-8 {
+				// Dead component: re-seed on a random frame.
+				x := data[rng.Intn(len(data))]
+				copy(g.Means[k], x)
+				for d := range g.Vars[k] {
+					g.Vars[k][d] = 1
+				}
+				g.Weights[k] = 1e-4
+				continue
+			}
+			g.Weights[k] = n[k] / float64(len(data))
+			for d := 0; d < dim; d++ {
+				mu := sum[k][d] / n[k]
+				g.Means[k][d] = mu
+				v := sqsum[k][d]/n[k] - mu*mu
+				if v < varFloor {
+					v = varFloor
+				}
+				g.Vars[k][d] = v
+			}
+		}
+		normalizeWeights(g.Weights)
+		g.refreshNorm()
+
+		mean := total / float64(len(data))
+		if mean-prev < cfg.Tol && iter > 0 {
+			break
+		}
+		prev = mean
+	}
+	return g, nil
+}
+
+// kmeansInit runs a few iterations of k-means and converts the result to
+// an initial mixture.
+func kmeansInit(data [][]float64, k int, rng *rand.Rand) *GMM {
+	dim := len(data[0])
+	centers := newMatrix(k, dim)
+	// k-means++ seeding: spread the initial centers proportionally to the
+	// squared distance from the nearest chosen center, which avoids the
+	// classic local optimum of two seeds landing in one cluster.
+	copy(centers[0], data[rng.Intn(len(data))])
+	minD := make([]float64, len(data))
+	for i, x := range data {
+		minD[i] = sqDist(x, centers[0])
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range minD {
+			total += d
+		}
+		idx := 0
+		if total > 0 {
+			r := rng.Float64() * total
+			for i, d := range minD {
+				r -= d
+				if r <= 0 {
+					idx = i
+					break
+				}
+			}
+		} else {
+			idx = rng.Intn(len(data))
+		}
+		copy(centers[c], data[idx])
+		for i, x := range data {
+			if d := sqDist(x, centers[c]); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+	assign := make([]int, len(data))
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for i, x := range data {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := sqDist(x, centers[c])
+				if d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		counts := make([]int, k)
+		next := newMatrix(k, dim)
+		for i, x := range data {
+			c := assign[i]
+			counts[c]++
+			for d, v := range x {
+				next[c][d] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				copy(next[c], data[rng.Intn(len(data))])
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(counts[c])
+			}
+		}
+		centers = next
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Convert to GMM: cluster variances and proportional weights.
+	g := &GMM{
+		Weights: make([]float64, k),
+		Means:   centers,
+		Vars:    newMatrix(k, dim),
+	}
+	counts := make([]int, k)
+	for i, x := range data {
+		c := assign[i]
+		counts[c]++
+		for d, v := range x {
+			diff := v - centers[c][d]
+			g.Vars[c][d] += diff * diff
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			g.Weights[c] = 1e-4
+			for d := range g.Vars[c] {
+				g.Vars[c][d] = 1
+			}
+			continue
+		}
+		g.Weights[c] = float64(counts[c]) / float64(len(data))
+		for d := range g.Vars[c] {
+			g.Vars[c][d] /= float64(counts[c])
+			if g.Vars[c][d] < varFloor {
+				g.Vars[c][d] = varFloor
+			}
+		}
+	}
+	normalizeWeights(g.Weights)
+	return g
+}
+
+// refreshNorm recomputes the cached log normalization constants.
+func (g *GMM) refreshNorm() {
+	k := g.NumComponents()
+	dim := g.Dim()
+	if g.logNorm == nil || len(g.logNorm) != k {
+		g.logNorm = make([]float64, k)
+	}
+	for c := 0; c < k; c++ {
+		var logDet float64
+		for d := 0; d < dim; d++ {
+			logDet += math.Log(g.Vars[c][d])
+		}
+		g.logNorm[c] = -0.5 * (float64(dim)*math.Log(2*math.Pi) + logDet)
+	}
+}
+
+// componentLogLik returns log w_c + log N(x; mu_c, var_c).
+func (g *GMM) componentLogLik(c int, x []float64) float64 {
+	if g.logNorm == nil {
+		g.refreshNorm()
+	}
+	var maha float64
+	mu := g.Means[c]
+	va := g.Vars[c]
+	for d, v := range x {
+		diff := v - mu[d]
+		maha += diff * diff / va[d]
+	}
+	return math.Log(g.Weights[c]+1e-300) + g.logNorm[c] - 0.5*maha
+}
+
+// LogLikelihood returns log p(x) under the mixture.
+func (g *GMM) LogLikelihood(x []float64) float64 {
+	maxv := math.Inf(-1)
+	k := g.NumComponents()
+	// Two passes: find max for a stable log-sum-exp.
+	lls := make([]float64, k)
+	for c := 0; c < k; c++ {
+		lls[c] = g.componentLogLik(c, x)
+		if lls[c] > maxv {
+			maxv = lls[c]
+		}
+	}
+	var sum float64
+	for _, v := range lls {
+		sum += math.Exp(v - maxv)
+	}
+	return maxv + math.Log(sum)
+}
+
+// MeanLogLikelihood returns the average frame log-likelihood of a feature
+// matrix.
+func (g *GMM) MeanLogLikelihood(frames [][]float64) float64 {
+	if len(frames) == 0 {
+		return math.Inf(-1)
+	}
+	var s float64
+	for _, x := range frames {
+		s += g.LogLikelihood(x)
+	}
+	return s / float64(len(frames))
+}
+
+// responsibilities fills resp with posterior component probabilities for x
+// and returns log p(x).
+func (g *GMM) responsibilities(x []float64, resp []float64) float64 {
+	k := g.NumComponents()
+	maxv := math.Inf(-1)
+	for c := 0; c < k; c++ {
+		resp[c] = g.componentLogLik(c, x)
+		if resp[c] > maxv {
+			maxv = resp[c]
+		}
+	}
+	var sum float64
+	for c := 0; c < k; c++ {
+		resp[c] = math.Exp(resp[c] - maxv)
+		sum += resp[c]
+	}
+	for c := 0; c < k; c++ {
+		resp[c] /= sum
+	}
+	return maxv + math.Log(sum)
+}
+
+// Clone returns a deep copy of the model.
+func (g *GMM) Clone() *GMM {
+	out := &GMM{
+		Weights: append([]float64(nil), g.Weights...),
+		Means:   newMatrix(len(g.Means), g.Dim()),
+		Vars:    newMatrix(len(g.Vars), g.Dim()),
+	}
+	for i := range g.Means {
+		copy(out.Means[i], g.Means[i])
+		copy(out.Vars[i], g.Vars[i])
+	}
+	out.refreshNorm()
+	return out
+}
+
+func newMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = backing[i*cols : (i+1)*cols]
+	}
+	return m
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func normalizeWeights(w []float64) {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	if s == 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return
+	}
+	for i := range w {
+		w[i] /= s
+	}
+}

@@ -1,0 +1,209 @@
+package gmm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs samples n points per center from isotropic Gaussians.
+func blobs(centers [][]float64, n int, sigma float64, rng *rand.Rand) [][]float64 {
+	var out [][]float64
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			row := make([]float64, len(c))
+			for d, v := range c {
+				row[d] = v + sigma*rng.NormFloat64()
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func TestTrainRecoversClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 5}}
+	data := blobs(centers, 300, 0.5, rng)
+	g, err := Train(data, TrainConfig{Components: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true center should be close to some component mean.
+	for _, c := range centers {
+		best := math.Inf(1)
+		for k := 0; k < 3; k++ {
+			if d := sqDist(c, g.Means[k]); d < best {
+				best = d
+			}
+		}
+		if best > 0.25 {
+			t.Errorf("center %v not recovered (nearest mean dist² %v)", c, best)
+		}
+	}
+	// Weights near 1/3 each.
+	for k, w := range g.Weights {
+		if math.Abs(w-1.0/3) > 0.05 {
+			t.Errorf("weight %d = %v", k, w)
+		}
+	}
+}
+
+func TestTrainWeightsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := blobs([][]float64{{0, 0}, {5, 5}}, 60, 1, rng)
+		g, err := Train(data, TrainConfig{Components: 4, Seed: seed})
+		if err != nil {
+			return false
+		}
+		var s float64
+		for _, w := range g.Weights {
+			if w < 0 {
+				return false
+			}
+			s += w
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	data := blobs([][]float64{{0}}, 5, 1, rand.New(rand.NewSource(1)))
+	if _, err := Train(data, TrainConfig{Components: 0}); !errors.Is(err, ErrBadTrainingData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Train(data, TrainConfig{Components: 10}); !errors.Is(err, ErrBadTrainingData) {
+		t.Errorf("err = %v", err)
+	}
+	ragged := [][]float64{{1, 2}, {1}, {3, 4}, {5, 6}, {7, 8}, {9, 0}}
+	if _, err := Train(ragged, TrainConfig{Components: 2}); !errors.Is(err, ErrBadTrainingData) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestLogLikelihoodHigherOnData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := blobs([][]float64{{0, 0}}, 500, 1, rng)
+	g, err := Train(data, TrainConfig{Components: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onData := g.LogLikelihood([]float64{0.1, -0.2})
+	offData := g.LogLikelihood([]float64{50, 50})
+	if onData <= offData {
+		t.Errorf("ll on data %v <= off data %v", onData, offData)
+	}
+}
+
+func TestLogLikelihoodIsProperDensity1D(t *testing.T) {
+	// Numerically integrate exp(ll) over a grid; should be ~1.
+	rng := rand.New(rand.NewSource(4))
+	data := blobs([][]float64{{-2}, {3}}, 400, 0.7, rng)
+	g, err := Train(data, TrainConfig{Components: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var integral float64
+	const step = 0.01
+	for x := -15.0; x < 15; x += step {
+		integral += math.Exp(g.LogLikelihood([]float64{x})) * step
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("density integrates to %v, want 1", integral)
+	}
+}
+
+func TestMeanLogLikelihoodEmpty(t *testing.T) {
+	g := &GMM{Weights: []float64{1}, Means: [][]float64{{0}}, Vars: [][]float64{{1}}}
+	if v := g.MeanLogLikelihood(nil); !math.IsInf(v, -1) {
+		t.Errorf("empty = %v, want -Inf", v)
+	}
+}
+
+func TestResponsibilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := blobs([][]float64{{0, 0}, {8, 8}}, 100, 1, rng)
+	g, err := Train(data, TrainConfig{Components: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]float64, 3)
+	for _, x := range data[:20] {
+		g.responsibilities(x, resp)
+		var s float64
+		for _, r := range resp {
+			if r < 0 {
+				t.Fatal("negative responsibility")
+			}
+			s += r
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("responsibilities sum to %v", s)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := blobs([][]float64{{0, 0}}, 50, 1, rng)
+	g, err := Train(data, TrainConfig{Components: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	c.Means[0][0] = 999
+	if g.Means[0][0] == 999 {
+		t.Error("Clone must deep-copy means")
+	}
+	if c.NumComponents() != g.NumComponents() || c.Dim() != g.Dim() {
+		t.Error("Clone changed shape")
+	}
+}
+
+func TestDimEmpty(t *testing.T) {
+	g := &GMM{}
+	if g.Dim() != 0 || g.NumComponents() != 0 {
+		t.Error("empty model dims")
+	}
+}
+
+func TestTrainDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := blobs([][]float64{{0, 0}, {5, 5}}, 100, 1, rng)
+	g1, err := Train(data, TrainConfig{Components: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Train(data, TrainConfig{Components: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range g1.Means {
+		for d := range g1.Means[k] {
+			if g1.Means[k][d] != g2.Means[k][d] {
+				t.Fatal("same seed produced different models")
+			}
+		}
+	}
+}
+
+func BenchmarkLogLikelihood(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := blobs([][]float64{{0, 0, 0, 0}}, 200, 1, rng)
+	g, err := Train(data, TrainConfig{Components: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := data[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.LogLikelihood(x)
+	}
+}

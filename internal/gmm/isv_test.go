@@ -1,0 +1,206 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sessionData builds a population with the structure ISV assumes: frames
+// cluster around base centers shared by all speakers (phoneme-like), each
+// speaker adds a stable identity offset, and each session adds an offset
+// along a common channel direction. The UBM learns the shared centers;
+// MAP supervectors then carry identity + session, and ISV removes the
+// session part.
+func sessionData(nSpeakers, nSessions, framesPer int, rng *rand.Rand) (pool [][]float64, sessions map[string][][][]float64, ids [][]float64) {
+	const dim = 4
+	bases := [][]float64{{0, 0, 0, 0}, {6, 0, 0, 0}, {0, 6, 0, 0}, {0, 0, 6, 0}}
+	sessionDir := []float64{0.5, -0.5, 0.5, 0.5} // common channel direction
+	sessions = make(map[string][][][]float64)
+	for s := 0; s < nSpeakers; s++ {
+		id := make([]float64, dim)
+		for d := range id {
+			id[d] = 1.2 * rng.NormFloat64()
+		}
+		ids = append(ids, id)
+		name := string(rune('A' + s))
+		for j := 0; j < nSessions; j++ {
+			off := 1.5 * rng.NormFloat64()
+			var frames [][]float64
+			for f := 0; f < framesPer; f++ {
+				base := bases[rng.Intn(len(bases))]
+				row := make([]float64, dim)
+				for d := range row {
+					row[d] = base[d] + id[d] + off*sessionDir[d] + 0.4*rng.NormFloat64()
+				}
+				frames = append(frames, row)
+				pool = append(pool, row)
+			}
+			sessions[name] = append(sessions[name], frames)
+		}
+	}
+	return pool, sessions, ids
+}
+
+func trainTestISV(t *testing.T, rng *rand.Rand) (*ISV, map[string][][][]float64) {
+	t.Helper()
+	pool, sessions, _ := sessionData(5, 4, 80, rng)
+	ubm, err := TrainUBM(pool, TrainConfig{Components: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isv, err := TrainISV(ubm, sessions, ISVConfig{Rank: 3, Relevance: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return isv, sessions
+}
+
+func TestISVSeparatesSpeakers(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	isv, sessions := trainTestISV(t, rng)
+
+	// Enroll speaker A on its first two sessions, test on its later
+	// sessions and on speaker B.
+	spk, err := isv.Enroll(sessions["A"][:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	genuine, err := spk.Score(sessions["A"][3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	impostor, err := spk.Score(sessions["B"][3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genuine <= impostor {
+		t.Errorf("genuine %v <= impostor %v", genuine, impostor)
+	}
+	if genuine < 0.3 {
+		t.Errorf("genuine cosine score %v unexpectedly low", genuine)
+	}
+}
+
+func TestISVCompensationHelpsCrossSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pool, sessions, _ := sessionData(6, 4, 80, rng)
+	ubm, err := TrainUBM(pool, TrainConfig{Components: 8, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isv, err := TrainISV(ubm, sessions, ISVConfig{Rank: 2, Relevance: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noComp := &ISV{ubm: ubm, relevance: 4} // rank-0: no compensation
+
+	// Compensation's core benefit: genuine cross-session scores improve
+	// because the enrollment reference no longer carries session noise
+	// and the test session is re-injected at scoring time.
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	stats := func(m *ISV) (genuine, impostor float64) {
+		var g, imp float64
+		for i, name := range names {
+			spk, err := m.Enroll(sessions[name][:2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, err := spk.Score(sessions[name][3])
+			if err != nil {
+				t.Fatal(err)
+			}
+			g += gs
+			other := names[(i+1)%len(names)]
+			is, err := spk.Score(sessions[other][3])
+			if err != nil {
+				t.Fatal(err)
+			}
+			imp += is
+		}
+		n := float64(len(names))
+		return g / n, imp / n
+	}
+	gComp, iComp := stats(isv)
+	gPlain, _ := stats(noComp)
+	if gComp <= gPlain {
+		t.Errorf("compensation did not improve genuine cross-session score: %v <= %v", gComp, gPlain)
+	}
+	// Speakers must remain separated under compensation.
+	if gComp <= iComp {
+		t.Errorf("compensated genuine %v <= impostor %v", gComp, iComp)
+	}
+}
+
+func TestISVSubspaceOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	isv, _ := trainTestISV(t, rng)
+	if isv.Rank() < 1 {
+		t.Fatal("no subspace learned")
+	}
+	for i := 0; i < isv.Rank(); i++ {
+		var norm float64
+		for _, v := range isv.u[i] {
+			norm += v * v
+		}
+		if math.Abs(norm-1) > 1e-6 {
+			t.Errorf("direction %d norm² = %v", i, norm)
+		}
+		for j := i + 1; j < isv.Rank(); j++ {
+			var dot float64
+			for d := range isv.u[i] {
+				dot += isv.u[i][d] * isv.u[j][d]
+			}
+			if math.Abs(dot) > 1e-4 {
+				t.Errorf("directions %d,%d not orthogonal: %v", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestISVCompensateRemovesSubspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	isv, _ := trainTestISV(t, rng)
+	sv := make([]float64, isv.SupervectorDim())
+	for i := range sv {
+		sv[i] = rng.NormFloat64()
+	}
+	comp := isv.compensate(sv)
+	for i, u := range isv.u {
+		var dot float64
+		for d := range comp {
+			dot += comp[d] * u[d]
+		}
+		if math.Abs(dot) > 1e-8 {
+			t.Errorf("residual projection on direction %d: %v", i, dot)
+		}
+	}
+}
+
+func TestTrainISVErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	pool, sessions, _ := sessionData(3, 3, 50, rng)
+	ubm, err := TrainUBM(pool, TrainConfig{Components: 4, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainISV(ubm, sessions, ISVConfig{Rank: 0, Relevance: 4}); err == nil {
+		t.Error("rank 0 should error")
+	}
+	if _, err := TrainISV(ubm, sessions, ISVConfig{Rank: 2, Relevance: 0}); err == nil {
+		t.Error("relevance 0 should error")
+	}
+	// Single-session speakers cannot train ISV.
+	single := map[string][][][]float64{"A": sessions["A"][:1], "B": sessions["B"][:1]}
+	if _, err := TrainISV(ubm, single, ISVConfig{Rank: 2, Relevance: 4}); err == nil {
+		t.Error("single-session corpus should error")
+	}
+}
+
+func TestISVEnrollErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	isv, _ := trainTestISV(t, rng)
+	if _, err := isv.Enroll(nil); err == nil {
+		t.Error("empty enrollment should error")
+	}
+}

@@ -1,0 +1,61 @@
+package magnetics
+
+import "voiceguard/internal/geometry"
+
+// EnvironmentKind selects one of the paper's evaluation environments.
+type EnvironmentKind int
+
+// The environments evaluated in the paper (§VI).
+const (
+	// EnvQuiet is the baseline lab bench: geomagnetic field only, mild
+	// indoor gradient (Fig. 12).
+	EnvQuiet EnvironmentKind = iota + 1
+	// EnvNearComputer puts an all-in-one computer 30 cm away (Fig. 14a);
+	// its measured exposure was 500–2500 µW/m².
+	EnvNearComputer
+	// EnvCar is a car front seat with many EMF emitters (Fig. 14b).
+	EnvCar
+)
+
+// String implements fmt.Stringer.
+func (k EnvironmentKind) String() string {
+	switch k {
+	case EnvQuiet:
+		return "quiet"
+	case EnvNearComputer:
+		return "near-computer"
+	case EnvCar:
+		return "car"
+	default:
+		return "unknown"
+	}
+}
+
+// NewEnvironment builds the scene for an environment kind: the
+// geomagnetic background plus the appropriate interference sources. The
+// seed makes interference noise reproducible. The returned scene is the
+// ambient field a session takes place in; attack scenarios add speaker
+// sources on top.
+func NewEnvironment(kind EnvironmentKind, seed int64) *Scene {
+	geo := DefaultGeomagnetic()
+	switch kind {
+	case EnvNearComputer:
+		// iMac 30 cm from the test location: strong mains hum and PSU
+		// noise. Amplitude calibrated so the disturbance at the phone is
+		// several µT, enough to trigger false alarms at the detector's
+		// most sensitive settings (paper reports FRR spikes at ≥8 cm).
+		computer := NewInterference(geometry.Vec3{X: 0.30, Y: 0, Z: 0.1}, 0.9, 60, 2, seed)
+		return NewScene(geo, computer)
+	case EnvCar:
+		// Car cabin: multiple emitters around the front seat (dash
+		// electronics, blower motor, harness) and a steel body shifting
+		// the static field. The paper measures FRR ≈30–50% here.
+		dash := NewInterference(geometry.Vec3{X: 0.4, Y: 0.2, Z: 0}, 2.4, 60, 1.6, seed)
+		blower := NewInterference(geometry.Vec3{X: 0.3, Y: -0.4, Z: -0.2}, 1.8, 120, 1.6, seed+1)
+		harness := NewInterference(geometry.Vec3{X: -0.2, Y: 0.3, Z: -0.3}, 1.2, 60, 1.6, seed+2)
+		body := Geomagnetic{Base: geometry.Vec3{X: 8, Y: -6, Z: 5}, GradientScale: 6}
+		return NewScene(geo, body, dash, blower, harness)
+	default:
+		return NewScene(geo)
+	}
+}

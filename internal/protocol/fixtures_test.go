@@ -1,0 +1,28 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/core"
+)
+
+// audioSignal shortens the audio type in table-heavy tests.
+type audioSignal = audio.Signal
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// decisionFixture builds a Decision for response-conversion tests.
+func decisionFixture(accepted bool) core.Decision {
+	d := core.Decision{Accepted: accepted}
+	d.Stages = []core.StageResult{
+		{Stage: core.StageDistance, Pass: true, Score: 0.01, Detail: "source at 5.8 cm"},
+	}
+	if !accepted {
+		d.Stages = append(d.Stages, core.StageResult{
+			Stage: core.StageLoudspeaker, Pass: false, Score: -3, Detail: "magnetic swing",
+		})
+		d.FailedStage = core.StageLoudspeaker
+	}
+	return d
+}

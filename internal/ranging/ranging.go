@@ -1,0 +1,300 @@
+// Package ranging implements the paper's phase-based acoustic distance
+// measurement (§IV-B1, following the device-free gesture tracking
+// literature it cites): the phone's speaker emits an inaudible tone above
+// 16 kHz; the echo off the user's head shifts phase as the phone moves,
+// and I/Q demodulation of the microphone signal recovers sub-wavelength
+// radial displacement. With an 18–20 kHz tone (λ ≈ 1.8 cm) the phase
+// resolves millimeter-scale motion.
+package ranging
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/dsp"
+)
+
+// SpeedOfSound in air, m/s.
+const SpeedOfSound = 343.0
+
+// DefaultPilotHz is the default pilot frequency: inaudible to most adults
+// yet inside a 48 kHz capture band. The paper selects the highest usable
+// frequency per device via calibration; 19 kHz is a safe common choice.
+const DefaultPilotHz = 19000.0
+
+// DefaultRate is the capture sample rate used for the pilot.
+const DefaultRate = 48000.0
+
+// CalibratePilot implements the per-device pilot selection the paper
+// adopts from the SoundWave work: sweep candidate frequencies from high
+// to low through the device's playback–capture loop and pick the highest
+// frequency whose measured response clears the SNR floor. response(freq)
+// returns the loop gain at freq (linear, 1 = nominal); minGain is the
+// acceptance floor. Returns 0 if no candidate qualifies.
+func CalibratePilot(response func(freq float64) float64, candidates []float64, minGain float64) float64 {
+	best := 0.0
+	for _, f := range candidates {
+		if f <= 0 {
+			continue
+		}
+		if response(f) >= minGain && f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// DefaultPilotCandidates are the frequencies the calibration sweeps: the
+// inaudible band in 250 Hz steps.
+func DefaultPilotCandidates() []float64 {
+	var out []float64
+	for f := 16000.0; f <= 22000; f += 250 {
+		out = append(out, f)
+	}
+	return out
+}
+
+// SpeakerRolloff models a phone speaker's high-frequency response for
+// calibration simulations: flat below the corner, then a steep roll-off.
+func SpeakerRolloff(corner float64) func(freq float64) float64 {
+	return func(freq float64) float64 {
+		if freq <= corner {
+			return 1
+		}
+		// ~48 dB/octave above the corner — phone micro-speakers die
+		// quickly past their passband.
+		octaves := math.Log2(freq / corner)
+		return math.Pow(10, -48*octaves/20)
+	}
+}
+
+// Pilot renders the transmitted tone of the given duration.
+func Pilot(freq, rate, duration float64) *audio.Signal {
+	s := audio.NewSignal(duration, rate)
+	for i := range s.Samples {
+		s.Samples[i] = 0.5 * math.Sin(2*math.Pi*freq*float64(i)/rate)
+	}
+	return s
+}
+
+// ChannelConfig describes the acoustic path between the phone's speaker
+// and microphone during the gesture.
+type ChannelConfig struct {
+	// Freq is the pilot frequency in Hz.
+	Freq float64
+	// Rate is the capture sample rate in Hz.
+	Rate float64
+	// LeakGain is the direct speaker→mic leak amplitude (dominant,
+	// static).
+	LeakGain float64
+	// EchoGain is the head-echo amplitude.
+	EchoGain float64
+	// NoiseRMS is additive capture noise.
+	NoiseRMS float64
+	// MultipathGain adds a second static reflection (room surface).
+	MultipathGain float64
+}
+
+// DefaultChannel returns a typical handset channel.
+func DefaultChannel() ChannelConfig {
+	return ChannelConfig{
+		Freq:          DefaultPilotHz,
+		Rate:          DefaultRate,
+		LeakGain:      0.30,
+		EchoGain:      0.08,
+		NoiseRMS:      0.005,
+		MultipathGain: 0.02,
+	}
+}
+
+// Simulate renders the microphone capture while the phone-to-head
+// distance follows dist(t) (meters) over the given duration. The echo
+// travels the round trip 2·dist(t).
+func Simulate(cfg ChannelConfig, duration float64, dist func(t float64) float64, rng *rand.Rand) (*audio.Signal, error) {
+	if cfg.Freq <= 0 || cfg.Rate <= 0 {
+		return nil, fmt.Errorf("ranging: bad channel freq=%v rate=%v", cfg.Freq, cfg.Rate)
+	}
+	if cfg.Freq >= cfg.Rate/2 {
+		return nil, fmt.Errorf("ranging: pilot %v Hz at/above Nyquist of %v Hz", cfg.Freq, cfg.Rate)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("ranging: duration %v must be positive", duration)
+	}
+	s := audio.NewSignal(duration, cfg.Rate)
+	w := 2 * math.Pi * cfg.Freq
+	// Fixed multipath delay (room surface ~0.5 m away).
+	mpPhase := w * (2 * 0.5 / SpeedOfSound)
+	for i := range s.Samples {
+		t := float64(i) / cfg.Rate
+		v := cfg.LeakGain * math.Sin(w*t)
+		d := dist(t)
+		v += cfg.EchoGain * math.Sin(w*(t-2*d/SpeedOfSound))
+		if cfg.MultipathGain > 0 {
+			v += cfg.MultipathGain * math.Sin(w*t-mpPhase)
+		}
+		if cfg.NoiseRMS > 0 && rng != nil {
+			v += rng.NormFloat64() * cfg.NoiseRMS
+		}
+		s.Samples[i] = v
+	}
+	return s, nil
+}
+
+// Displacement is a recovered radial displacement track.
+type Displacement struct {
+	// T holds block-center times in seconds.
+	T []float64
+	// Dr holds radial displacement in meters relative to the start of
+	// the capture (positive = moving away).
+	Dr []float64
+}
+
+// ErrCaptureTooShort is returned when the capture has fewer than three
+// analysis blocks.
+var ErrCaptureTooShort = errors.New("ranging: capture too short for displacement recovery")
+
+// RecoverConfig tunes displacement recovery.
+type RecoverConfig struct {
+	// Freq is the pilot frequency in Hz.
+	Freq float64
+	// BlockSize is the demodulation block in samples (default 256, i.e.
+	// ~5.3 ms at 48 kHz → ~190 Hz displacement bandwidth).
+	BlockSize int
+}
+
+// Recover extracts the radial displacement of the echo path from a
+// capture. It demodulates the pilot to baseband I/Q per block, removes
+// the static leak/multipath phasor (the capture-wide mean), and unwraps
+// the phase of the remaining dynamic (echo) phasor. Displacement follows
+// from Δφ = -4π·Δd/λ.
+func Recover(capture *audio.Signal, cfg RecoverConfig) (*Displacement, error) {
+	if cfg.Freq <= 0 {
+		return nil, fmt.Errorf("ranging: bad pilot frequency %v", cfg.Freq)
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 256
+	}
+	if cfg.BlockSize < 16 {
+		return nil, fmt.Errorf("ranging: block size %d too small", cfg.BlockSize)
+	}
+	n := len(capture.Samples) / cfg.BlockSize
+	if n < 3 {
+		return nil, ErrCaptureTooShort
+	}
+	w := 2 * math.Pi * cfg.Freq / capture.Rate
+	iq := make([]complex128, n)
+	for b := 0; b < n; b++ {
+		var re, im float64
+		off := b * cfg.BlockSize
+		for k := 0; k < cfg.BlockSize; k++ {
+			v := capture.Samples[off+k]
+			ph := w * float64(off+k)
+			re += v * math.Cos(ph)
+			im += v * -math.Sin(ph)
+		}
+		iq[b] = complex(re, im)
+	}
+	// Remove the static component (leak + fixed multipath): the
+	// capture-wide mean. The moving echo's phasor rotates through full
+	// circles over centimeter-scale motion, so its contribution to the
+	// mean is small.
+	var mean complex128
+	for _, z := range iq {
+		mean += z
+	}
+	mean /= complex(float64(n), 0)
+	// Noise gate: when the scene is static the dynamic phasor is pure
+	// noise and its phase would random-walk. Estimate the noise floor
+	// from block-to-block I/Q steps (motion moves the phasor smoothly;
+	// noise dominates the per-block difference) and hold the phase for
+	// blocks whose dynamic magnitude sits at that floor.
+	steps := make([]float64, 0, n-1)
+	for b := 1; b < n; b++ {
+		d := iq[b] - iq[b-1]
+		steps = append(steps, math.Hypot(real(d), imag(d)))
+	}
+	insertionSortFloats(steps)
+	gate := 0.0
+	if len(steps) > 0 {
+		gate = 3 * steps[len(steps)/2] / math.Sqrt2
+	}
+	phase := make([]float64, n)
+	var prev float64
+	for b, z := range iq {
+		d := z - mean
+		if math.Hypot(real(d), imag(d)) < gate {
+			phase[b] = prev
+			continue
+		}
+		phase[b] = math.Atan2(imag(d), real(d))
+		prev = phase[b]
+	}
+	dsp.Unwrap(phase)
+	lambda := SpeedOfSound / cfg.Freq
+	out := &Displacement{T: make([]float64, n), Dr: make([]float64, n)}
+	for b := 0; b < n; b++ {
+		out.T[b] = (float64(b) + 0.5) * float64(cfg.BlockSize) / capture.Rate
+		// Round trip: Δφ = -2π·(2Δd)/λ.
+		out.Dr[b] = -(phase[b] - phase[0]) * lambda / (4 * math.Pi)
+	}
+	return out, nil
+}
+
+// At linearly interpolates the displacement at time t, clamping to the
+// track ends.
+func (d *Displacement) At(t float64) float64 {
+	if len(d.T) == 0 {
+		return 0
+	}
+	if t <= d.T[0] {
+		return d.Dr[0]
+	}
+	if t >= d.T[len(d.T)-1] {
+		return d.Dr[len(d.Dr)-1]
+	}
+	lo, hi := 0, len(d.T)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if d.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (t - d.T[lo]) / (d.T[hi] - d.T[lo])
+	return d.Dr[lo] + f*(d.Dr[hi]-d.Dr[lo])
+}
+
+// Total returns the net displacement over the track.
+func (d *Displacement) Total() float64 {
+	if len(d.Dr) == 0 {
+		return 0
+	}
+	return d.Dr[len(d.Dr)-1] - d.Dr[0]
+}
+
+// insertionSortFloats sorts a small slice in place.
+func insertionSortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
+}
+
+// SpectrogramOfCapture computes the pilot-band magnitude spectrogram of a
+// capture — the artifact the paper shows as Fig. 6.
+func SpectrogramOfCapture(capture *audio.Signal) (*dsp.Spectrogram, error) {
+	return dsp.STFT(capture.Samples, dsp.STFTConfig{
+		FrameSize:  1024,
+		HopSize:    256,
+		SampleRate: capture.Rate,
+	})
+}

@@ -1,0 +1,213 @@
+package ranging
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCalibratePilot(t *testing.T) {
+	// A speaker with a 20 kHz corner should calibrate to the highest
+	// candidate at or below the corner region.
+	resp := SpeakerRolloff(20000)
+	got := CalibratePilot(resp, DefaultPilotCandidates(), 0.7)
+	if got < 19500 || got > 21000 {
+		t.Errorf("calibrated pilot = %v, want ≈20 kHz", got)
+	}
+	// A weaker speaker calibrates lower.
+	low := CalibratePilot(SpeakerRolloff(17500), DefaultPilotCandidates(), 0.7)
+	if low >= got {
+		t.Errorf("weak speaker pilot %v not below strong %v", low, got)
+	}
+	if low < 16000 {
+		t.Errorf("pilot %v below the inaudible floor", low)
+	}
+	// No candidate qualifies → 0.
+	if CalibratePilot(func(float64) float64 { return 0 }, DefaultPilotCandidates(), 0.5) != 0 {
+		t.Error("dead loop should calibrate to 0")
+	}
+	// Negative candidates ignored.
+	if CalibratePilot(resp, []float64{-1, 0}, 0.5) != 0 {
+		t.Error("invalid candidates should calibrate to 0")
+	}
+}
+
+func TestSpeakerRolloffShape(t *testing.T) {
+	resp := SpeakerRolloff(19000)
+	if resp(15000) != 1 {
+		t.Error("below corner should be flat")
+	}
+	// One octave above: −48 dB ≈ 0.004.
+	if g := resp(38000); math.Abs(g-0.00398) > 0.0005 {
+		t.Errorf("octave-above gain = %v", g)
+	}
+	if resp(20000) >= resp(19000) {
+		t.Error("response must fall above the corner")
+	}
+}
+
+func TestPilotProperties(t *testing.T) {
+	p := Pilot(DefaultPilotHz, DefaultRate, 0.5)
+	if p.Len() != 24000 {
+		t.Errorf("len = %d", p.Len())
+	}
+	if math.Abs(p.Peak()-0.5) > 1e-3 {
+		t.Errorf("peak = %v", p.Peak())
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	still := func(float64) float64 { return 0.1 }
+	bad := []ChannelConfig{
+		{Freq: 0, Rate: 48000},
+		{Freq: 19000, Rate: 0},
+		{Freq: 25000, Rate: 48000}, // above Nyquist
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg, 1, still, rng); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Simulate(DefaultChannel(), 0, still, rng); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRecoverLinearMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Phone approaches: distance falls from 12 cm to 6 cm over 1.5 s.
+	dist := func(tt float64) float64 { return 0.12 - 0.04*tt }
+	capture, err := Simulate(DefaultChannel(), 1.5, dist, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp, err := Recover(capture, RecoverConfig{Freq: DefaultPilotHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net displacement should be -6 cm within a few millimeters.
+	if math.Abs(disp.Total()-(-0.06)) > 0.004 {
+		t.Errorf("total displacement = %v, want -0.06", disp.Total())
+	}
+	// Midpoint displacement ≈ -3 cm.
+	if got := disp.At(0.75); math.Abs(got-(-0.03)) > 0.004 {
+		t.Errorf("mid displacement = %v, want -0.03", got)
+	}
+}
+
+func TestRecoverSinusoidalMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Oscillation of ±1.5 cm at 1.2 Hz around 8 cm.
+	dist := func(tt float64) float64 { return 0.08 + 0.015*math.Sin(2*math.Pi*1.2*tt) }
+	capture, err := Simulate(DefaultChannel(), 2, dist, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp, err := Recover(capture, RecoverConfig{Freq: DefaultPilotHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare recovered track against truth (both relative to start).
+	var worst float64
+	for i, tt := range disp.T {
+		want := dist(tt) - dist(disp.T[0])
+		if e := math.Abs(disp.Dr[i] - want); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.005 {
+		t.Errorf("worst tracking error = %v m", worst)
+	}
+}
+
+func TestRecoverStationaryIsFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	capture, err := Simulate(DefaultChannel(), 1, func(float64) float64 { return 0.08 }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp, err := Recover(capture, RecoverConfig{Freq: DefaultPilotHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A static scene has no meaningful dynamic phasor; displacement should
+	// stay bounded (noise-driven phase walk, not systematic motion).
+	for i, dr := range disp.Dr {
+		if math.Abs(dr) > 0.01 {
+			t.Errorf("stationary drift at block %d: %v m", i, dr)
+			break
+		}
+	}
+}
+
+func TestRecoverErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	capture, err := Simulate(DefaultChannel(), 1, func(float64) float64 { return 0.1 }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(capture, RecoverConfig{Freq: 0}); err == nil {
+		t.Error("zero freq accepted")
+	}
+	if _, err := Recover(capture, RecoverConfig{Freq: 19000, BlockSize: 8}); err == nil {
+		t.Error("tiny block accepted")
+	}
+	short := Pilot(19000, 48000, 0.005)
+	if _, err := Recover(short, RecoverConfig{Freq: 19000}); !errors.Is(err, ErrCaptureTooShort) {
+		t.Errorf("short capture err = %v", err)
+	}
+}
+
+func TestDisplacementAtClamps(t *testing.T) {
+	d := &Displacement{T: []float64{0, 1}, Dr: []float64{0, 2}}
+	if d.At(-1) != 0 || d.At(5) != 2 {
+		t.Error("At should clamp")
+	}
+	if got := d.At(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	empty := &Displacement{}
+	if empty.At(1) != 0 || empty.Total() != 0 {
+		t.Error("empty displacement should return zeros")
+	}
+}
+
+func TestFig6SpectrogramShowsPilot(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	dist := func(tt float64) float64 { return 0.12 - 0.04*tt }
+	capture, err := Simulate(DefaultChannel(), 1, dist, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SpectrogramOfCapture(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < sp.NumFrames(); f += 20 {
+		bin, mag := sp.PeakBin(f, 16000, 24000)
+		if bin < 0 || mag <= 0 {
+			t.Fatalf("frame %d: pilot not visible", f)
+		}
+		if got := sp.BinFreq(bin); math.Abs(got-DefaultPilotHz) > 100 {
+			t.Errorf("frame %d: peak at %v Hz", f, got)
+		}
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	capture, err := Simulate(DefaultChannel(), 1.5, func(tt float64) float64 { return 0.12 - 0.04*tt }, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := RecoverConfig{Freq: DefaultPilotHz}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Recover(capture, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

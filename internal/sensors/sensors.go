@@ -1,0 +1,191 @@
+// Package sensors models the smartphone's inertial and magnetic sensors:
+// quantization, additive Gaussian noise, constant bias and range
+// saturation. The magnetometer defaults follow the AK8975 part named in
+// the paper (0.3 µT/LSB sensitivity, ±1200 µT range).
+package sensors
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"voiceguard/internal/geometry"
+)
+
+// Spec describes a three-axis sensor's imperfections.
+type Spec struct {
+	// Name identifies the part for diagnostics.
+	Name string
+	// LSB is the quantization step (output units per least-significant
+	// bit). Zero disables quantization.
+	LSB float64
+	// RangeMax saturates each axis at ±RangeMax. Zero disables.
+	RangeMax float64
+	// NoiseRMS is the per-axis Gaussian noise standard deviation.
+	NoiseRMS float64
+	// BiasRMS draws a constant per-axis bias at construction time with
+	// this standard deviation.
+	BiasRMS float64
+	// SampleRate is the nominal output data rate in Hz.
+	SampleRate float64
+}
+
+// AK8975 returns the magnetometer spec of the part used by the paper's
+// test phones (units: µT).
+func AK8975() Spec {
+	return Spec{
+		Name:       "AK8975",
+		LSB:        0.3,
+		RangeMax:   1200,
+		NoiseRMS:   0.35,
+		BiasRMS:    1.5,
+		SampleRate: 100,
+	}
+}
+
+// PhoneAccelerometer returns a typical phone accelerometer spec (m/s²).
+func PhoneAccelerometer() Spec {
+	return Spec{
+		Name:       "BMA250-class",
+		LSB:        0.0096,
+		RangeMax:   39.2, // ±4 g
+		NoiseRMS:   0.03,
+		BiasRMS:    0.05,
+		SampleRate: 200,
+	}
+}
+
+// PhoneGyroscope returns a typical phone gyroscope spec (rad/s).
+func PhoneGyroscope() Spec {
+	return Spec{
+		Name:       "MPU-3050-class",
+		LSB:        0.0011,
+		RangeMax:   8.7, // ±500 °/s
+		NoiseRMS:   0.005,
+		BiasRMS:    0.01,
+		SampleRate: 200,
+	}
+}
+
+// Sensor applies a Spec to ground-truth values.
+type Sensor struct {
+	spec Spec
+	bias geometry.Vec3
+	rng  *rand.Rand
+}
+
+// New constructs a sensor, drawing its constant bias from rng.
+func New(spec Spec, rng *rand.Rand) *Sensor {
+	return &Sensor{
+		spec: spec,
+		bias: geometry.Vec3{
+			X: rng.NormFloat64() * spec.BiasRMS,
+			Y: rng.NormFloat64() * spec.BiasRMS,
+			Z: rng.NormFloat64() * spec.BiasRMS,
+		},
+		rng: rng,
+	}
+}
+
+// Spec returns the sensor's specification.
+func (s *Sensor) Spec() Spec { return s.spec }
+
+// Bias returns the drawn constant bias.
+func (s *Sensor) Bias() geometry.Vec3 { return s.bias }
+
+// Read converts a ground-truth vector into a sensor output: bias + noise,
+// then saturation, then quantization.
+func (s *Sensor) Read(truth geometry.Vec3) geometry.Vec3 {
+	v := truth.Add(s.bias).Add(geometry.Vec3{
+		X: s.rng.NormFloat64() * s.spec.NoiseRMS,
+		Y: s.rng.NormFloat64() * s.spec.NoiseRMS,
+		Z: s.rng.NormFloat64() * s.spec.NoiseRMS,
+	})
+	v = geometry.Vec3{X: s.clampAxis(v.X), Y: s.clampAxis(v.Y), Z: s.clampAxis(v.Z)}
+	if s.spec.LSB > 0 {
+		v = geometry.Vec3{
+			X: math.Round(v.X/s.spec.LSB) * s.spec.LSB,
+			Y: math.Round(v.Y/s.spec.LSB) * s.spec.LSB,
+			Z: math.Round(v.Z/s.spec.LSB) * s.spec.LSB,
+		}
+	}
+	return v
+}
+
+func (s *Sensor) clampAxis(v float64) float64 {
+	if s.spec.RangeMax <= 0 {
+		return v
+	}
+	if v > s.spec.RangeMax {
+		return s.spec.RangeMax
+	}
+	if v < -s.spec.RangeMax {
+		return -s.spec.RangeMax
+	}
+	return v
+}
+
+// Sample is one timestamped sensor reading.
+type Sample struct {
+	// T is the sample time in seconds.
+	T float64
+	// V is the sensed vector in the sensor's units.
+	V geometry.Vec3
+}
+
+// Trace is a time series of samples from one sensor.
+type Trace struct {
+	// Name labels the producing sensor.
+	Name string
+	// Samples are in increasing time order.
+	Samples []Sample
+}
+
+// Record samples a ground-truth function truth(t) at the sensor's rate
+// over [0, duration) seconds.
+func (s *Sensor) Record(duration float64, truth func(t float64) geometry.Vec3) (*Trace, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("sensors: duration %v must be positive", duration)
+	}
+	if s.spec.SampleRate <= 0 {
+		return nil, fmt.Errorf("sensors: %s has no sample rate", s.spec.Name)
+	}
+	n := int(duration * s.spec.SampleRate)
+	tr := &Trace{Name: s.spec.Name, Samples: make([]Sample, 0, n)}
+	for i := 0; i < n; i++ {
+		t := float64(i) / s.spec.SampleRate
+		tr.Samples = append(tr.Samples, Sample{T: t, V: s.Read(truth(t))})
+	}
+	return tr, nil
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Samples) }
+
+// Magnitudes returns |V| for every sample.
+func (t *Trace) Magnitudes() []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.V.Norm()
+	}
+	return out
+}
+
+// Rates returns the per-sample magnitude change rate |dB|/dt between
+// consecutive samples (length Len()-1). It is the signal behind the
+// paper's changing-rate threshold βt.
+func (t *Trace) Rates() []float64 {
+	if len(t.Samples) < 2 {
+		return nil
+	}
+	out := make([]float64, len(t.Samples)-1)
+	for i := 1; i < len(t.Samples); i++ {
+		dt := t.Samples[i].T - t.Samples[i-1].T
+		if dt <= 0 {
+			out[i-1] = 0
+			continue
+		}
+		out[i-1] = t.Samples[i].V.Sub(t.Samples[i-1].V).Norm() / dt
+	}
+	return out
+}

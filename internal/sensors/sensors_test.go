@@ -1,0 +1,157 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voiceguard/internal/geometry"
+)
+
+func TestReadQuantization(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := Spec{Name: "q", LSB: 0.3, SampleRate: 100}
+	s := New(spec, rng)
+	v := s.Read(geometry.Vec3{X: 10.123, Y: -5.55, Z: 0.07})
+	for _, c := range []float64{v.X, v.Y, v.Z} {
+		steps := c / 0.3
+		if math.Abs(steps-math.Round(steps)) > 1e-9 {
+			t.Errorf("component %v not on 0.3 grid", c)
+		}
+	}
+}
+
+func TestReadSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := Spec{Name: "s", RangeMax: 1200, SampleRate: 100}
+	s := New(spec, rng)
+	v := s.Read(geometry.Vec3{X: 5000, Y: -5000, Z: 0})
+	if v.X != 1200 || v.Y != -1200 {
+		t.Errorf("saturated read = %v", v)
+	}
+}
+
+func TestReadNoiseStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := Spec{Name: "n", NoiseRMS: 0.35, SampleRate: 100}
+	s := New(spec, rng)
+	const n = 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Read(geometry.Vec3{})
+		sum += v.X
+		sumsq += v.X * v.X
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	// Mean should be near the drawn bias (0 here since BiasRMS=0).
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("noise mean = %v", mean)
+	}
+	if math.Abs(sd-0.35) > 0.03 {
+		t.Errorf("noise sd = %v, want 0.35", sd)
+	}
+}
+
+func TestBiasConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	spec := Spec{Name: "b", BiasRMS: 2, SampleRate: 100}
+	s := New(spec, rng)
+	b := s.Bias()
+	if b.Norm() == 0 {
+		t.Error("bias should be drawn nonzero almost surely")
+	}
+	// With no noise, reads = truth + bias exactly.
+	v := s.Read(geometry.Vec3{X: 1, Y: 2, Z: 3})
+	want := geometry.Vec3{X: 1 + b.X, Y: 2 + b.Y, Z: 3 + b.Z}
+	if v.Sub(want).Norm() > 1e-12 {
+		t.Errorf("read = %v, want %v", v, want)
+	}
+}
+
+func TestRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := New(AK8975(), rng)
+	tr, err := s.Record(1.0, func(t float64) geometry.Vec3 {
+		return geometry.Vec3{X: 48}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 100 {
+		t.Errorf("samples = %d, want 100", tr.Len())
+	}
+	if tr.Samples[0].T != 0 {
+		t.Error("first sample should be at t=0")
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Samples[i].T <= tr.Samples[i-1].T {
+			t.Fatal("timestamps not increasing")
+		}
+	}
+	mags := tr.Magnitudes()
+	if len(mags) != tr.Len() {
+		t.Fatal("magnitude length mismatch")
+	}
+	m, _ := meanOf(mags)
+	if math.Abs(m-48) > 2 {
+		t.Errorf("mean magnitude = %v, want ≈48", m)
+	}
+}
+
+func meanOf(x []float64) (float64, bool) {
+	if len(x) == 0 {
+		return 0, false
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x)), true
+}
+
+func TestRecordErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := New(AK8975(), rng)
+	if _, err := s.Record(0, func(float64) geometry.Vec3 { return geometry.Vec3{} }); err == nil {
+		t.Error("zero duration should error")
+	}
+	noRate := New(Spec{Name: "x"}, rng)
+	if _, err := noRate.Record(1, func(float64) geometry.Vec3 { return geometry.Vec3{} }); err == nil {
+		t.Error("zero rate should error")
+	}
+}
+
+func TestRates(t *testing.T) {
+	tr := &Trace{Samples: []Sample{
+		{T: 0, V: geometry.Vec3{X: 0}},
+		{T: 0.1, V: geometry.Vec3{X: 3}},
+		{T: 0.2, V: geometry.Vec3{X: 3}},
+	}}
+	r := tr.Rates()
+	if len(r) != 2 {
+		t.Fatalf("rates len = %d", len(r))
+	}
+	if math.Abs(r[0]-30) > 1e-9 || r[1] != 0 {
+		t.Errorf("rates = %v", r)
+	}
+	if (&Trace{}).Rates() != nil {
+		t.Error("empty trace rates should be nil")
+	}
+	// Non-increasing timestamps yield 0 rather than Inf.
+	bad := &Trace{Samples: []Sample{{T: 1}, {T: 1}}}
+	if got := bad.Rates(); got[0] != 0 {
+		t.Errorf("degenerate dt rate = %v", got[0])
+	}
+}
+
+func TestDefaultSpecsPlausible(t *testing.T) {
+	for _, spec := range []Spec{AK8975(), PhoneAccelerometer(), PhoneGyroscope()} {
+		if spec.Name == "" || spec.SampleRate <= 0 || spec.NoiseRMS <= 0 {
+			t.Errorf("spec %+v incomplete", spec)
+		}
+	}
+	if AK8975().LSB != 0.3 || AK8975().RangeMax != 1200 {
+		t.Error("AK8975 must match the paper's datasheet values")
+	}
+}

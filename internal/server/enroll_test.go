@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/audio"
+	"voiceguard/internal/client"
+	"voiceguard/internal/core"
+	"voiceguard/internal/speech"
+)
+
+// asvServer builds a server with the identity stage attached.
+func asvServer(t *testing.T) (*httptest.Server, *core.SpeakerVerifier) {
+	t.Helper()
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := speech.NewRoster(4, 900)
+	utts, err := roster.Generate(speech.CorpusConfig{Sessions: 2, UtterancesPerSession: 2, Digits: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := make(map[string][][]*audio.Signal)
+	for spk, us := range speech.BySpeaker(utts) {
+		perSession := map[int][]*audio.Signal{}
+		maxSess := 0
+		for _, u := range us {
+			perSession[u.Session] = append(perSession[u.Session], u.Audio)
+			if u.Session > maxSess {
+				maxSess = u.Session
+			}
+		}
+		for s := 0; s <= maxSess; s++ {
+			bg[spk] = append(bg[spk], perSession[s])
+		}
+	}
+	verifier, err := core.TrainSpeakerVerifier(bg, core.SpeakerVerifierConfig{Components: 8, Seed: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AttachIdentity(verifier)
+	srv, err := New(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, verifier
+}
+
+func TestEnrollEndToEnd(t *testing.T) {
+	ts, verifier := asvServer(t)
+	rng := rand.New(rand.NewSource(901))
+	victim := speech.RandomProfile("alice", rng)
+	synth, err := speech.NewSynthesizer(victim, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var session []*audio.Signal
+	for k := 0; k < 3; k++ {
+		utt, err := synth.SayDigits("314159")
+		if err != nil {
+			t.Fatal(err)
+		}
+		session = append(session, utt)
+	}
+	c := client.New(ts.URL)
+	if err := c.Enroll("alice", [][]*audio.Signal{session}); err != nil {
+		t.Fatal(err)
+	}
+	// The enrolled user scores well against their own voice.
+	test, err := synth.SayDigits("314159")
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := verifier.Score("alice", test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score <= 0 {
+		t.Errorf("enrolled genuine score = %v, want positive LLR", score)
+	}
+	// And a full verification session including stage 4 succeeds.
+	verifier.Threshold = score - 1
+	genuine, err := attack.Genuine(victim, attack.Scenario{
+		ClaimedUser: "alice", Passphrase: "314159", Seed: 902,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Verify(genuine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Response.Accepted {
+		t.Errorf("full four-stage verification rejected: %+v", res.Response)
+	}
+	if len(res.Response.Stages) != 4 {
+		t.Errorf("stages = %d, want 4", len(res.Response.Stages))
+	}
+}
+
+func TestEnrollWithoutASV(t *testing.T) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	rng := rand.New(rand.NewSource(903))
+	p := speech.RandomProfile("bob", rng)
+	synth, err := speech.NewSynthesizer(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utt, err := synth.SayDigits("111111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = client.New(ts.URL).Enroll("bob", [][]*audio.Signal{{utt}})
+	if err == nil {
+		t.Error("enrollment without ASV stage accepted")
+	}
+}
+
+func TestEnrollRejectsGarbage(t *testing.T) {
+	ts, _ := asvServer(t)
+	resp, err := http.Post(ts.URL+"/enroll", "application/gzip", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := http.Get(ts.URL + "/enroll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", getResp.StatusCode)
+	}
+}

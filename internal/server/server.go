@@ -1,0 +1,223 @@
+// Package server implements the verification backend of the paper's
+// prototype (§V): an HTTP server that accepts gzip-compressed session
+// uploads on /verify, runs the VoiceGuard pipeline, and returns the
+// decision. The paper uses Tornado for parallel request handling; net/http
+// provides the same per-request concurrency here.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"voiceguard/internal/core"
+	"voiceguard/internal/protocol"
+)
+
+// Server wraps the pipeline behind HTTP.
+type Server struct {
+	system *core.System
+	logger *log.Logger
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts served requests.
+type Stats struct {
+	// Requests is the total number of /verify calls.
+	Requests int
+	// Accepted and Rejected count decisions.
+	Accepted, Rejected int
+	// Errors counts malformed or failed requests.
+	Errors int
+}
+
+// New builds a server around a pipeline. logger may be nil to disable
+// request logging.
+func New(system *core.System, logger *log.Logger) (*Server, error) {
+	if system == nil {
+		return nil, errors.New("server: nil system")
+	}
+	return &Server{system: system, logger: logger}, nil
+}
+
+// Handler returns the HTTP routing for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/verify", s.handleVerify)
+	mux.HandleFunc("/voiceprint", s.handleVoiceprint)
+	mux.HandleFunc("/enroll", s.handleEnroll)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// handleEnroll registers a user with the ASV stage. It requires the
+// server to have an identity back-end attached.
+func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	respond := func(status int, resp *protocol.EnrollResponse) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			s.logf("server: encoding enroll response: %v", err)
+		}
+	}
+	if s.system.Identity == nil {
+		respond(http.StatusNotImplemented, &protocol.EnrollResponse{Error: "no ASV stage attached"})
+		return
+	}
+	req, err := protocol.DecodeEnroll(r.Body)
+	if err != nil {
+		respond(http.StatusBadRequest, &protocol.EnrollResponse{Error: err.Error()})
+		return
+	}
+	sessions, err := protocol.SessionsFromEnroll(req)
+	if err != nil {
+		respond(http.StatusBadRequest, &protocol.EnrollResponse{Error: err.Error()})
+		return
+	}
+	if err := s.system.Identity.Enroll(req.User, sessions); err != nil {
+		respond(http.StatusUnprocessableEntity, &protocol.EnrollResponse{Error: err.Error()})
+		return
+	}
+	s.logf("server: enrolled user %q (%d sessions)", req.User, len(sessions))
+	respond(http.StatusOK, &protocol.EnrollResponse{OK: true})
+}
+
+// handleVoiceprint serves the voice-only baseline scheme (Fig. 15): it
+// runs only the ASV stage when one is attached, and accepts otherwise
+// (transport-path measurement).
+func (s *Server) handleVoiceprint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := protocol.DecodeVoiceprint(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := &protocol.VerifyResponse{Accepted: true}
+	if s.system.Identity != nil {
+		voice, err := protocol.VoiceFromRequest(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res := s.system.Identity.Verify(req.ClaimedUser, voice)
+		resp.Accepted = res.Pass
+		if !res.Pass {
+			resp.FailedStage = res.Stage.String()
+		}
+		resp.Stages = []protocol.StageJSON{{
+			Stage: res.Stage.String(), Pass: res.Pass, Score: res.Score, Detail: res.Detail,
+		}}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.logf("server: encoding voiceprint response: %v", err)
+	}
+}
+
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	st := s.Stats()
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		s.logf("server: encoding stats: %v", err)
+	}
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	s.stats.Requests++
+	s.mu.Unlock()
+
+	fail := func(status int, msg string) {
+		s.mu.Lock()
+		s.stats.Errors++
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		resp := &protocol.VerifyResponse{Error: msg}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			s.logf("server: encoding error response: %v", err)
+		}
+	}
+
+	req, err := protocol.DecodeRequest(r.Body)
+	if err != nil {
+		fail(http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	session, err := protocol.ToSession(req)
+	if err != nil {
+		fail(http.StatusBadRequest, fmt.Sprintf("rebuilding session: %v", err))
+		return
+	}
+	decision, err := s.system.Verify(session)
+	if err != nil {
+		fail(http.StatusUnprocessableEntity, fmt.Sprintf("verifying: %v", err))
+		return
+	}
+	s.mu.Lock()
+	if decision.Accepted {
+		s.stats.Accepted++
+	} else {
+		s.stats.Rejected++
+	}
+	s.mu.Unlock()
+	s.logf("server: user=%q decision=%v elapsed=%v", req.ClaimedUser, decision, time.Since(start))
+
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(protocol.DecisionToResponse(decision)); err != nil {
+		s.logf("server: encoding response: %v", err)
+	}
+}
+
+// ListenAndServe starts the server on addr and blocks. It returns the
+// bound address through the ready channel (useful for tests binding
+// port 0).
+func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listening on %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return srv.Serve(ln)
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/client"
+	"voiceguard/internal/core"
+	"voiceguard/internal/device"
+	"voiceguard/internal/protocol"
+	"voiceguard/internal/ranging"
+	"voiceguard/internal/speech"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestNewRequiresSystem(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil system accepted")
+	}
+}
+
+func TestEndToEndGenuineAccepted(t *testing.T) {
+	srv, ts := testServer(t)
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(1)))
+	session, err := attack.Genuine(victim, attack.Scenario{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(ts.URL)
+	res, err := c.Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Response.Accepted {
+		t.Errorf("genuine rejected: %+v", res.Response)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time measured")
+	}
+	if res.PayloadBytes <= 0 {
+		t.Error("no payload size")
+	}
+	st := srv.Stats()
+	if st.Requests != 1 || st.Accepted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEndToEndReplayRejected(t *testing.T) {
+	srv, ts := testServer(t)
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(2)))
+	rec, err := attack.Record(victim, "472913", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := attack.Replay(rec, device.Catalog()[0], attack.Scenario{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.New(ts.URL).Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response.Accepted {
+		t.Error("replay accepted end-to-end")
+	}
+	if res.Response.FailedStage == "" {
+		t.Error("missing failed stage")
+	}
+	if srv.Stats().Rejected != 1 {
+		t.Errorf("stats = %+v", srv.Stats())
+	}
+}
+
+func TestVerifyRejectsBadMethod(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestVerifyRejectsGarbage(t *testing.T) {
+	srv, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/verify", "application/gzip", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	var vr protocol.VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Error == "" {
+		t.Error("missing error detail")
+	}
+	if srv.Stats().Errors != 1 {
+		t.Errorf("stats = %+v", srv.Stats())
+	}
+}
+
+func TestHealthAndStatsEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	go func() {
+		// Serve blocks; the test process exits and reaps it.
+		_ = srv.ListenAndServe("127.0.0.1:0", ready)
+	}()
+	addr := <-ready
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	// A second server on the same port fails to bind.
+	srv2, err := New(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.ListenAndServe(addr, nil); err == nil {
+		t.Error("double bind accepted")
+	}
+}
+
+func TestConcurrentVerifications(t *testing.T) {
+	srv, ts := testServer(t)
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(3)))
+	session, err := attack.Genuine(victim, attack.Scenario{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := protocol.FromSession(session, ranging.DefaultPilotHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := protocol.EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/verify", "application/gzip", bytes.NewReader(payload))
+			if err == nil {
+				resp.Body.Close()
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Stats().Requests; got != n {
+		t.Errorf("requests = %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,152 @@
+package soundfield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"voiceguard/internal/geometry"
+)
+
+// This file implements the paper's §VII "Dual Microphones" extension:
+// phones like the Nexus 4 carry a second (noise-cancellation) microphone,
+// and the sound level difference (SLD) between the two mics adds a
+// distance- and size-sensitive observable that reduces the sweep motion
+// the sound-field verifier needs. The primary mic sits at the phone's
+// bottom edge near the source during the gesture; the secondary mic sits
+// at the top, roughly a phone length farther away. A nearby compact
+// source produces a large SLD (the level falls steeply across the phone);
+// an extended or distant source flattens it.
+
+// DualMicConfig describes the two-microphone layout and the measurement.
+type DualMicConfig struct {
+	// Distance is the primary-mic standoff from the source in meters.
+	Distance float64
+	// MicSpacing is the distance between the two microphones in meters
+	// (phone length, ≈0.12 for the paper's testbeds).
+	MicSpacing float64
+	// ProbeFreqs are the analysis bands in Hz.
+	ProbeFreqs []float64
+	// Positions is the number of (shortened) sweep positions.
+	Positions int
+	// HalfAngleDeg is the shortened sweep half-width. The whole point of
+	// the dual-mic extension is that this can be much smaller than the
+	// single-mic sweep.
+	HalfAngleDeg float64
+	// NoiseDB is the per-measurement level noise.
+	NoiseDB float64
+}
+
+// DefaultDualMic returns the §VII configuration: half the single-mic
+// sweep width, the Nexus-class mic spacing.
+func DefaultDualMic(distance float64) DualMicConfig {
+	if distance <= 0 {
+		distance = 0.06
+	}
+	single := DefaultSweep(distance)
+	return DualMicConfig{
+		Distance:     distance,
+		MicSpacing:   0.12,
+		ProbeFreqs:   single.ProbeFreqs,
+		Positions:    12,
+		HalfAngleDeg: single.HalfAngleDeg / 2,
+		NoiseDB:      single.NoiseDB,
+	}
+}
+
+// SLDMeasurement is one dual-mic sample: the primary level and the
+// level difference to the secondary mic in one band at one position.
+type SLDMeasurement struct {
+	// AngleDeg is the sweep position.
+	AngleDeg float64
+	// FreqHz is the analysis band.
+	FreqHz float64
+	// PrimaryDB is the primary-mic level.
+	PrimaryDB float64
+	// SLDB is primary minus secondary level in dB (positive when the
+	// primary mic, nearer the source, is louder).
+	SLDB float64
+}
+
+// DualMicSweep samples a source with both microphones along the
+// shortened sweep.
+func DualMicSweep(src Source, cfg DualMicConfig, rng *rand.Rand) ([]SLDMeasurement, error) {
+	if cfg.Positions < 2 {
+		return nil, fmt.Errorf("soundfield: dual-mic sweep needs ≥2 positions, have %d", cfg.Positions)
+	}
+	if cfg.Distance <= 0 || cfg.MicSpacing <= 0 {
+		return nil, fmt.Errorf("soundfield: bad dual-mic geometry d=%v spacing=%v", cfg.Distance, cfg.MicSpacing)
+	}
+	if len(cfg.ProbeFreqs) == 0 {
+		return nil, fmt.Errorf("soundfield: no probe frequencies")
+	}
+	out := make([]SLDMeasurement, 0, cfg.Positions*len(cfg.ProbeFreqs))
+	for i := 0; i < cfg.Positions; i++ {
+		frac := float64(i)/float64(cfg.Positions-1)*2 - 1
+		angle := frac * cfg.HalfAngleDeg * math.Pi / 180
+		// Primary mic on the sweep arc; secondary a phone length farther
+		// along the same bearing.
+		dir := geometry.Vec2{X: math.Cos(angle), Y: math.Sin(angle)}
+		primary := dir.Scale(cfg.Distance)
+		secondary := dir.Scale(cfg.Distance + cfg.MicSpacing)
+		for _, f := range cfg.ProbeFreqs {
+			lp := src.IntensityDB(primary, f)
+			ls := src.IntensityDB(secondary, f)
+			if cfg.NoiseDB > 0 {
+				lp += rng.NormFloat64() * cfg.NoiseDB
+				ls += rng.NormFloat64() * cfg.NoiseDB
+			}
+			out = append(out, SLDMeasurement{
+				AngleDeg:  frac * cfg.HalfAngleDeg,
+				FreqHz:    f,
+				PrimaryDB: lp,
+				SLDB:      lp - ls,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SLDFeatureVector flattens dual-mic measurements for the SVM: per-band
+// mean-centered primary levels (the shortened sweep's spatial shape) plus
+// the raw SLD values (absolute-loudness-invariant by construction: a gain
+// change shifts both mics equally).
+func SLDFeatureVector(ms []SLDMeasurement) []float64 {
+	if len(ms) == 0 {
+		return nil
+	}
+	bandOrder := make([]float64, 0, 8)
+	byBand := make(map[float64][]SLDMeasurement)
+	for _, m := range ms {
+		if _, ok := byBand[m.FreqHz]; !ok {
+			bandOrder = append(bandOrder, m.FreqHz)
+		}
+		byBand[m.FreqHz] = append(byBand[m.FreqHz], m)
+	}
+	out := make([]float64, 0, 2*len(ms))
+	for _, f := range bandOrder {
+		group := byBand[f]
+		var mean float64
+		for _, m := range group {
+			mean += m.PrimaryDB
+		}
+		mean /= float64(len(group))
+		for _, m := range group {
+			out = append(out, m.PrimaryDB-mean)
+		}
+		for _, m := range group {
+			out = append(out, m.SLDB)
+		}
+	}
+	return out
+}
+
+// ExpectedPointSourceSLD returns the SLD a point source at the given
+// standoff would produce across the mic spacing — the far-field
+// reference the verifier's features are compared against implicitly.
+func ExpectedPointSourceSLD(distance, spacing float64) float64 {
+	if distance <= 0 || spacing <= 0 {
+		return 0
+	}
+	return 20 * math.Log10((distance+spacing)/distance)
+}

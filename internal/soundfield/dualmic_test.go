@@ -1,0 +1,146 @@
+package soundfield
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualMicSweepValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []DualMicConfig{
+		{Distance: 0.06, MicSpacing: 0.12, ProbeFreqs: []float64{1000}, Positions: 1},
+		{Distance: 0, MicSpacing: 0.12, ProbeFreqs: []float64{1000}, Positions: 4},
+		{Distance: 0.06, MicSpacing: 0, ProbeFreqs: []float64{1000}, Positions: 4},
+		{Distance: 0.06, MicSpacing: 0.12, Positions: 4},
+	}
+	for i, cfg := range bad {
+		if _, err := DualMicSweep(Mouth(), cfg, rng); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	cfg := DefaultDualMic(0.06)
+	ms, err := DualMicSweep(Mouth(), cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != cfg.Positions*len(cfg.ProbeFreqs) {
+		t.Errorf("measurements = %d", len(ms))
+	}
+}
+
+func TestDualMicSLDSign(t *testing.T) {
+	// The primary mic is nearer the source: the SLD must be positive for
+	// every source type.
+	cfg := DefaultDualMic(0.06)
+	cfg.NoiseDB = 0
+	rng := rand.New(rand.NewSource(2))
+	for _, src := range []Source{Mouth(), Earphone(), ConeSpeaker("c", 0.04)} {
+		ms, err := DualMicSweep(src, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			if m.SLDB <= 0 {
+				t.Errorf("%s: non-positive SLD %v at %v°", src.Name(), m.SLDB, m.AngleDeg)
+				break
+			}
+		}
+	}
+}
+
+func TestDualMicSLDNearPointPrediction(t *testing.T) {
+	// A tiny source behaves like a point source: measured SLD close to
+	// the analytic 20·log10((d+L)/d).
+	cfg := DefaultDualMic(0.06)
+	cfg.NoiseDB = 0
+	rng := rand.New(rand.NewSource(3))
+	ms, err := DualMicSweep(Earphone(), cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedPointSourceSLD(0.06, 0.12)
+	// On-axis positions only (middle of the sweep).
+	var mid []SLDMeasurement
+	for _, m := range ms {
+		if math.Abs(m.AngleDeg) < 5 {
+			mid = append(mid, m)
+		}
+	}
+	if len(mid) == 0 {
+		t.Fatal("no near-axis measurements")
+	}
+	for _, m := range mid {
+		if math.Abs(m.SLDB-want) > 1.5 {
+			t.Errorf("SLD %v at %v Hz, want ≈%v", m.SLDB, m.FreqHz, want)
+		}
+	}
+}
+
+func TestExpectedPointSourceSLD(t *testing.T) {
+	// 6 cm standoff, 12 cm spacing → 3x distance ratio → ≈9.54 dB.
+	if got := ExpectedPointSourceSLD(0.06, 0.12); math.Abs(got-9.54) > 0.01 {
+		t.Errorf("SLD = %v, want 9.54", got)
+	}
+	if ExpectedPointSourceSLD(0, 0.12) != 0 || ExpectedPointSourceSLD(0.06, 0) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestSLDFeatureVector(t *testing.T) {
+	ms := []SLDMeasurement{
+		{AngleDeg: -20, FreqHz: 1000, PrimaryDB: 60, SLDB: 9},
+		{AngleDeg: 20, FreqHz: 1000, PrimaryDB: 62, SLDB: 10},
+	}
+	fv := SLDFeatureVector(ms)
+	// 2 centered levels + 2 SLDs.
+	if len(fv) != 4 {
+		t.Fatalf("len = %d", len(fv))
+	}
+	if math.Abs(fv[0]+fv[1]) > 1e-9 {
+		t.Error("levels not centered")
+	}
+	if fv[2] != 9 || fv[3] != 10 {
+		t.Errorf("SLD features = %v", fv[2:])
+	}
+	if SLDFeatureVector(nil) != nil {
+		t.Error("empty should be nil")
+	}
+	// Loudness invariance.
+	loud := make([]SLDMeasurement, len(ms))
+	copy(loud, ms)
+	for i := range loud {
+		loud[i].PrimaryDB += 15
+	}
+	fv2 := SLDFeatureVector(loud)
+	for i := range fv {
+		if math.Abs(fv[i]-fv2[i]) > 1e-9 {
+			t.Fatal("features must be loudness-invariant")
+		}
+	}
+}
+
+func TestDualMicDiscriminatesLargeSources(t *testing.T) {
+	// An extended source (electrostatic panel) flattens the SLD relative
+	// to a compact one at the same standoff — the physical basis of the
+	// dual-mic check.
+	cfg := DefaultDualMic(0.06)
+	cfg.NoiseDB = 0
+	rng := rand.New(rand.NewSource(4))
+	meanSLD := func(src Source) float64 {
+		ms, err := DualMicSweep(src, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, m := range ms {
+			s += m.SLDB
+		}
+		return s / float64(len(ms))
+	}
+	small := meanSLD(Earphone())
+	panel := meanSLD(Electrostatic())
+	if panel >= small-1 {
+		t.Errorf("panel SLD %v not well below compact-source SLD %v", panel, small)
+	}
+}

@@ -1,0 +1,330 @@
+package soundfield
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voiceguard/internal/geometry"
+	"voiceguard/internal/pca"
+	"voiceguard/internal/svm"
+)
+
+func TestBesselJ1KnownValues(t *testing.T) {
+	// Reference values of J1.
+	cases := []struct{ x, want float64 }{
+		{0, 0},
+		{1, 0.4400505857},
+		{2, 0.5767248078},
+		{3.8317, 0.0000184}, // first zero of J1
+		{5, -0.3275791376},
+		{10, 0.0434727462},
+		{-1, -0.4400505857},
+	}
+	for _, tc := range cases {
+		got := besselJ1(tc.x)
+		if math.Abs(got-tc.want) > 2e-4 {
+			t.Errorf("J1(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestPistonDirectivityOnAxis(t *testing.T) {
+	if d := pistonDirectivity(5, 0); math.Abs(d-1) > 1e-9 {
+		t.Errorf("on-axis directivity = %v, want 1", d)
+	}
+	// Larger ka → narrower beam: off-axis response drops.
+	small := pistonDirectivity(0.3, 0.6)
+	large := pistonDirectivity(6, 0.6)
+	if large >= small {
+		t.Errorf("directivity should narrow with ka: small=%v large=%v", small, large)
+	}
+}
+
+func TestPistonInverseDistance(t *testing.T) {
+	p := &Piston{Label: "t", Radius: 0.01, LevelAt1m: 60}
+	// Well beyond the Rayleigh distance, doubling r loses ~6 dB.
+	l1 := p.IntensityDB(geometry.Vec2{X: 0.5}, 1500)
+	l2 := p.IntensityDB(geometry.Vec2{X: 1.0}, 1500)
+	if math.Abs((l1-l2)-6.02) > 0.1 {
+		t.Errorf("distance law: %v dB per doubling, want ≈6", l1-l2)
+	}
+	// On axis at 1 m, level equals LevelAt1m.
+	if math.Abs(l2-60) > 0.01 {
+		t.Errorf("level at 1 m = %v, want 60", l2)
+	}
+}
+
+func TestNearFieldFlattening(t *testing.T) {
+	// A large cone has a long Rayleigh distance; very close to it the
+	// level rises much less than spherical spreading predicts.
+	big := &Piston{Label: "cone", Radius: 0.05, LevelAt1m: 66}
+	smallSrc := &Piston{Label: "mouth", Radius: 0.012, LevelAt1m: 66}
+	f := 4000.0
+	gainBig := big.IntensityDB(geometry.Vec2{X: 0.02}, f) - big.IntensityDB(geometry.Vec2{X: 0.10}, f)
+	gainSmall := smallSrc.IntensityDB(geometry.Vec2{X: 0.02}, f) - smallSrc.IntensityDB(geometry.Vec2{X: 0.10}, f)
+	if gainBig >= gainSmall {
+		t.Errorf("large source should show flatter near field: big=%v small=%v", gainBig, gainSmall)
+	}
+}
+
+func TestSourceNames(t *testing.T) {
+	cases := []struct {
+		src  Source
+		want string
+	}{
+		{Mouth(), "human-mouth"},
+		{Earphone(), "earphone"},
+		{ConeSpeaker("pc", 0.04), "pc"},
+		{Electrostatic(), "electrostatic-panel"},
+		{&Tube{OpeningRadius: 0.01, Length: 0.3}, "tube-r10mm-l30cm"},
+	}
+	for _, tc := range cases {
+		if got := tc.src.Name(); got != tc.want {
+			t.Errorf("name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []SweepConfig{
+		{Distance: 0.06, Points: 1, ProbeFreqs: []float64{1500}},
+		{Distance: 0, Points: 10, ProbeFreqs: []float64{1500}},
+		{Distance: 0.06, Points: 10},
+		{Distance: 0.06, Points: 10, ProbeFreqs: []float64{1500, -1}},
+	}
+	for i, cfg := range bad {
+		if _, err := Sweep(Mouth(), cfg, rng); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	ms, err := Sweep(Mouth(), DefaultSweep(0.06), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 24*5 {
+		t.Errorf("measurements = %d, want 120", len(ms))
+	}
+	if math.Abs(ms[0].AngleDeg+49.4) > 0.1 || math.Abs(ms[len(ms)-1].AngleDeg-49.4) > 0.1 {
+		t.Errorf("sweep angles %v..%v", ms[0].AngleDeg, ms[len(ms)-1].AngleDeg)
+	}
+}
+
+func TestSweepSymmetricPattern(t *testing.T) {
+	cfg := DefaultSweep(0.06)
+	cfg.NoiseDB = 0
+	nb := len(cfg.ProbeFreqs)
+	ms, err := Sweep(Earphone(), cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPos := cfg.Points
+	for i := 0; i < nPos; i++ {
+		j := nPos - 1 - i
+		for b := 0; b < nb; b++ {
+			a, bm := ms[i*nb+b], ms[j*nb+b]
+			if math.Abs(a.LevelDB-bm.LevelDB) > 1e-9 {
+				t.Fatalf("earphone pattern should be symmetric: %v vs %v (band %v)", a.LevelDB, bm.LevelDB, a.FreqHz)
+			}
+		}
+	}
+}
+
+func TestFeatureVector(t *testing.T) {
+	ms := []Measurement{
+		{AngleDeg: -40, FreqHz: 1500, LevelDB: 60},
+		{AngleDeg: 0, FreqHz: 1500, LevelDB: 64},
+		{AngleDeg: 40, FreqHz: 1500, LevelDB: 58},
+	}
+	fv := FeatureVector(ms)
+	// 3 centered levels + 1 band tilt.
+	if len(fv) != 4 {
+		t.Fatalf("len = %d", len(fv))
+	}
+	var sum float64
+	for _, v := range fv[:3] {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("level features sum to %v", sum)
+	}
+	if FeatureVector(nil) != nil {
+		t.Error("empty measurements should give nil")
+	}
+	// Absolute loudness invariance: adding 20 dB everywhere changes nothing.
+	loud := make([]Measurement, len(ms))
+	copy(loud, ms)
+	for i := range loud {
+		loud[i].LevelDB += 20
+	}
+	fv2 := FeatureVector(loud)
+	for i := range fv {
+		if math.Abs(fv[i]-fv2[i]) > 1e-9 {
+			t.Fatal("feature vector must be loudness-invariant")
+		}
+	}
+	// Two bands produce per-band centering plus tilt features.
+	multi := append(append([]Measurement{}, ms...),
+		Measurement{AngleDeg: -40, FreqHz: 6000, LevelDB: 50},
+		Measurement{AngleDeg: 0, FreqHz: 6000, LevelDB: 55},
+		Measurement{AngleDeg: 40, FreqHz: 6000, LevelDB: 48},
+	)
+	fvm := FeatureVector(multi)
+	if len(fvm) != 8 {
+		t.Fatalf("multi-band len = %d, want 8", len(fvm))
+	}
+}
+
+// gatherFeatures collects labeled sweep features for classifier tests.
+func gatherFeatures(t *testing.T, src Source, n int, dist float64, rng *rand.Rand) [][]float64 {
+	t.Helper()
+	var out [][]float64
+	for i := 0; i < n; i++ {
+		ms, err := Sweep(src, DefaultSweep(dist), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, FeatureVector(ms))
+	}
+	return out
+}
+
+func TestMouthVsEarphoneSeparable(t *testing.T) {
+	// The core claim behind Fig. 8: mouth and earphone sound fields are
+	// linearly separable after feature extraction.
+	rng := rand.New(rand.NewSource(3))
+	mouth := gatherFeatures(t, Mouth(), 40, 0.06, rng)
+	ear := gatherFeatures(t, Earphone(), 40, 0.06, rng)
+	var x [][]float64
+	var y []int
+	for _, f := range mouth {
+		x = append(x, f)
+		y = append(y, 1)
+	}
+	for _, f := range ear {
+		x = append(x, f)
+		y = append(y, -1)
+	}
+	m, err := svm.Train(x, y, svm.TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.95 {
+		t.Errorf("mouth/earphone SVM accuracy = %v", acc)
+	}
+	// Held-out data.
+	mouthT := gatherFeatures(t, Mouth(), 20, 0.06, rng)
+	earT := gatherFeatures(t, Earphone(), 20, 0.06, rng)
+	var correct, total int
+	for _, f := range mouthT {
+		if m.Predict(f) == 1 {
+			correct++
+		}
+		total++
+	}
+	for _, f := range earT {
+		if m.Predict(f) == -1 {
+			correct++
+		}
+		total++
+	}
+	if frac := float64(correct) / float64(total); frac < 0.9 {
+		t.Errorf("held-out accuracy = %v", frac)
+	}
+}
+
+func TestMouthVsConeSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mouth := gatherFeatures(t, Mouth(), 30, 0.06, rng)
+	cone := gatherFeatures(t, ConeSpeaker("pc", 0.04), 30, 0.06, rng)
+	var x [][]float64
+	var y []int
+	for _, f := range mouth {
+		x = append(x, f)
+		y = append(y, 1)
+	}
+	for _, f := range cone {
+		x = append(x, f)
+		y = append(y, -1)
+	}
+	m, err := svm.Train(x, y, svm.TrainConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.95 {
+		t.Errorf("mouth/cone SVM accuracy = %v", acc)
+	}
+}
+
+func TestPCAFig8Structure(t *testing.T) {
+	// Reproduce the structure of the paper's Fig. 8: PCA projections of
+	// mouth and earphone features form two separated clusters.
+	rng := rand.New(rand.NewSource(5))
+	mouth := gatherFeatures(t, Mouth(), 40, 0.06, rng)
+	ear := gatherFeatures(t, Earphone(), 40, 0.06, rng)
+	all := append(append([][]float64{}, mouth...), ear...)
+	model, err := pca.Fit(all, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := model.ProjectAll(mouth)
+	pe := model.ProjectAll(ear)
+	centroid := func(pts [][]float64) (cx, cy float64) {
+		for _, p := range pts {
+			cx += p[0]
+			cy += p[1]
+		}
+		n := float64(len(pts))
+		return cx / n, cy / n
+	}
+	mx, my := centroid(pm)
+	ex, ey := centroid(pe)
+	sep := math.Hypot(mx-ex, my-ey)
+	spread := func(pts [][]float64, cx, cy float64) float64 {
+		var s float64
+		for _, p := range pts {
+			s += math.Hypot(p[0]-cx, p[1]-cy)
+		}
+		return s / float64(len(pts))
+	}
+	sm := spread(pm, mx, my)
+	se := spread(pe, ex, ey)
+	if sep < 2*(sm+se)/2 {
+		t.Errorf("PCA clusters overlap: separation %v, spreads %v/%v", sep, sm, se)
+	}
+}
+
+func TestTubeCombFiltering(t *testing.T) {
+	tube := &Tube{OpeningRadius: 0.012, Length: 0.25, LevelAt1m: 60}
+	// The response across nearby frequencies swings by the comb depth.
+	p := geometry.Vec2{X: 0.06}
+	minL, maxL := math.Inf(1), math.Inf(-1)
+	for f := 1000.0; f <= 2000; f += 25 {
+		l := tube.IntensityDB(p, f)
+		minL = math.Min(minL, l)
+		maxL = math.Max(maxL, l)
+	}
+	if maxL-minL < 10 {
+		t.Errorf("tube comb swing = %v dB, want pronounced (≥10)", maxL-minL)
+	}
+	// Zero length disables the comb.
+	flat := &Tube{OpeningRadius: 0.012, Length: 0, LevelAt1m: 60}
+	l1 := flat.IntensityDB(p, 1000)
+	l2 := flat.IntensityDB(p, 1010)
+	if math.Abs(l1-l2) > 0.5 {
+		t.Errorf("zero-length tube should not comb: %v vs %v", l1, l2)
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultSweep(0.06)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(Mouth(), cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

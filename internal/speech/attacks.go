@@ -1,0 +1,172 @@
+package speech
+
+import (
+	"fmt"
+	"math/rand"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/dsp"
+)
+
+// This file implements the three voice-manipulation techniques of the
+// paper's adversary model (§III-A): human imitation, voice conversion
+// (morphing) and text-to-speech synthesis. All three output a waveform
+// that is subsequently either spoken live (imitation) or played through a
+// loudspeaker (conversion/synthesis/replay) — that last step belongs to
+// internal/attack, which wires these waveforms to loudspeaker models.
+
+// ImitationSkill describes how closely a human imitator can match the
+// victim's voice parameters (0 = not at all, 1 = perfect). The paper cites
+// studies showing even professional imitators cannot repeatedly fool an
+// ASV; professional skill here tops out around 0.6 of the parametric
+// distance.
+type ImitationSkill float64
+
+// Typical skill levels.
+const (
+	ImitatorNaive        ImitationSkill = 0.25
+	ImitatorPracticed    ImitationSkill = 0.45
+	ImitatorProfessional ImitationSkill = 0.6
+)
+
+// Imitate returns the profile an attacker voice achieves when trying to
+// mimic target with the given skill. Prosodic parameters (pitch, range,
+// rate, brightness) follow the skill level, but the vocal-tract geometry
+// (TractScale, FormantBias) is physiological and barely trainable — the
+// phonetics literature the paper cites (Mariéthoz & Bengio; Amin et al.)
+// finds imitators shift formants only slightly, which is why even
+// professionals cannot reliably fool a spectral ASV. Imitation also
+// raises parameter variability (the disguise-detection cue): jitter and
+// shimmer increase because the imitated voice is less practiced.
+func Imitate(attacker, target Profile, skill ImitationSkill, rng *rand.Rand) Profile {
+	p := attacker.Interpolate(target, float64(skill))
+	// Roll vocal-tract parameters back toward the attacker's anatomy.
+	const tractPlasticity = 0.3
+	ts := float64(skill) * tractPlasticity
+	p.TractScale = attacker.TractScale + (target.TractScale-attacker.TractScale)*ts
+	for i := range p.FormantBias {
+		p.FormantBias[i] = attacker.FormantBias[i] +
+			(target.FormantBias[i]-attacker.FormantBias[i])*ts
+	}
+	p.Name = fmt.Sprintf("%s-imitating-%s", attacker.Name, target.Name)
+	p.Jitter *= 1.8
+	if p.Jitter > 0.2 {
+		p.Jitter = 0.2
+	}
+	p.Shimmer *= 1.6
+	if p.Shimmer > 0.5 {
+		p.Shimmer = 0.5
+	}
+	// Imperfect, wandering control of the copied parameters.
+	p.F0Mean *= 1 + 0.03*rng.NormFloat64()
+	p.TractScale *= 1 + 0.01*rng.NormFloat64()
+	if err := p.Validate(); err != nil {
+		// Clamp back into range rather than fail: a human voice always
+		// produces *some* voice.
+		p = clampProfile(p)
+	}
+	return p
+}
+
+// ConversionQuality describes a voice-conversion (morphing) system's
+// fidelity: how much of the parametric distance to the target it covers.
+// Modern converters get very close (the paper assumes "high-quality output
+// with all details of the human vocal tract").
+type ConversionQuality float64
+
+// Typical converter qualities.
+const (
+	ConverterBasic    ConversionQuality = 0.85
+	ConverterAdvanced ConversionQuality = 0.97
+)
+
+// Convert renders a morphed utterance: the attacker's speech converted
+// toward the target speaker. The output closely matches the target's
+// spectral identity (it is designed to *pass* ASV) but carries mild
+// vocoder artifacts: frame-quantized F0 and a slight spectral smoothing.
+func Convert(attacker, target Profile, q ConversionQuality, digits string, rng *rand.Rand) (*audio.Signal, error) {
+	p := attacker.Interpolate(target, float64(q))
+	p.Name = fmt.Sprintf("%s-converted-to-%s", attacker.Name, target.Name)
+	// Vocoder artifact: conversion smooths source variability away.
+	p.Jitter *= 0.5
+	p.Shimmer *= 0.5
+	p = clampProfile(p)
+	synth, err := NewSynthesizer(p, rng)
+	if err != nil {
+		return nil, fmt.Errorf("speech: conversion synth: %w", err)
+	}
+	s, err := synth.SayDigits(digits)
+	if err != nil {
+		return nil, err
+	}
+	applyVocoderArtifacts(s, rng)
+	return s, nil
+}
+
+// Synthesize renders a TTS utterance in the target's voice from text (the
+// Type-3 attack: the attacker needs only text, not attacker speech). TTS
+// prosody is flatter than natural speech.
+func Synthesize(target Profile, digits string, rng *rand.Rand) (*audio.Signal, error) {
+	p := target
+	p.Name = target.Name + "-tts"
+	p.F0Range *= 0.4 // flat synthetic prosody
+	p.Jitter *= 0.3
+	p.Shimmer *= 0.3
+	p = clampProfile(p)
+	synth, err := NewSynthesizer(p, rng)
+	if err != nil {
+		return nil, fmt.Errorf("speech: tts synth: %w", err)
+	}
+	s, err := synth.SayDigits(digits)
+	if err != nil {
+		return nil, err
+	}
+	applyVocoderArtifacts(s, rng)
+	return s, nil
+}
+
+// applyVocoderArtifacts adds the subtle distortions a parametric vocoder
+// leaves behind: a gentle high-frequency roll-off and low-level frame
+// buzz. These are deliberately *too weak* for spectral countermeasures to
+// rely on — the paper's premise is that such attacks pass ASV.
+func applyVocoderArtifacts(s *audio.Signal, rng *rand.Rand) {
+	lp := dsp.NewLowPassBiquad(6800, s.Rate)
+	lp.ProcessBlock(s.Samples)
+	frame := int(0.01 * s.Rate)
+	if frame < 1 {
+		frame = 1
+	}
+	for i := 0; i < len(s.Samples); i += frame {
+		g := 1 + 0.01*rng.NormFloat64()
+		end := i + frame
+		if end > len(s.Samples) {
+			end = len(s.Samples)
+		}
+		for j := i; j < end; j++ {
+			s.Samples[j] *= g
+		}
+	}
+}
+
+// clampProfile forces every parameter into its valid range.
+func clampProfile(p Profile) Profile {
+	clamp := func(v, lo, hi float64) float64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	p.F0Mean = clamp(p.F0Mean, 50, 500)
+	p.F0Range = clamp(p.F0Range, 0, p.F0Mean)
+	p.TractScale = clamp(p.TractScale, 0.6, 1.6)
+	p.BandwidthScale = clamp(p.BandwidthScale, 0.3, 3)
+	p.Tilt = clamp(p.Tilt, 0, 1)
+	p.Jitter = clamp(p.Jitter, 0, 0.2)
+	p.Shimmer = clamp(p.Shimmer, 0, 0.5)
+	p.Breathiness = clamp(p.Breathiness, 0, 1)
+	p.Rate = clamp(p.Rate, 0.31, 3)
+	return p
+}

@@ -1,0 +1,105 @@
+package speech
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paramDistance is a crude metric over the identity-bearing parameters.
+func paramDistance(a, b Profile) float64 {
+	d := math.Abs(a.F0Mean-b.F0Mean)/200 +
+		math.Abs(a.TractScale-b.TractScale) +
+		math.Abs(a.Tilt-b.Tilt)
+	for i := range a.FormantBias {
+		d += math.Abs(a.FormantBias[i]-b.FormantBias[i]) / 500
+	}
+	return d
+}
+
+func TestImitateMovesTowardTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	attacker := RandomProfile("attacker", rng)
+	target := RandomProfile("victim", rng)
+	before := paramDistance(attacker, target)
+	for _, skill := range []ImitationSkill{ImitatorNaive, ImitatorPracticed, ImitatorProfessional} {
+		p := Imitate(attacker, target, skill, rng)
+		after := paramDistance(p, target)
+		if after >= before {
+			t.Errorf("skill %v: distance %v did not shrink from %v", skill, after, before)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("skill %v: invalid imitated profile: %v", skill, err)
+		}
+	}
+}
+
+func TestImitateRaisesVariability(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	attacker := RandomProfile("attacker", rng)
+	target := RandomProfile("victim", rng)
+	p := Imitate(attacker, target, ImitatorPracticed, rng)
+	// Jitter grows by 1.8x of the interpolated value; it must exceed the
+	// straight interpolation.
+	interp := attacker.Interpolate(target, float64(ImitatorPracticed))
+	if p.Jitter <= interp.Jitter {
+		t.Errorf("imitation jitter %v not above interpolated %v", p.Jitter, interp.Jitter)
+	}
+}
+
+func TestConvertApproachesTargetCloserThanImitation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	attacker := RandomProfile("attacker", rng)
+	target := RandomProfile("victim", rng)
+	imit := Imitate(attacker, target, ImitatorProfessional, rng)
+	conv := attacker.Interpolate(target, float64(ConverterAdvanced))
+	if paramDistance(conv, target) >= paramDistance(imit, target) {
+		t.Error("conversion should land closer to the target than human imitation")
+	}
+}
+
+func TestConvertProducesAudio(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	attacker := RandomProfile("attacker", rng)
+	target := RandomProfile("victim", rng)
+	s, err := Convert(attacker, target, ConverterAdvanced, "123456", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RMS() < 0.01 {
+		t.Errorf("converted audio near-silent: %v", s.RMS())
+	}
+	if _, err := Convert(attacker, target, ConverterAdvanced, "12x", rng); err == nil {
+		t.Error("expected error for bad digits")
+	}
+}
+
+func TestSynthesizeProducesAudio(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	target := RandomProfile("victim", rng)
+	s, err := Synthesize(target, "987654", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RMS() < 0.01 {
+		t.Errorf("tts audio near-silent: %v", s.RMS())
+	}
+	if s.Rate != DefaultRate {
+		t.Errorf("rate = %v", s.Rate)
+	}
+	if _, err := Synthesize(target, "abc", rng); err == nil {
+		t.Error("expected error for bad digits")
+	}
+}
+
+func TestClampProfileAlwaysValid(t *testing.T) {
+	wild := Profile{
+		Name: "wild", F0Mean: 9999, F0Range: -5, TractScale: 99,
+		BandwidthScale: 0, Tilt: -3, Jitter: 4, Shimmer: 7,
+		Breathiness: -1, Rate: 0,
+	}
+	p := clampProfile(wild)
+	if err := p.Validate(); err != nil {
+		t.Errorf("clamped profile still invalid: %v", err)
+	}
+}

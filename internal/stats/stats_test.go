@@ -1,0 +1,292 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFARFRRBasics(t *testing.T) {
+	s := &ScoreSet{
+		Genuine:  []float64{1, 2, 3, 4},
+		Impostor: []float64{-2, -1, 0, 1},
+	}
+	tests := []struct {
+		th       float64
+		far, frr float64
+	}{
+		{0.5, 0.25, 0}, // one impostor (1) accepted
+		{1.0, 0.25, 0}, // genuine 1 accepted (>=), impostor 1 accepted
+		{1.5, 0, 0.25}, // genuine 1 rejected
+		{-3, 1, 0},     // everything accepted
+		{100, 0, 1},    // everything rejected
+	}
+	for _, tt := range tests {
+		if got := s.FAR(tt.th); math.Abs(got-tt.far) > 1e-12 {
+			t.Errorf("FAR(%v) = %v, want %v", tt.th, got, tt.far)
+		}
+		if got := s.FRR(tt.th); math.Abs(got-tt.frr) > 1e-12 {
+			t.Errorf("FRR(%v) = %v, want %v", tt.th, got, tt.frr)
+		}
+	}
+}
+
+func TestFARFRREmptySides(t *testing.T) {
+	s := &ScoreSet{}
+	if s.FAR(0) != 0 || s.FRR(0) != 0 {
+		t.Error("empty set rates should be 0")
+	}
+	if s.DETCurve() != nil {
+		t.Error("empty DET should be nil")
+	}
+	eer, _ := s.EER()
+	if eer != 0 {
+		t.Errorf("empty EER = %v", eer)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	var s ScoreSet
+	s.Add(1, true)
+	s.Add(-1, false)
+	if len(s.Genuine) != 1 || len(s.Impostor) != 1 {
+		t.Error("Add misrouted")
+	}
+}
+
+func TestEERPerfectSeparation(t *testing.T) {
+	s := &ScoreSet{
+		Genuine:  []float64{5, 6, 7},
+		Impostor: []float64{1, 2, 3},
+	}
+	eer, th := s.EER()
+	if eer != 0 {
+		t.Errorf("EER = %v, want 0", eer)
+	}
+	if s.FAR(th) != 0 || s.FRR(th) != 0 {
+		t.Errorf("threshold %v gives FAR=%v FRR=%v", th, s.FAR(th), s.FRR(th))
+	}
+}
+
+func TestEEROverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := &ScoreSet{}
+	for i := 0; i < 2000; i++ {
+		s.Add(1+rng.NormFloat64(), true)
+		s.Add(-1+rng.NormFloat64(), false)
+	}
+	eer, _ := s.EER()
+	// Two unit Gaussians 2 apart: EER = Φ(-1) ≈ 15.9%.
+	if math.Abs(eer-0.159) > 0.025 {
+		t.Errorf("EER = %v, want ≈0.159", eer)
+	}
+}
+
+func TestEERFullOverlapNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := &ScoreSet{}
+	for i := 0; i < 3000; i++ {
+		s.Add(rng.NormFloat64(), true)
+		s.Add(rng.NormFloat64(), false)
+	}
+	eer, _ := s.EER()
+	if math.Abs(eer-0.5) > 0.03 {
+		t.Errorf("EER = %v, want ≈0.5", eer)
+	}
+}
+
+func TestDETCurveMonotone(t *testing.T) {
+	f := func(g, i []float64) bool {
+		if len(g) == 0 || len(i) == 0 || len(g) > 200 || len(i) > 200 {
+			return true
+		}
+		for _, v := range append(append([]float64{}, g...), i...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		s := &ScoreSet{Genuine: g, Impostor: i}
+		pts := s.DETCurve()
+		for k := 1; k < len(pts); k++ {
+			if pts[k].Threshold <= pts[k-1].Threshold {
+				return false
+			}
+			if pts[k].FAR > pts[k-1].FAR+1e-12 { // FAR non-increasing
+				return false
+			}
+			if pts[k].FRR < pts[k-1].FRR-1e-12 { // FRR non-decreasing
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdForFAR(t *testing.T) {
+	s := &ScoreSet{
+		Genuine:  []float64{4, 5, 6, 7},
+		Impostor: []float64{0, 1, 2, 3},
+	}
+	th := s.ThresholdForFAR(0)
+	if s.FAR(th) != 0 {
+		t.Errorf("FAR at threshold = %v", s.FAR(th))
+	}
+	// Threshold should still accept all genuine.
+	if s.FRR(th) != 0 {
+		t.Errorf("FRR at threshold = %v", s.FRR(th))
+	}
+	th25 := s.ThresholdForFAR(0.25)
+	if s.FAR(th25) > 0.25 {
+		t.Errorf("FAR(%v) = %v > 0.25", th25, s.FAR(th25))
+	}
+	if (&ScoreSet{}).ThresholdForFAR(0) != 0 {
+		t.Error("empty set threshold should be 0")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	s := &ScoreSet{
+		Genuine:  []float64{1, 3},
+		Impostor: []float64{0, 2},
+	}
+	c := s.Confusion(1.5)
+	if c.CorrectAccept != 1 || c.FalseReject != 1 || c.FalseAccept != 1 || c.CorrectReject != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	if math.Abs(c.Accuracy()-0.5) > 1e-12 {
+		t.Errorf("accuracy = %v", c.Accuracy())
+	}
+	if !strings.Contains(c.String(), "CA=1") {
+		t.Errorf("String() = %q", c.String())
+	}
+	if (Confusion{}).Accuracy() != 0 {
+		t.Error("empty confusion accuracy")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(x)
+	if err != nil || m != 5 {
+		t.Errorf("mean = %v, err %v", m, err)
+	}
+	sd, err := StdDev(x)
+	if err != nil || sd != 2 {
+		t.Errorf("stddev = %v, err %v", sd, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) err = %v", err)
+	}
+	if _, err := StdDev(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("StdDev(nil) err = %v", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{5, 1, 4, 2, 3}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {100, 5}, {-1, 1}, {101, 5},
+	}
+	for _, tc := range cases {
+		got, err := Percentile(x, tc.p)
+		if err != nil || got != tc.want {
+			t.Errorf("Percentile(%v) = %v (err %v), want %v", tc.p, got, err, tc.want)
+		}
+	}
+	// Input is not mutated.
+	if !sort.Float64sAreSorted(x) {
+		// fine: check original order retained
+		if x[0] != 5 || x[4] != 3 {
+			t.Error("Percentile mutated input")
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	perfect := &ScoreSet{Genuine: []float64{5, 6}, Impostor: []float64{1, 2}}
+	if got := perfect.AUC(); got != 1 {
+		t.Errorf("perfect AUC = %v", got)
+	}
+	inverted := &ScoreSet{Genuine: []float64{1, 2}, Impostor: []float64{5, 6}}
+	if got := inverted.AUC(); got != 0 {
+		t.Errorf("inverted AUC = %v", got)
+	}
+	ties := &ScoreSet{Genuine: []float64{1, 1}, Impostor: []float64{1, 1}}
+	if got := ties.AUC(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("all-ties AUC = %v", got)
+	}
+	if got := (&ScoreSet{}).AUC(); got != 0.5 {
+		t.Errorf("empty AUC = %v", got)
+	}
+	// Overlapping Gaussians: AUC = Φ(√2) ≈ 0.921 for unit Gaussians 2
+	// apart.
+	rng := rand.New(rand.NewSource(9))
+	s := &ScoreSet{}
+	for i := 0; i < 3000; i++ {
+		s.Add(1+rng.NormFloat64(), true)
+		s.Add(-1+rng.NormFloat64(), false)
+	}
+	if got := s.AUC(); math.Abs(got-0.921) > 0.01 {
+		t.Errorf("gaussian AUC = %v, want ≈0.921", got)
+	}
+}
+
+func TestMinDCF(t *testing.T) {
+	perfect := &ScoreSet{Genuine: []float64{5, 6}, Impostor: []float64{1, 2}}
+	c, th := perfect.MinDCF(DefaultDCF())
+	if c != 0 {
+		t.Errorf("perfect minDCF = %v", c)
+	}
+	if perfect.FAR(th) != 0 || perfect.FRR(th) != 0 {
+		t.Errorf("threshold %v not separating", th)
+	}
+	// Fully overlapping scores: minDCF should be ≤ 1 (a trivial system
+	// achieves exactly 1 after normalization).
+	rng := rand.New(rand.NewSource(10))
+	s := &ScoreSet{}
+	for i := 0; i < 500; i++ {
+		s.Add(rng.NormFloat64(), true)
+		s.Add(rng.NormFloat64(), false)
+	}
+	c, _ = s.MinDCF(DefaultDCF())
+	if c <= 0 || c > 1.01 {
+		t.Errorf("overlap minDCF = %v, want (0, 1]", c)
+	}
+	if c, _ := (&ScoreSet{}).MinDCF(DefaultDCF()); c != 0 {
+		t.Errorf("empty minDCF = %v", c)
+	}
+}
+
+func TestEERThresholdProperty(t *testing.T) {
+	// At the EER threshold, |FAR-FRR| should be the global minimum over
+	// DET points.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &ScoreSet{}
+		for i := 0; i < 100; i++ {
+			s.Add(0.8+rng.NormFloat64(), true)
+			s.Add(-0.8+rng.NormFloat64(), false)
+		}
+		_, th := s.EER()
+		gap := math.Abs(s.FAR(th) - s.FRR(th))
+		for _, p := range s.DETCurve() {
+			if math.Abs(p.FAR-p.FRR) < gap-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

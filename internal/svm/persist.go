@@ -1,0 +1,59 @@
+package svm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// modelDTO is the serialized form of a trained SVM.
+type modelDTO struct {
+	Version int       `json:"version"`
+	Weights []float64 `json:"weights"`
+	Bias    float64   `json:"bias"`
+	Mean    []float64 `json:"mean"`
+	Std     []float64 `json:"std"`
+}
+
+const persistVersion = 1
+
+// Save writes the model to w as versioned JSON.
+func (m *Model) Save(w io.Writer) error {
+	dto := modelDTO{
+		Version: persistVersion,
+		Weights: m.Weights,
+		Bias:    m.Bias,
+		Mean:    m.Mean,
+		Std:     m.Std,
+	}
+	if err := json.NewEncoder(w).Encode(dto); err != nil {
+		return fmt.Errorf("svm: saving model: %w", err)
+	}
+	return nil
+}
+
+// ErrBadModel is returned when a loaded model is internally inconsistent.
+var ErrBadModel = errors.New("svm: bad serialized model")
+
+// Load reads a model written by Save and validates its shape.
+func Load(r io.Reader) (*Model, error) {
+	var dto modelDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("svm: loading model: %w", err)
+	}
+	if dto.Version != persistVersion {
+		return nil, fmt.Errorf("svm: unsupported model version %d", dto.Version)
+	}
+	dim := len(dto.Weights)
+	if dim == 0 || len(dto.Mean) != dim || len(dto.Std) != dim {
+		return nil, fmt.Errorf("%w: inconsistent dimensions (%d weights, %d mean, %d std)",
+			ErrBadModel, dim, len(dto.Mean), len(dto.Std))
+	}
+	for i, s := range dto.Std {
+		if s <= 0 {
+			return nil, fmt.Errorf("%w: non-positive std at %d", ErrBadModel, i)
+		}
+	}
+	return &Model{Weights: dto.Weights, Bias: dto.Bias, Mean: dto.Mean, Std: dto.Std}, nil
+}

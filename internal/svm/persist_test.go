@@ -1,0 +1,47 @@
+package svm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := makeDataset(rng, 3)
+	m, err := Train(x, y, TrainConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range x[:20] {
+		if a, b := m.Margin(p), loaded.Margin(p); a != b {
+			t.Fatalf("margin mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "junk",
+		"wrong version": `{"version":7,"weights":[1],"bias":0,"mean":[0],"std":[1]}`,
+		"empty":         `{"version":1,"weights":[],"bias":0,"mean":[],"std":[]}`,
+		"ragged":        `{"version":1,"weights":[1,2],"bias":0,"mean":[0],"std":[1]}`,
+		"bad std":       `{"version":1,"weights":[1],"bias":0,"mean":[0],"std":[0]}`,
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(payload)); err == nil {
+				t.Error("corrupt model accepted")
+			}
+		})
+	}
+}

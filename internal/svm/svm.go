@@ -1,0 +1,183 @@
+// Package svm implements the linear support vector machine the paper's
+// sound-field verification component trains to separate human-mouth sound
+// fields from machine sources (§IV-B2). Training uses the Pegasos
+// primal sub-gradient algorithm; features are standardized internally.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a trained linear SVM with input standardization.
+type Model struct {
+	// Weights is the hyperplane normal in standardized feature space.
+	Weights []float64
+	// Bias is the hyperplane offset.
+	Bias float64
+	// Mean and Std are the per-feature standardization parameters
+	// estimated from the training set.
+	Mean, Std []float64
+}
+
+// TrainConfig configures Pegasos training.
+type TrainConfig struct {
+	// Lambda is the regularization strength (default 1e-3).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 50).
+	Epochs int
+	// Seed seeds the example sampling order.
+	Seed int64
+}
+
+func (c *TrainConfig) setDefaults() {
+	if c.Lambda == 0 {
+		c.Lambda = 1e-3
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 50
+	}
+}
+
+// ErrBadTrainingSet is returned for degenerate training input.
+var ErrBadTrainingSet = errors.New("svm: bad training set")
+
+// Train fits a linear SVM on examples x with labels y in {-1, +1}.
+func Train(x [][]float64, y []int, cfg TrainConfig) (*Model, error) {
+	cfg.setDefaults()
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d examples, %d labels", ErrBadTrainingSet, len(x), len(y))
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: zero-dimensional features", ErrBadTrainingSet)
+	}
+	var pos, neg int
+	for i, label := range y {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("%w: example %d has dim %d, want %d", ErrBadTrainingSet, i, len(x[i]), dim)
+		}
+		switch label {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			return nil, fmt.Errorf("%w: label %d must be ±1", ErrBadTrainingSet, label)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("%w: need both classes (pos=%d neg=%d)", ErrBadTrainingSet, pos, neg)
+	}
+
+	m := &Model{
+		Weights: make([]float64, dim),
+		Mean:    make([]float64, dim),
+		Std:     make([]float64, dim),
+	}
+	m.fitScaler(x)
+	xs := make([][]float64, len(x))
+	for i, row := range x {
+		xs[i] = m.standardize(row)
+	}
+
+	// The bias is learned as the weight of a constant augmented feature,
+	// so it is regularized like the rest of w; updating it with the raw
+	// Pegasos step 1/(λt) is numerically explosive in early iterations.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for range xs {
+			t++
+			i := rng.Intn(len(xs))
+			eta := 1 / (cfg.Lambda * float64(t))
+			margin := float64(y[i]) * (dot(m.Weights, xs[i]) + m.Bias)
+			decay := 1 - eta*cfg.Lambda
+			for d := range m.Weights {
+				m.Weights[d] *= decay
+			}
+			m.Bias *= decay
+			if margin < 1 {
+				for d := range m.Weights {
+					m.Weights[d] += eta * float64(y[i]) * xs[i][d]
+				}
+				m.Bias += eta * float64(y[i])
+			}
+		}
+	}
+	return m, nil
+}
+
+// Margin returns the signed distance proxy w·x+b for a raw (unstandardized)
+// feature vector. Positive means class +1.
+func (m *Model) Margin(x []float64) float64 {
+	return dot(m.Weights, m.standardize(x)) + m.Bias
+}
+
+// Predict returns the predicted label in {-1, +1}.
+func (m *Model) Predict(x []float64) int {
+	if m.Margin(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Accuracy returns the fraction of correct predictions on a labeled set.
+func (m *Model) Accuracy(x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var correct int
+	for i := range x {
+		if m.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+func (m *Model) fitScaler(x [][]float64) {
+	n := float64(len(x))
+	for _, row := range x {
+		for d, v := range row {
+			m.Mean[d] += v
+		}
+	}
+	for d := range m.Mean {
+		m.Mean[d] /= n
+	}
+	for _, row := range x {
+		for d, v := range row {
+			diff := v - m.Mean[d]
+			m.Std[d] += diff * diff
+		}
+	}
+	for d := range m.Std {
+		m.Std[d] = math.Sqrt(m.Std[d] / n)
+		if m.Std[d] < 1e-9 {
+			m.Std[d] = 1
+		}
+	}
+}
+
+func (m *Model) standardize(x []float64) []float64 {
+	out := make([]float64, len(m.Mean))
+	for d := range out {
+		v := 0.0
+		if d < len(x) {
+			v = x[d]
+		}
+		out[d] = (v - m.Mean[d]) / m.Std[d]
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,167 @@
+package svm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func gaussianClass(center []float64, n int, sigma float64, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, len(center))
+		for d, v := range center {
+			row[d] = v + sigma*rng.NormFloat64()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func makeDataset(rng *rand.Rand, sep float64) (x [][]float64, y []int) {
+	pos := gaussianClass([]float64{sep, sep}, 100, 1, rng)
+	neg := gaussianClass([]float64{-sep, -sep}, 100, 1, rng)
+	for _, p := range pos {
+		x = append(x, p)
+		y = append(y, 1)
+	}
+	for _, p := range neg {
+		x = append(x, p)
+		y = append(y, -1)
+	}
+	return x, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := makeDataset(rng, 3)
+	m, err := Train(x, y, TrainConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.99 {
+		t.Errorf("training accuracy = %v", acc)
+	}
+	// Held-out data.
+	xt, yt := makeDataset(rand.New(rand.NewSource(2)), 3)
+	if acc := m.Accuracy(xt, yt); acc < 0.97 {
+		t.Errorf("test accuracy = %v", acc)
+	}
+}
+
+func TestTrainOverlappingStillDecent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := makeDataset(rng, 1.2)
+	m, err := Train(x, y, TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.85 {
+		t.Errorf("accuracy on overlapping classes = %v", acc)
+	}
+}
+
+func TestMarginSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := makeDataset(rng, 4)
+	m, err := Train(x, y, TrainConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Margin([]float64{4, 4}) <= 0 {
+		t.Error("positive-class point has non-positive margin")
+	}
+	if m.Margin([]float64{-4, -4}) >= 0 {
+		t.Error("negative-class point has non-negative margin")
+	}
+	if m.Predict([]float64{4, 4}) != 1 || m.Predict([]float64{-4, -4}) != -1 {
+		t.Error("predict disagrees with margin")
+	}
+}
+
+func TestMarginGrowsWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := makeDataset(rng, 3)
+	m, err := Train(x, y, TrainConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := m.Margin([]float64{0.5, 0.5})
+	far := m.Margin([]float64{6, 6})
+	if far <= near {
+		t.Errorf("margin should grow away from boundary: near=%v far=%v", near, far)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		x    [][]float64
+		y    []int
+	}{
+		{"empty", nil, nil},
+		{"mismatch", [][]float64{{1}}, []int{1, -1}},
+		{"zero dim", [][]float64{{}}, []int{1}},
+		{"bad label", [][]float64{{1}, {2}}, []int{1, 0}},
+		{"one class", [][]float64{{1}, {2}}, []int{1, 1}},
+		{"ragged", [][]float64{{1, 2}, {3}}, []int{1, -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Train(tc.x, tc.y, TrainConfig{}); !errors.Is(err, ErrBadTrainingSet) {
+				t.Errorf("err = %v, want ErrBadTrainingSet", err)
+			}
+		})
+	}
+}
+
+func TestStandardizationHandlesScaleImbalance(t *testing.T) {
+	// One feature is on a huge scale; without standardization Pegasos
+	// would struggle to converge in few epochs.
+	rng := rand.New(rand.NewSource(6))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		x = append(x, []float64{1e6 + 1e4*rng.NormFloat64(), 1 + 0.2*rng.NormFloat64()})
+		y = append(y, 1)
+		x = append(x, []float64{1e6 + 1e4*rng.NormFloat64(), -1 + 0.2*rng.NormFloat64()})
+		y = append(y, -1)
+	}
+	m, err := Train(x, y, TrainConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.97 {
+		t.Errorf("accuracy with scale imbalance = %v", acc)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	m := &Model{Weights: []float64{1}, Mean: []float64{0}, Std: []float64{1}}
+	if m.Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestShortFeatureVectorPadded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := makeDataset(rng, 3)
+	m, err := Train(x, y, TrainConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short vector is treated as zero-padded rather than panicking.
+	_ = m.Margin([]float64{1})
+}
+
+func BenchmarkTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := makeDataset(rng, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, y, TrainConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

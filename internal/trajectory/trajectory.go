@@ -1,0 +1,296 @@
+// Package trajectory models the paper's interaction gesture (§III-C,
+// Fig. 3) and recovers the phone→source distance from sensor data
+// (§IV-B1). The user holds the phone near the head, moves it toward the
+// mouth while speaking, then sweeps it across the mouth. The approach
+// segment is close to a straight line; the sweep segment is an arc pivoting
+// around the sound source. Distance recovery combines three signals:
+//
+//   - the gyroscope turn rate ω(t) during the sweep,
+//   - the centripetal acceleration a_c(t) = r·ω² from the accelerometer,
+//     giving the pivot radius r = a_c/ω²,
+//   - the acoustic radial displacement from internal/ranging, which both
+//     scales the approach and certifies that the sweep really is centered
+//     on the sound source (a loudspeaker standing behind a fake pivot
+//     point produces a large radial variation).
+//
+// The recovered 2D positions are then circle-fitted (internal/geometry)
+// exactly as the paper describes, and the fit radius/residual become the
+// distance estimate and its quality gate.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"voiceguard/internal/fusion"
+	"voiceguard/internal/geometry"
+	"voiceguard/internal/ranging"
+	"voiceguard/internal/sensors"
+)
+
+// UseCase is the scripted motion of one verification gesture. The sound
+// source sits at SourcePos; the phone approaches from StartPos and then
+// sweeps across the source at FinalDistance.
+type UseCase struct {
+	// SourcePos is the sound-source (mouth/loudspeaker) location, m.
+	SourcePos geometry.Vec2
+	// StartPos is where the gesture begins (near the ear), m.
+	StartPos geometry.Vec2
+	// FinalDistance is the standoff during the sweep, m.
+	FinalDistance float64
+	// ApproachDur is the approach segment duration, s.
+	ApproachDur float64
+	// SweepDur is the sweep segment duration, s.
+	SweepDur float64
+	// SweepHalfAngle is the sweep amplitude in radians.
+	SweepHalfAngle float64
+}
+
+// StandardUseCase returns the paper's gesture at the given sweep
+// distance: start 14 cm from the mouth (phone at the ear), approach for
+// 1 s, sweep ±50° for 1.5 s.
+func StandardUseCase(finalDistance float64) UseCase {
+	return UseCase{
+		SourcePos:      geometry.Vec2{X: 0, Y: 0},
+		StartPos:       geometry.Vec2{X: 0.10, Y: 0.10},
+		FinalDistance:  finalDistance,
+		ApproachDur:    1.0,
+		SweepDur:       1.5,
+		SweepHalfAngle: 50 * math.Pi / 180,
+	}
+}
+
+// Validate reports whether the gesture parameters are usable.
+func (u UseCase) Validate() error {
+	switch {
+	case u.FinalDistance <= 0:
+		return fmt.Errorf("trajectory: FinalDistance %v must be positive", u.FinalDistance)
+	case u.ApproachDur <= 0 || u.SweepDur <= 0:
+		return fmt.Errorf("trajectory: durations must be positive (%v, %v)", u.ApproachDur, u.SweepDur)
+	case u.SweepHalfAngle <= 0 || u.SweepHalfAngle > math.Pi:
+		return fmt.Errorf("trajectory: SweepHalfAngle %v outside (0, π]", u.SweepHalfAngle)
+	case u.StartPos.Dist(u.SourcePos) <= u.FinalDistance:
+		return fmt.Errorf("trajectory: start %v closer than final distance %v", u.StartPos, u.FinalDistance)
+	}
+	return nil
+}
+
+// Duration returns the total gesture time in seconds.
+func (u UseCase) Duration() float64 { return u.ApproachDur + u.SweepDur }
+
+// sweepAngle returns the pivot angle offset at sweep-relative time ts.
+// One full out-and-back cycle: α(ts) = A·sin(2π ts/T).
+func (u UseCase) sweepAngle(ts float64) float64 {
+	return u.SweepHalfAngle * math.Sin(2*math.Pi*ts/u.SweepDur)
+}
+
+// PositionAt returns the phone's true position at time t.
+func (u UseCase) PositionAt(t float64) geometry.Vec2 {
+	dir := u.StartPos.Sub(u.SourcePos).Normalize()
+	baseAngle := dir.Angle()
+	if t <= 0 {
+		return u.StartPos
+	}
+	if t < u.ApproachDur {
+		// Smooth-step approach from start radius to FinalDistance along
+		// the start bearing.
+		f := t / u.ApproachDur
+		s := f * f * (3 - 2*f)
+		r0 := u.StartPos.Dist(u.SourcePos)
+		r := r0 + (u.FinalDistance-r0)*s
+		return u.SourcePos.Add(dir.Scale(r))
+	}
+	ts := t - u.ApproachDur
+	if ts > u.SweepDur {
+		ts = u.SweepDur
+	}
+	ang := baseAngle + u.sweepAngle(ts)
+	return u.SourcePos.Add(geometry.Vec2{X: math.Cos(ang), Y: math.Sin(ang)}.Scale(u.FinalDistance))
+}
+
+// HeadingAt returns the phone's true heading at time t: the phone screen
+// faces the source, so the heading is the bearing from phone to source.
+func (u UseCase) HeadingAt(t float64) float64 {
+	p := u.PositionAt(t)
+	return u.SourcePos.Sub(p).Angle()
+}
+
+// DistanceAt returns the true phone→source distance at time t.
+func (u UseCase) DistanceAt(t float64) float64 {
+	return u.PositionAt(t).Dist(u.SourcePos)
+}
+
+// TurnRateAt returns the true heading rate (rad/s) via central difference.
+func (u UseCase) TurnRateAt(t float64) float64 {
+	const h = 1e-3
+	a := u.HeadingAt(t + h)
+	b := u.HeadingAt(t - h)
+	d := a - b
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d / (2 * h)
+}
+
+// AccelAt returns the true planar acceleration (m/s²) via central
+// difference of positions.
+func (u UseCase) AccelAt(t float64) geometry.Vec2 {
+	const h = 2e-3
+	p0 := u.PositionAt(t - h)
+	p1 := u.PositionAt(t)
+	p2 := u.PositionAt(t + h)
+	return p2.Sub(p1.Scale(2)).Add(p0).Scale(1 / (h * h))
+}
+
+// Estimate is the recovered gesture geometry.
+type Estimate struct {
+	// Distance is the estimated phone→source distance during the sweep, m.
+	Distance float64
+	// Fit is the circle fitted to the reconstructed sweep positions.
+	Fit geometry.Circle
+	// Residual is the RMS circle-fit residual, m.
+	Residual float64
+	// SweepRadialStd is the standard deviation of the acoustic radial
+	// displacement across the sweep, m. A sweep genuinely centered on
+	// the sound source keeps this small; a fake pivot in front of a
+	// distant loudspeaker does not.
+	SweepRadialStd float64
+	// Turn is the total heading excursion during the sweep, rad.
+	Turn float64
+	// Positions are the reconstructed sweep positions (source-centric
+	// frame up to rotation/translation).
+	Positions []geometry.Vec2
+}
+
+// ErrInsufficientMotion is returned when the sweep has too little turning
+// for the pivot radius to be observable.
+var ErrInsufficientMotion = errors.New("trajectory: insufficient sweep motion for distance estimation")
+
+// EstimateDistance recovers the gesture geometry from fused heading, the
+// gravity-free accelerometer trace and the acoustic displacement track.
+// sweepStart/sweepEnd bound the sweep segment in seconds.
+func EstimateDistance(head *fusion.HeadingEstimate, linAccel *sensors.Trace, disp *ranging.Displacement, sweepStart, sweepEnd float64) (Estimate, error) {
+	if head == nil || linAccel == nil || disp == nil {
+		return Estimate{}, errors.New("trajectory: nil inputs")
+	}
+	if sweepEnd <= sweepStart {
+		return Estimate{}, fmt.Errorf("trajectory: empty sweep window [%v, %v]", sweepStart, sweepEnd)
+	}
+	// Collect sweep-window accelerometer samples with their turn rates.
+	type obs struct {
+		t     float64
+		r     float64 // centripetal acceleration magnitude
+		omega float64
+	}
+	var observations []obs
+	var maxOmega float64
+	for _, s := range linAccel.Samples {
+		if s.T < sweepStart || s.T > sweepEnd {
+			continue
+		}
+		w := head.OmegaAt(s.T)
+		if math.Abs(w) > maxOmega {
+			maxOmega = math.Abs(w)
+		}
+		// The centripetal component points from the phone toward the
+		// pivot — along the phone's heading, since the screen faces the
+		// source. Projecting isolates it from the tangential component,
+		// which would otherwise bias the radius upward. The heading
+		// carries a constant magnetic-declination offset; its cosine
+		// error is second-order here.
+		theta := head.ThetaAt(s.T)
+		aC := s.V.X*math.Cos(theta) + s.V.Y*math.Sin(theta)
+		observations = append(observations, obs{t: s.T, r: math.Abs(aC), omega: w})
+	}
+	if len(observations) < 8 || maxOmega < 0.3 {
+		return Estimate{}, ErrInsufficientMotion
+	}
+	// Pivot radius from samples with enough turning for a_c = r·ω² to be
+	// observable above sensor noise.
+	var radii []float64
+	for _, o := range observations {
+		if math.Abs(o.omega) < 0.5*maxOmega {
+			continue
+		}
+		radii = append(radii, o.r/(o.omega*o.omega))
+	}
+	if len(radii) < 4 {
+		return Estimate{}, ErrInsufficientMotion
+	}
+	insertionSort(radii)
+	rPivot := radii[len(radii)/2]
+
+	// Acoustic radial statistics over the sweep.
+	var drs []float64
+	for i, t := range disp.T {
+		if t >= sweepStart && t <= sweepEnd {
+			drs = append(drs, disp.Dr[i])
+		}
+	}
+	var drMean, drStd float64
+	if len(drs) > 0 {
+		for _, v := range drs {
+			drMean += v
+		}
+		drMean /= float64(len(drs))
+		for _, v := range drs {
+			drStd += (v - drMean) * (v - drMean)
+		}
+		drStd = math.Sqrt(drStd / float64(len(drs)))
+	}
+
+	// Reconstruct source-centric positions: radius = pivot radius plus
+	// the acoustic radial deviation, bearing from the fused heading
+	// (phone faces the source, so bearing = heading + π).
+	est := Estimate{SweepRadialStd: drStd}
+	var thetaMin, thetaMax float64
+	first := true
+	for _, o := range observations {
+		theta := head.ThetaAt(o.t)
+		if first {
+			thetaMin, thetaMax = theta, theta
+			first = false
+		} else {
+			thetaMin = math.Min(thetaMin, theta)
+			thetaMax = math.Max(thetaMax, theta)
+		}
+		r := rPivot + (disp.At(o.t) - drMean)
+		if r < 1e-3 {
+			r = 1e-3
+		}
+		bearing := theta + math.Pi
+		est.Positions = append(est.Positions, geometry.Vec2{
+			X: r * math.Cos(bearing),
+			Y: r * math.Sin(bearing),
+		})
+	}
+	est.Turn = thetaMax - thetaMin
+
+	if fit, err := geometry.FitCircle(est.Positions); err == nil {
+		est.Fit = fit
+		est.Residual = fit.RMSResidual(est.Positions)
+		est.Distance = fit.Radius
+	} else {
+		// Degenerate arc (e.g. nearly constant heading): fall back to the
+		// centripetal estimate.
+		est.Distance = rPivot
+		est.Residual = drStd
+	}
+	return est, nil
+}
+
+func insertionSort(x []float64) {
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
+}
