@@ -10,11 +10,15 @@ package voiceguard_test
 // cost of regenerating that artifact.
 
 import (
+	"math/rand"
 	"testing"
 
+	"voiceguard/internal/attack"
 	"voiceguard/internal/core"
 	"voiceguard/internal/experiment"
 	"voiceguard/internal/magnetics"
+	"voiceguard/internal/speech"
+	"voiceguard/internal/telemetry"
 )
 
 func logDistanceRows(b *testing.B, title string, rows []experiment.DistanceRow) {
@@ -318,6 +322,48 @@ func BenchmarkBaselineComparison(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkPerStageLatency measures the paper's §V response-time result
+// at stage granularity: it runs genuine sessions through the cascade and
+// accumulates each stage's Elapsed into telemetry histograms — the same
+// series a running server exports on /metrics — then reports the p50 and
+// p95 of every stage as benchmark metrics, so BENCH_*.json entries carry
+// a per-stage breakdown instead of only an end-to-end number.
+func BenchmarkPerStageLatency(b *testing.B) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(14)))
+	session, err := attack.Genuine(victim, attack.Scenario{Seed: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	pipeline := reg.Histogram("pipeline", nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := sys.Verify(session)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipeline.ObserveDuration(d.Elapsed)
+		for _, st := range d.Stages {
+			reg.Histogram("stage", nil, telemetry.Labels{"stage": st.Stage.MetricName()}).
+				ObserveDuration(st.Elapsed)
+		}
+	}
+	b.StopTimer()
+	for _, stage := range []string{"distance", "soundfield", "loudspeaker"} {
+		h := reg.Histogram("stage", nil, telemetry.Labels{"stage": stage})
+		if h.Count() == 0 {
+			continue
+		}
+		b.ReportMetric(h.Quantile(0.5)*1e3, stage+"-p50-ms")
+		b.ReportMetric(h.Quantile(0.95)*1e3, stage+"-p95-ms")
+	}
+	b.ReportMetric(pipeline.Quantile(0.5)*1e3, "pipeline-p50-ms")
 }
 
 // BenchmarkFig13 regenerates the Fig. 13 analog: bare vs Mu-metal-

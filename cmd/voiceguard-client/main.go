@@ -102,7 +102,8 @@ func printResult(mode string, res *client.Result) {
 	if res.Response.Accepted {
 		verdict = "ACCEPTED"
 	}
-	fmt.Printf("mode=%s: %s in %v (%d bytes uploaded)\n", mode, verdict, res.Elapsed, res.PayloadBytes)
+	fmt.Printf("mode=%s: %s in %v (server pipeline %v, %d bytes uploaded, trace %s)\n",
+		mode, verdict, res.Elapsed, res.ServerElapsed, res.PayloadBytes, res.TraceID)
 	if res.Response.FailedStage != "" {
 		fmt.Printf("  failed stage: %s\n", res.Response.FailedStage)
 	}
@@ -111,7 +112,7 @@ func printResult(mode string, res *client.Result) {
 		if !st.Pass {
 			status = "FAIL"
 		}
-		fmt.Printf("  [%s] %-30s score=%+.3f  %s\n", status, st.Stage, st.Score, st.Detail)
+		fmt.Printf("  [%s] %-30s score=%+.3f  %6dµs  %s\n", status, st.Stage, st.Score, st.ElapsedUS, st.Detail)
 	}
 	if res.Response.Error != "" {
 		fmt.Printf("  error: %s\n", res.Response.Error)

@@ -1,22 +1,30 @@
 // Command voiceguard-server runs the verification backend: it trains the
 // anti-spoofing pipeline (and optionally an ASV back-end over a synthetic
-// background population), then serves /verify, /voiceprint, /healthz and
-// /stats over HTTP.
+// background population), then serves /verify, /voiceprint, /healthz,
+// /stats and /metrics over HTTP. SIGINT/SIGTERM drain in-flight
+// verifications before exit.
 //
 // Usage:
 //
 //	voiceguard-server -addr :8443
 //	voiceguard-server -addr :8443 -asv -enroll victim:seed=17
+//	voiceguard-server -addr :8443 -pprof -metrics=false
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"voiceguard/internal/audio"
 	"voiceguard/internal/core"
@@ -29,15 +37,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "training seed")
 	asv := flag.Bool("asv", false, "train and attach the ASV (speaker-identity) stage")
 	enroll := flag.String("enroll", "", "comma-separated user:seed=N pairs to enroll synthetic users")
+	metrics := flag.Bool("metrics", true, "expose the GET /metrics Prometheus endpoint")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "voiceguard-server ", log.LstdFlags)
-	if err := run(*addr, *seed, *asv, *enroll, logger); err != nil {
-		logger.Fatal(err)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *seed, *asv, *enroll, *metrics, *withPprof, logger); err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, withASV bool, enrollSpec string, logger *log.Logger) error {
+func run(ctx context.Context, addr string, seed int64, withASV bool, enrollSpec string,
+	metrics, withPprof bool, logger *slog.Logger) error {
 	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: seed})
 	if err != nil {
 		return fmt.Errorf("building pipeline: %w", err)
@@ -53,17 +67,40 @@ func run(addr string, seed int64, withASV bool, enrollSpec string, logger *log.L
 			}
 		}
 		sys.AttachIdentity(verifier)
-		logger.Printf("ASV stage attached (%v back-end)", verifier.Backend())
+		logger.Info("ASV stage attached", "backend", verifier.Backend())
 	}
-	srv, err := server.New(sys, logger)
+	opts := []server.Option{server.WithMetricsEndpoint(metrics)}
+	if withPprof {
+		opts = append(opts, server.WithPprof())
+	}
+	srv, err := server.New(sys, logger, opts...)
 	if err != nil {
 		return err
 	}
 	ready := make(chan string, 1)
 	go func() {
-		logger.Printf("listening on %s", <-ready)
+		logger.Info("listening", "addr", <-ready, "metrics", metrics, "pprof", withPprof)
 	}()
-	return srv.ListenAndServe(addr, ready)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(addr, ready) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		logger.Info("shutting down, draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutting down: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		st := srv.Stats()
+		logger.Info("stopped", "requests", st.Requests, "accepted", st.Accepted,
+			"rejected", st.Rejected, "errors", st.Errors)
+		return nil
+	}
 }
 
 // trainASV trains the identity back-end on a synthetic background

@@ -16,7 +16,12 @@ import (
 	"voiceguard/internal/core"
 	"voiceguard/internal/protocol"
 	"voiceguard/internal/ranging"
+	"voiceguard/internal/telemetry"
 )
+
+// requestIDHeader mirrors server.RequestIDHeader (not imported to keep
+// the client free of server dependencies).
+const requestIDHeader = "X-Request-ID"
 
 // Client talks to one verification server.
 type Client struct {
@@ -38,10 +43,43 @@ func New(baseURL string) *Client {
 type Result struct {
 	// Response is the server's decision.
 	Response *protocol.VerifyResponse
+	// TraceID is the request ID the attempt ran under: generated
+	// client-side, sent as X-Request-ID, echoed by the server, stamped
+	// on the decision and the server's log line.
+	TraceID string
 	// Elapsed is the end-to-end time: encode + upload + verify + reply.
 	Elapsed time.Duration
+	// ServerElapsed is the pipeline time the server reported, so callers
+	// can split transport from processing (the paper's Fig. 15 only had
+	// the end-to-end number).
+	ServerElapsed time.Duration
 	// PayloadBytes is the compressed upload size.
 	PayloadBytes int
+}
+
+// post uploads a gzip payload under a fresh trace ID and returns the
+// response plus the ID the exchange ran under (the server's echo wins
+// when present, so a proxy-assigned ID is surfaced faithfully).
+func (c *Client) post(path string, payload []byte) (*http.Response, string, error) {
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, "", fmt.Errorf("client: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/gzip")
+	traceID := telemetry.NewTraceID()
+	req.Header.Set(requestIDHeader, traceID)
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("client: uploading to %s: %w", path, err)
+	}
+	if echoed := resp.Header.Get(requestIDHeader); echoed != "" {
+		traceID = echoed
+	}
+	return resp, traceID, nil
 }
 
 // Verify uploads a session and waits for the decision.
@@ -55,13 +93,9 @@ func (c *Client) Verify(session *core.SessionData) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	httpClient := c.HTTP
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
-	}
-	resp, err := httpClient.Post(c.BaseURL+"/verify", "application/gzip", bytes.NewReader(payload))
+	resp, traceID, err := c.post("/verify", payload)
 	if err != nil {
-		return nil, fmt.Errorf("client: uploading session: %w", err)
+		return nil, err
 	}
 	defer resp.Body.Close()
 	var vr protocol.VerifyResponse
@@ -69,9 +103,11 @@ func (c *Client) Verify(session *core.SessionData) (*Result, error) {
 		return nil, fmt.Errorf("client: decoding response: %w", err)
 	}
 	return &Result{
-		Response:     &vr,
-		Elapsed:      time.Since(start),
-		PayloadBytes: len(payload),
+		Response:      &vr,
+		TraceID:       traceID,
+		Elapsed:       time.Since(start),
+		ServerElapsed: time.Duration(vr.ElapsedUS) * time.Microsecond,
+		PayloadBytes:  len(payload),
 	}, nil
 }
 
@@ -86,13 +122,9 @@ func (c *Client) Enroll(user string, sessions [][]*audio.Signal) error {
 	if err != nil {
 		return fmt.Errorf("client: encoding enrollment: %w", err)
 	}
-	httpClient := c.HTTP
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
-	}
-	resp, err := httpClient.Post(c.BaseURL+"/enroll", "application/gzip", bytes.NewReader(payload))
+	resp, _, err := c.post("/enroll", payload)
 	if err != nil {
-		return fmt.Errorf("client: uploading enrollment: %w", err)
+		return err
 	}
 	defer resp.Body.Close()
 	var er protocol.EnrollResponse
@@ -117,18 +149,20 @@ func (c *Client) VerifyVoiceprint(user string, voice *audio.Signal) (*Result, er
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding voiceprint: %w", err)
 	}
-	httpClient := c.HTTP
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
-	}
-	resp, err := httpClient.Post(c.BaseURL+"/voiceprint", "application/gzip", bytes.NewReader(payload))
+	resp, traceID, err := c.post("/voiceprint", payload)
 	if err != nil {
-		return nil, fmt.Errorf("client: uploading voiceprint: %w", err)
+		return nil, err
 	}
 	defer resp.Body.Close()
 	var vr protocol.VerifyResponse
 	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
 		return nil, fmt.Errorf("client: decoding voiceprint response: %w", err)
 	}
-	return &Result{Response: &vr, Elapsed: time.Since(start), PayloadBytes: len(payload)}, nil
+	return &Result{
+		Response:      &vr,
+		TraceID:       traceID,
+		Elapsed:       time.Since(start),
+		ServerElapsed: time.Duration(vr.ElapsedUS) * time.Microsecond,
+		PayloadBytes:  len(payload),
+	}, nil
 }

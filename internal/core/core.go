@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"voiceguard/internal/audio"
 	"voiceguard/internal/soundfield"
@@ -82,6 +83,24 @@ func (s Stage) String() string {
 	}
 }
 
+// MetricName is the short series label used for the stage in telemetry
+// (histogram label values, log fields); String() stays the long
+// human-readable form used in wire responses and details.
+func (s Stage) MetricName() string {
+	switch s {
+	case StageDistance:
+		return "distance"
+	case StageSoundField:
+		return "soundfield"
+	case StageLoudspeaker:
+		return "loudspeaker"
+	case StageSpeakerID:
+		return "identity"
+	default:
+		return "unknown"
+	}
+}
+
 // StageResult is one component's verdict.
 type StageResult struct {
 	// Stage identifies the component.
@@ -93,6 +112,8 @@ type StageResult struct {
 	Score float64
 	// Detail is a human-readable explanation.
 	Detail string
+	// Elapsed is the stage's processing time for this session.
+	Elapsed time.Duration
 }
 
 // Decision is the pipeline outcome for one session.
@@ -103,6 +124,11 @@ type Decision struct {
 	FailedStage Stage
 	// Stages holds every executed component result in order.
 	Stages []StageResult
+	// TraceID correlates this decision with the request that produced it
+	// (X-Request-ID on the wire, the trace_id log field server-side).
+	TraceID string
+	// Elapsed is the total pipeline latency across all executed stages.
+	Elapsed time.Duration
 }
 
 // String implements fmt.Stringer.

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"voiceguard/internal/sensors"
+	"voiceguard/internal/telemetry"
 )
 
 // System is the assembled VoiceGuard pipeline.
@@ -70,18 +72,34 @@ func (s *System) CalibrateEnvironment(ambient *sensors.Trace) {
 // ErrIncompleteSystem is returned when Verify runs with no stages.
 var ErrIncompleteSystem = errors.New("core: system has no configured stages")
 
-// Verify runs the cascade over a session. Stages execute in the paper's
-// order and the first failure rejects; all executed stage results are
-// returned for diagnostics.
+// Verify runs the cascade over a session with a freshly generated trace
+// ID. Stages execute in the paper's order and the first failure rejects;
+// all executed stage results are returned for diagnostics.
 func (s *System) Verify(session *SessionData) (Decision, error) {
+	return s.VerifyTraced(telemetry.NewTraceID(), session)
+}
+
+// VerifyTraced runs the cascade under a caller-supplied trace ID (the
+// server passes the request's X-Request-ID so decision, response and log
+// line all correlate). Each executed stage is individually timed and the
+// decision carries the total pipeline latency — the per-stage breakdown
+// behind the paper's §V end-to-end response-time result.
+func (s *System) VerifyTraced(traceID string, session *SessionData) (Decision, error) {
 	if err := session.Validate(); err != nil {
 		return Decision{}, err
 	}
 	if s.Distance == nil && s.Field == nil && s.Speaker == nil && s.Identity == nil {
 		return Decision{}, ErrIncompleteSystem
 	}
-	var d Decision
-	run := func(r StageResult) bool {
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	d := Decision{TraceID: traceID}
+	start := time.Now()
+	run := func(verify func() StageResult) bool {
+		stageStart := time.Now()
+		r := verify()
+		r.Elapsed = time.Since(stageStart)
 		d.Stages = append(d.Stages, r)
 		if !r.Pass {
 			d.FailedStage = r.Stage
@@ -89,18 +107,22 @@ func (s *System) Verify(session *SessionData) (Decision, error) {
 		}
 		return true
 	}
-	if s.Distance != nil && !run(s.Distance.Verify(session.Gesture)) {
+	done := func() (Decision, error) {
+		d.Elapsed = time.Since(start)
 		return d, nil
 	}
-	if s.Field != nil && !run(s.Field.Verify(session.Field)) {
-		return d, nil
+	if s.Distance != nil && !run(func() StageResult { return s.Distance.Verify(session.Gesture) }) {
+		return done()
 	}
-	if s.Speaker != nil && !run(s.Speaker.Verify(session.Gesture.Mag)) {
-		return d, nil
+	if s.Field != nil && !run(func() StageResult { return s.Field.Verify(session.Field) }) {
+		return done()
 	}
-	if s.Identity != nil && !run(s.Identity.Verify(session.ClaimedUser, session.Voice)) {
-		return d, nil
+	if s.Speaker != nil && !run(func() StageResult { return s.Speaker.Verify(session.Gesture.Mag) }) {
+		return done()
+	}
+	if s.Identity != nil && !run(func() StageResult { return s.Identity.Verify(session.ClaimedUser, session.Voice) }) {
+		return done()
 	}
 	d.Accepted = true
-	return d, nil
+	return done()
 }

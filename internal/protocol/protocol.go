@@ -69,6 +69,11 @@ type VerifyResponse struct {
 	FailedStage string `json:"failed_stage,omitempty"`
 	// Stages carries per-stage diagnostics.
 	Stages []StageJSON `json:"stages"`
+	// TraceID correlates the response with the server's log line and the
+	// X-Request-ID header of the request that produced it.
+	TraceID string `json:"trace_id,omitempty"`
+	// ElapsedUS is the total pipeline latency in microseconds.
+	ElapsedUS int64 `json:"elapsed_us,omitempty"`
 	// Error is set when the request could not be processed.
 	Error string `json:"error,omitempty"`
 }
@@ -79,6 +84,8 @@ type StageJSON struct {
 	Pass   bool    `json:"pass"`
 	Score  float64 `json:"score"`
 	Detail string  `json:"detail"`
+	// ElapsedUS is the stage's processing time in microseconds.
+	ElapsedUS int64 `json:"elapsed_us,omitempty"`
 }
 
 // VoiceprintRequest is the voice-only baseline upload (the WeChat-style
@@ -376,16 +383,21 @@ func ToSession(req *VerifyRequest) (*core.SessionData, error) {
 
 // DecisionToResponse converts a pipeline decision.
 func DecisionToResponse(d core.Decision) *VerifyResponse {
-	resp := &VerifyResponse{Accepted: d.Accepted}
+	resp := &VerifyResponse{
+		Accepted:  d.Accepted,
+		TraceID:   d.TraceID,
+		ElapsedUS: d.Elapsed.Microseconds(),
+	}
 	if !d.Accepted {
 		resp.FailedStage = d.FailedStage.String()
 	}
 	for _, st := range d.Stages {
 		resp.Stages = append(resp.Stages, StageJSON{
-			Stage:  st.Stage.String(),
-			Pass:   st.Pass,
-			Score:  st.Score,
-			Detail: st.Detail,
+			Stage:     st.Stage.String(),
+			Pass:      st.Pass,
+			Score:     st.Score,
+			Detail:    st.Detail,
+			ElapsedUS: st.Elapsed.Microseconds(),
 		})
 	}
 	return resp

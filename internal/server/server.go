@@ -2,52 +2,128 @@
 // prototype (§V): an HTTP server that accepts gzip-compressed session
 // uploads on /verify, runs the VoiceGuard pipeline, and returns the
 // decision. The paper uses Tornado for parallel request handling; net/http
-// provides the same per-request concurrency here.
+// provides the same per-request concurrency here. Every request is traced
+// (X-Request-ID), timed per pipeline stage, and counted in a telemetry
+// registry exposed on /metrics in Prometheus text format.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"voiceguard/internal/core"
 	"voiceguard/internal/protocol"
+	"voiceguard/internal/telemetry"
+)
+
+// Metric names exported on /metrics.
+const (
+	MetricStageLatency    = "voiceguard_stage_latency_seconds"
+	MetricPipelineLatency = "voiceguard_pipeline_latency_seconds"
+	MetricVerifyTotal     = "voiceguard_verify_total"
+	MetricHTTPRequests    = "voiceguard_http_requests_total"
+	MetricHTTPDuration    = "voiceguard_http_request_duration_seconds"
+	MetricHTTPInflight    = "voiceguard_http_inflight_requests"
 )
 
 // Server wraps the pipeline behind HTTP.
 type Server struct {
-	system *core.System
-	logger *log.Logger
+	system     *core.System
+	logger     *slog.Logger
+	registry   *telemetry.Registry
+	pprof      bool
+	metricsOff bool
 
-	mu    sync.Mutex
-	stats Stats
+	// Verify outcome counters. Total requests is their sum, so the
+	// Requests == Accepted+Rejected+Errors invariant holds by
+	// construction under any interleaving.
+	accepted, rejected, errored *telemetry.Counter
+	pipelineHist                *telemetry.Histogram
+	stageHist                   map[core.Stage]*telemetry.Histogram
+
+	mu      sync.Mutex
+	httpSrv *http.Server
 }
 
-// Stats counts served requests.
+// Option configures optional server behavior.
+type Option func(*Server)
+
+// WithPprof mounts net/http/pprof profiling handlers under
+// /debug/pprof/. Off by default: profiling endpoints expose internals
+// and cost CPU when scraped.
+func WithPprof() Option { return func(s *Server) { s.pprof = true } }
+
+// WithRegistry uses a caller-owned metrics registry instead of a fresh
+// one — lets tests and multi-server processes aggregate.
+func WithRegistry(r *telemetry.Registry) Option {
+	return func(s *Server) { s.registry = r }
+}
+
+// WithMetricsEndpoint toggles the GET /metrics exposition endpoint
+// (enabled by default). Metrics are still collected when disabled; only
+// the scrape surface goes away.
+func WithMetricsEndpoint(enabled bool) Option {
+	return func(s *Server) { s.metricsOff = !enabled }
+}
+
+// Stats counts served /verify requests. Fields are int64 so counts
+// survive long-lived high-traffic deployments.
 type Stats struct {
 	// Requests is the total number of /verify calls.
-	Requests int
+	Requests int64
 	// Accepted and Rejected count decisions.
-	Accepted, Rejected int
+	Accepted, Rejected int64
 	// Errors counts malformed or failed requests.
-	Errors int
+	Errors int64
 }
 
 // New builds a server around a pipeline. logger may be nil to disable
 // request logging.
-func New(system *core.System, logger *log.Logger) (*Server, error) {
+func New(system *core.System, logger *slog.Logger, opts ...Option) (*Server, error) {
 	if system == nil {
 		return nil, errors.New("server: nil system")
 	}
-	return &Server{system: system, logger: logger}, nil
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{system: system, logger: logger}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.registry == nil {
+		s.registry = telemetry.NewRegistry()
+	}
+	r := s.registry
+	s.accepted = r.Counter(MetricVerifyTotal, telemetry.Labels{"outcome": "accepted"})
+	s.rejected = r.Counter(MetricVerifyTotal, telemetry.Labels{"outcome": "rejected"})
+	s.errored = r.Counter(MetricVerifyTotal, telemetry.Labels{"outcome": "error"})
+	r.SetHelp(MetricVerifyTotal, "verification attempts by outcome")
+	s.pipelineHist = r.Histogram(MetricPipelineLatency, nil, nil)
+	r.SetHelp(MetricPipelineLatency, "total pipeline latency per verification")
+	s.stageHist = make(map[core.Stage]*telemetry.Histogram)
+	for _, st := range []core.Stage{
+		core.StageDistance, core.StageSoundField, core.StageLoudspeaker, core.StageSpeakerID,
+	} {
+		s.stageHist[st] = r.Histogram(MetricStageLatency, nil, telemetry.Labels{"stage": st.MetricName()})
+	}
+	r.SetHelp(MetricStageLatency, "per-stage pipeline latency")
+	return s, nil
 }
 
-// Handler returns the HTTP routing for the server.
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *telemetry.Registry { return s.registry }
+
+// Handler returns the HTTP routing for the server, wrapped in the
+// tracing/metrics middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/verify", s.handleVerify)
@@ -55,7 +131,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/enroll", s.handleEnroll)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	if !s.metricsOff {
+		mux.HandleFunc("/metrics", s.handleMetrics)
+	}
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
 }
 
 // handleEnroll registers a user with the ASV stage. It requires the
@@ -69,7 +155,7 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			s.logf("server: encoding enroll response: %v", err)
+			s.logger.Error("encoding enroll response", "err", err, "trace_id", RequestID(r.Context()))
 		}
 	}
 	if s.system.Identity == nil {
@@ -90,7 +176,8 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		respond(http.StatusUnprocessableEntity, &protocol.EnrollResponse{Error: err.Error()})
 		return
 	}
-	s.logf("server: enrolled user %q (%d sessions)", req.User, len(sessions))
+	s.logger.Info("enrolled user", "user", req.User, "sessions", len(sessions),
+		"trace_id", RequestID(r.Context()))
 	respond(http.StatusOK, &protocol.EnrollResponse{OK: true})
 }
 
@@ -107,51 +194,94 @@ func (s *Server) handleVoiceprint(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := &protocol.VerifyResponse{Accepted: true}
+	resp := &protocol.VerifyResponse{Accepted: true, TraceID: RequestID(r.Context())}
 	if s.system.Identity != nil {
 		voice, err := protocol.VoiceFromRequest(req)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		start := time.Now()
 		res := s.system.Identity.Verify(req.ClaimedUser, voice)
+		elapsed := time.Since(start)
+		s.stageHist[core.StageSpeakerID].ObserveDuration(elapsed)
 		resp.Accepted = res.Pass
 		if !res.Pass {
 			resp.FailedStage = res.Stage.String()
 		}
 		resp.Stages = []protocol.StageJSON{{
 			Stage: res.Stage.String(), Pass: res.Pass, Score: res.Score, Detail: res.Detail,
+			ElapsedUS: elapsed.Microseconds(),
 		}}
+		resp.ElapsedUS = elapsed.Microseconds()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		s.logf("server: encoding voiceprint response: %v", err)
+		s.logger.Error("encoding voiceprint response", "err", err, "trace_id", RequestID(r.Context()))
 	}
 }
 
-// Stats returns a snapshot of the request counters.
+// Stats returns a snapshot of the request counters. Requests is derived
+// as the sum of the outcome counters, so the Requests ==
+// Accepted+Rejected+Errors invariant cannot be violated by interleaved
+// updates.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := Stats{
+		Accepted: s.accepted.Value(),
+		Rejected: s.rejected.Value(),
+		Errors:   s.errored.Value(),
+	}
+	st.Requests = st.Accepted + st.Rejected + st.Errors
+	return st
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
+// healthResponse is the /healthz readiness document.
+type healthResponse struct {
+	// Status is "ok" once the pipeline is constructed.
+	Status string `json:"status"`
+	// Stages reports which paper stages are configured on this server.
+	Stages map[string]bool `json:"stages"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := healthResponse{
+		Status: "ok",
+		Stages: map[string]bool{
+			core.StageDistance.MetricName():    s.system.Distance != nil,
+			core.StageSoundField.MetricName():  s.system.Field != nil,
+			core.StageLoudspeaker.MetricName(): s.system.Speaker != nil,
+			core.StageSpeakerID.MetricName():   s.system.Identity != nil,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.logger.Error("encoding health response", "err", err)
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
+		s.logger.Error("encoding stats", "err", err)
+	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	st := s.Stats()
-	if err := json.NewEncoder(w).Encode(st); err != nil {
-		s.logf("server: encoding stats: %v", err)
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.registry.Expose(w); err != nil {
+		s.logger.Error("writing metrics", "err", err)
 	}
 }
 
@@ -161,19 +291,16 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	s.mu.Lock()
-	s.stats.Requests++
-	s.mu.Unlock()
+	traceID := RequestID(r.Context())
 
 	fail := func(status int, msg string) {
-		s.mu.Lock()
-		s.stats.Errors++
-		s.mu.Unlock()
+		s.errored.Inc()
+		s.logger.Warn("verify failed", "trace_id", traceID, "status", status, "err", msg)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
-		resp := &protocol.VerifyResponse{Error: msg}
+		resp := &protocol.VerifyResponse{Error: msg, TraceID: traceID}
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			s.logf("server: encoding error response: %v", err)
+			s.logger.Error("encoding error response", "err", err, "trace_id", traceID)
 		}
 	}
 
@@ -187,29 +314,65 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, fmt.Sprintf("rebuilding session: %v", err))
 		return
 	}
-	decision, err := s.system.Verify(session)
+	decision, err := s.system.VerifyTraced(traceID, session)
 	if err != nil {
 		fail(http.StatusUnprocessableEntity, fmt.Sprintf("verifying: %v", err))
 		return
 	}
-	s.mu.Lock()
 	if decision.Accepted {
-		s.stats.Accepted++
+		s.accepted.Inc()
 	} else {
-		s.stats.Rejected++
+		s.rejected.Inc()
 	}
-	s.mu.Unlock()
-	s.logf("server: user=%q decision=%v elapsed=%v", req.ClaimedUser, decision, time.Since(start))
+	s.pipelineHist.ObserveDuration(decision.Elapsed)
+	stageAttrs := make([]any, 0, 2*len(decision.Stages)+8)
+	stageAttrs = append(stageAttrs,
+		"trace_id", decision.TraceID,
+		"user", req.ClaimedUser,
+		"decision", decision.String(),
+		"elapsed", time.Since(start),
+	)
+	for _, st := range decision.Stages {
+		if h, ok := s.stageHist[st.Stage]; ok {
+			h.ObserveDuration(st.Elapsed)
+		}
+		stageAttrs = append(stageAttrs, "stage_"+st.Stage.MetricName(), st.Elapsed)
+	}
+	s.logger.Info("verify", stageAttrs...)
 
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(protocol.DecisionToResponse(decision)); err != nil {
-		s.logf("server: encoding response: %v", err)
+		s.logger.Error("encoding response", "err", err, "trace_id", traceID)
 	}
 }
 
-// ListenAndServe starts the server on addr and blocks. It returns the
-// bound address through the ready channel (useful for tests binding
-// port 0).
+// Serve accepts connections on ln until Shutdown is called (or the
+// listener fails). It returns http.ErrServerClosed after a clean
+// shutdown, like net/http.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
+	return srv.Serve(ln)
+}
+
+// Shutdown gracefully stops a server started with Serve or
+// ListenAndServe: the listener closes immediately and in-flight
+// verifications drain until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// ListenAndServe starts the server on addr and blocks until Shutdown or
+// listener failure. It returns the bound address through the ready
+// channel (useful for tests binding port 0).
 func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -218,6 +381,5 @@ func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	return srv.Serve(ln)
+	return s.Serve(ln)
 }

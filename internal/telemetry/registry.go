@@ -1,0 +1,225 @@
+// Package telemetry is the measurement substrate for the serving path: a
+// dependency-free metrics registry (atomic counters, gauges, fixed-bucket
+// latency histograms with quantile estimation) exposable in the
+// Prometheus text format, plus trace-ID generation for request
+// correlation. The paper reports end-to-end response time as a headline
+// result (§V); this package makes the per-stage breakdown of that number
+// observable on a running server.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labels are the dimensions of one metric series. They are copied on
+// registration; callers may reuse the map.
+type Labels map[string]string
+
+// metricKind discriminates the family types in a registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histogram families only
+	order   []string  // label-set keys in registration order
+	series  map[string]metric
+}
+
+// metric is one labeled series.
+type metric interface {
+	// write emits the series in Prometheus text format. name is the
+	// family name and labels the serialized label set ("" when unlabeled).
+	write(w io.Writer, name, labels string) error
+}
+
+// Registry is a set of named metric families. The zero value is not
+// usable; call NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey serializes labels deterministically: `{a="x",b="y"}` with keys
+// sorted, or "" for an empty set.
+func labelKey(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, ls[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the family for name, creating it on first use, and
+// panics when an existing family has a different kind — mixing kinds
+// under one name is a programming error, not a runtime condition.
+func (r *Registry) lookup(name string, kind metricKind, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, buckets: buckets, series: make(map[string]metric)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns the counter series for name+labels, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, kindCounter, nil)
+	key := labelKey(labels)
+	if m, ok := f.series[key]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{}
+	f.series[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first
+// use.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, kindGauge, nil)
+	key := labelKey(labels)
+	if m, ok := f.series[key]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[key] = g
+	f.order = append(f.order, key)
+	return g
+}
+
+// Histogram returns the histogram series for name+labels, creating it on
+// first use. buckets are upper bounds in increasing order; nil uses
+// DefLatencyBuckets. The bucket layout is fixed by the first
+// registration of the family; later calls inherit it.
+func (r *Registry) Histogram(name string, buckets []float64, labels Labels) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	f := r.lookup(name, kindHistogram, buckets)
+	key := labelKey(labels)
+	if m, ok := f.series[key]; ok {
+		return m.(*Histogram)
+	}
+	h := newHistogram(f.buckets)
+	f.series[key] = h
+	f.order = append(f.order, key)
+	return h
+}
+
+// SetHelp attaches a HELP line to a family (created lazily as untyped
+// help-only entries are not useful, the family must already exist or be
+// created right after).
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+	}
+}
+
+// snapshot copies the family/series structure under the lock so Expose
+// can write without holding it (series values are read atomically).
+type seriesEntry struct {
+	labels string
+	m      metric
+}
+
+type familySnapshot struct {
+	name, help string
+	kind       metricKind
+	series     []seriesEntry
+}
+
+func (r *Registry) snapshot() []familySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]familySnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fs := familySnapshot{name: f.name, help: f.help, kind: f.kind}
+		for _, key := range f.order {
+			fs.series = append(fs.series, seriesEntry{labels: key, m: f.series[key]})
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// Expose writes every registered series in the Prometheus text
+// exposition format (version 0.0.4), families in registration order.
+func (r *Registry) Expose(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := s.m.write(w, f.name, s.labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

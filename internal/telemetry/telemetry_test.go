@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", nil)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("value = %d, want 5", got)
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("requests_total", nil) != c {
+		t.Error("re-registration returned a new series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestCounterLabelsSeparateSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", Labels{"route": "/verify"})
+	b := r.Counter("hits", Labels{"route": "/stats"})
+	if a == b {
+		t.Fatal("distinct label sets shared a series")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Error("label isolation broken")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight", nil)
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2 {
+		t.Errorf("value = %v, want 2", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", nil)
+}
+
+func TestHistogramCountSumBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.01, 0.1, 1}, nil)
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-12 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 5 {
+		t.Errorf("count after duration = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 3, 4}, nil)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+	// 100 uniform samples in (0,4]: quantiles track the sample value.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.25, 1, 0.1}, {0.5, 2, 0.1}, {0.95, 3.8, 0.1},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.2f = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	// Overflow samples clamp to the top finite bound.
+	h2 := r.Histogram("lat2", []float64{1}, nil)
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1", got)
+	}
+}
+
+func TestHistogramRejectsBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing buckets accepted")
+		}
+	}()
+	NewRegistry().Histogram("bad", []float64{1, 1}, nil)
+}
+
+func TestExposeFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("vg_requests_total", Labels{"route": "/verify", "code": "200"})
+	c.Add(3)
+	r.SetHelp("vg_requests_total", "requests by route and status")
+	g := r.Gauge("vg_inflight", nil)
+	g.Set(1.5)
+	h := r.Histogram("vg_latency_seconds", []float64{0.1, 1}, Labels{"stage": "distance"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.Expose(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP vg_requests_total requests by route and status\n",
+		"# TYPE vg_requests_total counter\n",
+		`vg_requests_total{code="200",route="/verify"} 3` + "\n",
+		"# TYPE vg_inflight gauge\n",
+		"vg_inflight 1.5\n",
+		"# TYPE vg_latency_seconds histogram\n",
+		`vg_latency_seconds_bucket{stage="distance",le="0.1"} 1` + "\n",
+		`vg_latency_seconds_bucket{stage="distance",le="1"} 2` + "\n",
+		`vg_latency_seconds_bucket{stage="distance",le="+Inf"} 3` + "\n",
+		`vg_latency_seconds_sum{stage="distance"} 7.55` + "\n",
+		`vg_latency_seconds_count{stage="distance"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n", nil)
+			h := r.Histogram("h", nil, nil)
+			g := r.Gauge("g", nil)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n", nil).Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h", nil, nil).Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g", nil).Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %d", got, workers*per)
+	}
+	if math.Abs(r.Histogram("h", nil, nil).Sum()-workers*per*0.001) > 1e-6 {
+		t.Errorf("histogram sum = %v", r.Histogram("h", nil, nil).Sum())
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}

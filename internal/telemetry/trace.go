@@ -1,0 +1,26 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// traceFallback numbers trace IDs when the system entropy source is
+// unavailable (never in practice; keeps NewTraceID total).
+var traceFallback atomic.Uint64
+
+// NewTraceID returns a 16-hex-character random request identifier, the
+// value carried in X-Request-ID headers, Decision.TraceID and structured
+// log lines so one verification attempt can be followed across client,
+// server and pipeline.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := traceFallback.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
