@@ -1,0 +1,96 @@
+// Command voiceguard-lint runs the domain-aware static-analysis suite
+// (internal/analysis) over Go packages and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/voiceguard-lint ./...
+//	go run ./cmd/voiceguard-lint -list
+//	go run ./cmd/voiceguard-lint -only floatcmp,nopanic ./internal/dsp
+//
+// Findings are suppressed in source with a pragma on the same line or the
+// line above:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"voiceguard/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: voiceguard-lint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		selected, err := selectAnalyzers(suite, *only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "voiceguard-lint:", err)
+			os.Exit(2)
+		}
+		suite = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voiceguard-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voiceguard-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "voiceguard-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers filters the suite by a comma-separated name list.
+func selectAnalyzers(suite []*analysis.Analyzer, names string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}

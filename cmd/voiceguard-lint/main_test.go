@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"voiceguard/internal/analysis"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	suite := analysis.All()
+
+	got, err := selectAnalyzers(suite, "floatcmp, nopanic")
+	if err != nil {
+		t.Fatalf("selectAnalyzers: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "floatcmp" || got[1].Name != "nopanic" {
+		t.Fatalf("selectAnalyzers returned %v", names(got))
+	}
+
+	if _, err := selectAnalyzers(suite, "nosuchcheck"); err == nil {
+		t.Fatal("unknown analyzer name accepted")
+	}
+	if _, err := selectAnalyzers(suite, " , "); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func names(as []*analysis.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Package analysis is voiceguard-lint: a small, dependency-free
+// static-analysis framework in the spirit of golang.org/x/tools/go/analysis,
+// plus the domain-aware analyzers built on it. The pipeline's correctness
+// hinges on numeric and physical-unit discipline — the paper's thresholds
+// (Dt = 6 cm, the Mt/βt magnetometer limits, the >16 kHz ranging tone) flow
+// through DSP, circle-fitting and sensor-fusion code as float64s, where a
+// raw == on a float or a cm/m mix-up silently breaks a verdict rather than
+// failing a test. The analyzers encode those invariants:
+//
+//   - floatcmp: flags == / != on floating-point operands (use the
+//     stats epsilon helpers instead);
+//   - nopanic: forbids panic in library packages on the serving path;
+//   - errwrapcheck: fmt.Errorf with an error argument must wrap with %w,
+//     and error strings must carry their package prefix ("core: ...");
+//   - stageinstrument: types implementing the core stage-verify signature
+//     must record StageResult.Elapsed (core.TimeStage);
+//   - unitsuffix: exported float fields/params representing physical
+//     quantities must carry a unit suffix (Meters, Hz, MicroTesla,
+//     Seconds, ...) or a "unit:" doc tag.
+//
+// A finding is suppressed by a pragma comment on the same line or on the
+// line directly above:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// The framework is stdlib-only: packages are loaded with `go list -export`
+// and type-checked against compiler export data, the same machinery
+// golang.org/x/tools/go/packages drives underneath.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked package
+// through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// //lint:allow pragmas.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression and identifier facts.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Position locates the finding in the source tree.
+	Position token.Position
+	// Message describes the finding.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// All returns the full voiceguard-lint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmpAnalyzer,
+		NoPanicAnalyzer,
+		ErrWrapCheckAnalyzer,
+		StageInstrumentAnalyzer,
+		UnitSuffixAnalyzer,
+	}
+}
+
+// errorType is the universe error interface, shared by analyzers that need
+// to test assignability to error.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFloatCmpFixture(t *testing.T)     { checkFixture(t, FloatCmpAnalyzer, "floatcmp") }
+func TestNoPanicFixture(t *testing.T)      { checkFixture(t, NoPanicAnalyzer, "nopanic") }
+func TestErrWrapCheckFixture(t *testing.T) { checkFixture(t, ErrWrapCheckAnalyzer, "errwrapcheck") }
+func TestStageInstrumentFixture(t *testing.T) {
+	checkFixture(t, StageInstrumentAnalyzer, "stageinstrument")
+}
+func TestUnitSuffixFixture(t *testing.T) { checkFixture(t, UnitSuffixAnalyzer, "unitsuffix") }
+
+// TestLoadAndRunRepoPackage drives the production loader end to end over
+// a real repo package and checks the tree it guards stays clean — the
+// same invariant the CI lint job enforces for the whole module.
+func TestLoadAndRunRepoPackage(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/stats")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "stats" {
+		t.Fatalf("Load returned %d packages, want internal/stats alone", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("internal/stats not lint-clean: %s", d)
+	}
+}
+
+func TestParseAllowPragma(t *testing.T) {
+	cases := []struct {
+		comment string
+		names   []string
+	}{
+		{"//lint:allow nopanic documented invariant", []string{"nopanic"}},
+		{"// lint:allow floatcmp,unitsuffix reason text", []string{"floatcmp", "unitsuffix"}},
+		{"//lint:allow all generated code", []string{"all"}},
+		{"//lint:allow", nil},            // missing analyzer list
+		{"// regular comment", nil},      // not a pragma
+		{"//lint:ignore nopanic x", nil}, // staticcheck spelling, not ours
+	}
+	for _, c := range cases {
+		if got := parseAllowPragma(c.comment); !reflect.DeepEqual(got, c.names) {
+			t.Errorf("parseAllowPragma(%q) = %v, want %v", c.comment, got, c.names)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrapCheckAnalyzer enforces the repo's error-construction convention
+// in library packages:
+//
+//   - fmt.Errorf called with an error-typed argument must wrap it with %w
+//     so callers can errors.Is/As through the chain;
+//   - literal error strings (errors.New, fmt.Errorf) must carry the
+//     package prefix, e.g. "core: ..." inside package core, so a verdict
+//     or log line names the failing subsystem. A format string that opens
+//     with a verb ("%w: ...") inherits its prefix from the interpolated
+//     value — typically a package-prefixed sentinel error — and passes.
+var ErrWrapCheckAnalyzer = &Analyzer{
+	Name: "errwrapcheck",
+	Doc:  "fmt.Errorf with an error argument must use %w; error strings need a package prefix",
+	Run:  runErrWrapCheck,
+}
+
+func runErrWrapCheck(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	prefix := pass.Pkg.Name() + ": "
+	inspectFiles(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		switch calleeName(pass.TypesInfo, call) {
+		case "fmt.Errorf":
+			format, literal := stringLiteral(call.Args[0])
+			if literal && !strings.HasPrefix(format, prefix) && !startsWithVerb(format) {
+				pass.Reportf(call.Args[0].Pos(), "error string %s must start with package prefix %q",
+					strconv.Quote(abbreviate(format)), prefix)
+			}
+			if literal && countWrapVerbs(format) == 0 && hasErrorArg(pass.TypesInfo, call.Args[1:]) {
+				pass.Reportf(call.Pos(), "fmt.Errorf with an error argument must wrap it with %%w")
+			}
+		case "errors.New":
+			if msg, literal := stringLiteral(call.Args[0]); literal && !strings.HasPrefix(msg, prefix) {
+				pass.Reportf(call.Args[0].Pos(), "error string %s must start with package prefix %q",
+					strconv.Quote(abbreviate(msg)), prefix)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// calleeName returns the qualified name ("fmt.Errorf") of a call to a
+// package-level function, or "".
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// stringLiteral unquotes e if it is a string literal.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// startsWithVerb reports whether the format string opens with an
+// interpolation verb, delegating its prefix to the first argument.
+func startsWithVerb(format string) bool {
+	return len(format) >= 2 && format[0] == '%' && format[1] != '%'
+}
+
+// countWrapVerbs counts %w verbs in a format string, skipping %% escapes.
+func countWrapVerbs(format string) int {
+	var n int
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if format[i+1] == '%' {
+			i++
+			continue
+		}
+		if format[i+1] == 'w' {
+			n++
+		}
+	}
+	return n
+}
+
+// hasErrorArg reports whether any argument's type implements error.
+func hasErrorArg(info *types.Info, args []ast.Expr) bool {
+	for _, a := range args {
+		t := info.TypeOf(a)
+		if t != nil && types.Implements(t, errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// abbreviate trims long messages for diagnostics.
+func abbreviate(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags == and != between floating-point operands. The
+// paper's thresholds (Dt, Mt, βt, probe frequencies) travel through the
+// pipeline as float64s, and exact equality on values that went through
+// arithmetic is a silent-misverdict bug, not a style issue. Compare with
+// the internal/stats epsilon helpers (stats.ApproxEqual, stats.IsZero)
+// instead, or suppress an intentional exact comparison (bit-pattern
+// sentinel, config zero-value check) with //lint:allow floatcmp.
+//
+// The x != x / x == x NaN idiom and constant-folded comparisons are
+// exempt.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on floating-point operands; use the stats epsilon helpers",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	inspectFiles(pass, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+		if !isFloat(xt.Type) && !isFloat(yt.Type) {
+			return true
+		}
+		// Both sides constant: folded at compile time, exact by
+		// construction.
+		if xt.Value != nil && yt.Value != nil {
+			return true
+		}
+		// x != x is the portable NaN test; leave it alone.
+		if isSelfComparison(pass.TypesInfo, be.X, be.Y) {
+			return true
+		}
+		helper := "stats.ApproxEqual"
+		if isZeroConstant(xt) || isZeroConstant(yt) {
+			helper = "stats.IsZero"
+		}
+		pass.Reportf(be.OpPos, "floating-point %s comparison; use %s or an explicit epsilon", be.Op, helper)
+		return true
+	})
+	return nil
+}
+
+// isZeroConstant reports whether tv is the constant 0.
+func isZeroConstant(tv types.TypeAndValue) bool {
+	return tv.Value != nil && tv.Value.String() == "0"
+}
+
+// isSelfComparison reports whether x and y are the same variable or the
+// same field chain on the same variables (the NaN-test idiom).
+func isSelfComparison(info *types.Info, x, y ast.Expr) bool {
+	switch xe := x.(type) {
+	case *ast.Ident:
+		ye, ok := y.(*ast.Ident)
+		return ok && info.Uses[xe] != nil && info.Uses[xe] == info.Uses[ye]
+	case *ast.SelectorExpr:
+		ye, ok := y.(*ast.SelectorExpr)
+		return ok && xe.Sel.Name == ye.Sel.Name && isSelfComparison(info, xe.X, ye.X)
+	case *ast.ParenExpr:
+		ye, ok := y.(*ast.ParenExpr)
+		return ok && isSelfComparison(info, xe.X, ye.X)
+	}
+	return false
+}

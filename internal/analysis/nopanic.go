@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanicAnalyzer forbids panic calls in library packages: everything on
+// the serving path must degrade to a returned error, not take down the
+// process mid-request. Commands and examples (package main) may panic.
+// A deliberate programmer-error invariant — "this cannot happen unless
+// the code itself is wrong" — stays allowed when documented with
+// //lint:allow nopanic <reason>.
+var NoPanicAnalyzer = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbids panic in library packages; return errors on the serving path",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	inspectFiles(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"panic in library package %s; return an error, or document the invariant with //lint:allow nopanic",
+			pass.Pkg.Name())
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// allowPragma is the prefix of a suppression comment. The full form is
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// and it silences the named analyzers on the comment's own line (trailing
+// form) and on the line directly below (standalone form).
+const allowPragma = "lint:allow"
+
+// Run executes every analyzer over every package, applies //lint:allow
+// suppressions, and returns the surviving findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := allowedLines(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report: func(d Diagnostic) {
+					if names, ok := allowed[lineKey{d.Position.Filename, d.Position.Line}]; ok {
+						if names[d.Analyzer] || names["all"] {
+							return
+						}
+					}
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: running %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// lineKey addresses one source line for suppression lookup.
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowedLines indexes every //lint:allow pragma in the package: the
+// analyzers named by a pragma are allowed on the pragma's line and the
+// line below it.
+func allowedLines(pkg *Package) map[lineKey]map[string]bool {
+	out := make(map[lineKey]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				names := parseAllowPragma(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := lineKey{pos.Filename, line}
+					if out[key] == nil {
+						out[key] = make(map[string]bool)
+					}
+					for _, n := range names {
+						out[key][n] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseAllowPragma extracts the analyzer names from a comment, or nil if
+// the comment is not an allow pragma.
+func parseAllowPragma(text string) []string {
+	body := strings.TrimPrefix(text, "//")
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, allowPragma) {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(body, allowPragma))
+	if rest == "" {
+		return nil
+	}
+	namesField := strings.Fields(rest)[0]
+	var names []string
+	for _, n := range strings.Split(namesField, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// inspectFiles walks every file in the pass with fn.
+func inspectFiles(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, fn)
+	}
+}

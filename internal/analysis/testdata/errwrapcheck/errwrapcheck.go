@@ -1,0 +1,26 @@
+// Package fixture exercises the errwrapcheck analyzer: error arguments
+// must be wrapped with %w and literal error strings need the package
+// prefix (or a leading verb that inherits it from a sentinel).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("fixture: sentinel")
+
+func lostChain(err error) error {
+	return fmt.Errorf("fixture: decoding header: %v", err) // want `fmt\.Errorf with an error argument must wrap it with %w`
+}
+
+func barePrefix() error {
+	return errors.New("missing prefix") // want `error string "missing prefix" must start with package prefix "fixture: "`
+}
+
+func wrapped(err error) error {
+	if err != nil {
+		return fmt.Errorf("fixture: decoding header: %w", err)
+	}
+	return fmt.Errorf("%w: header truncated", errSentinel)
+}

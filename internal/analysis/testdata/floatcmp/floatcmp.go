@@ -1,0 +1,24 @@
+// Package fixture exercises the floatcmp analyzer: raw equality between
+// floats is flagged, the NaN idiom and constant folding are not.
+package fixture
+
+func compare(a, b float64, n int) bool {
+	if a == b { // want `floating-point == comparison; use stats\.ApproxEqual`
+		return true
+	}
+	if a != 0 { // want `floating-point != comparison; use stats\.IsZero`
+		return false
+	}
+	if n == 0 { // integer comparison is fine
+		return true
+	}
+	if a != a { // the NaN idiom is exempt
+		return false
+	}
+	const eps = 1e-9
+	if eps == 1e-9 { // both sides constant: folded, exempt
+		return true
+	}
+	//lint:allow floatcmp exact bit-pattern sentinel is intended here
+	return a == b
+}

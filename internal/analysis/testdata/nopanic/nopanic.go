@@ -1,0 +1,18 @@
+// Package fixture exercises the nopanic analyzer: bare panics in library
+// code are flagged unless documented with a //lint:allow pragma.
+package fixture
+
+import "fmt"
+
+func mustPositive(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // want `panic in library package`
+	}
+}
+
+func invariant(n int) {
+	if n < 0 {
+		//lint:allow nopanic a negative n here means the caller itself is broken
+		panic("fixture: impossible count")
+	}
+}

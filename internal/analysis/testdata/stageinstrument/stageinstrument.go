@@ -1,0 +1,21 @@
+// Package fixture exercises the stageinstrument analyzer: a Verify
+// method returning core.StageResult must stamp Elapsed.
+package fixture
+
+import "voiceguard/internal/core"
+
+// Uninstrumented forgets to record the stage's processing time.
+type Uninstrumented struct{}
+
+func (Uninstrumented) Verify(ok bool) core.StageResult { // want `Verify method on Uninstrumented returns core\.StageResult but never records Elapsed`
+	return core.StageResult{Pass: ok}
+}
+
+// Instrumented stamps Elapsed through the deferred core.TimeStage stamp.
+type Instrumented struct{}
+
+func (Instrumented) Verify(ok bool) (res core.StageResult) {
+	defer core.TimeStage(&res)()
+	res.Pass = ok
+	return res
+}

@@ -1,0 +1,29 @@
+// Package geometry exercises the unitsuffix analyzer. The package is
+// named after one of the unit-bearing packages so the analyzer is active;
+// exported float fields and parameters must carry a unit suffix or a
+// "unit:" tag.
+package geometry
+
+// Probe is a measurement point in front of the source.
+type Probe struct {
+	Standoff      float64 // want `exported float field Standoff needs a unit suffix`
+	SpacingMeters float64
+	Gain          float64 // unit: dimensionless
+	Label         string
+}
+
+// Shift moves the probe away from the source.
+func Shift(p Probe, d float64) Probe { // want `float parameter d of exported Shift needs a unit suffix`
+	p.Standoff += d
+	return p
+}
+
+// ShiftBy moves the probe away from the source by dMeters.
+func ShiftBy(p Probe, dMeters float64) Probe {
+	p.Standoff += dMeters
+	return p
+}
+
+// Wait pauses the sweep between positions.
+// unit: t in seconds.
+func Wait(t float64) { _ = t }

@@ -1,0 +1,169 @@
+package analysis
+
+// Fixture-driven analyzer testing in the spirit of
+// golang.org/x/tools/go/analysis/analysistest: each analyzer has a
+// package under testdata/<name>/ whose source carries `// want "regex"`
+// comments on the lines where findings are expected. The harness
+// type-checks the fixture against the repo's compiler export data, runs
+// the analyzer through the same Run path as the CLI (so //lint:allow
+// suppression is exercised too), and diffs findings against the wants.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string
+	exportErr  error
+)
+
+// fixtureExports maps import path → compiler export data for everything a
+// fixture may import, built once per test binary with `go list`.
+func fixtureExports() (map[string]string, error) {
+	exportOnce.Do(func() {
+		pkgs, err := goList("../..", []string{"fmt", "errors", "voiceguard/internal/core"})
+		if err != nil {
+			exportErr = err
+			return
+		}
+		exportMap = make(map[string]string)
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exportMap[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return exportMap, exportErr
+}
+
+// loadFixture parses and type-checks testdata/<name> as one package.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	exports, err := fixtureExports()
+	if err != nil {
+		t.Fatalf("resolving fixture dependencies: %v", err)
+	}
+	paths, err := filepath.Glob(filepath.Join("testdata", name, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files under testdata/%s (%v)", name, err)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", p, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check("voiceguard/internal/analysis/testdata/"+name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	return &Package{
+		Path:      "voiceguard/internal/analysis/testdata/" + name,
+		Name:      tpkg.Name(),
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+}
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	re      *regexp.Regexp
+	line    int
+	matched bool
+}
+
+// wantArg matches one Go-quoted string (backtick or double-quote form).
+var wantArg = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants extracts the expectations from a fixture's comments.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(body, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArg.FindAllString(strings.TrimPrefix(body, "want "), -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, arg := range args {
+					pattern, err := strconv.Unquote(arg)
+					if err != nil {
+						t.Fatalf("%s: unquoting want %s: %v", pos, arg, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: compiling want %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &want{re: re, line: pos.Line})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over its fixture package and diffs the
+// diagnostics against the want comments.
+func checkFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	wants := collectWants(t, pkg)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var truePositives int
+diags:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.matched && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				truePositives++
+				continue diags
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("line %d: no diagnostic matching %q", w.line, w.re)
+		}
+	}
+	if truePositives == 0 {
+		t.Errorf("fixture %s demonstrates no true positive for %s", name, a.Name)
+	}
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// unitPackages are the packages whose exported API carries physical
+// quantities: distances, frequencies, field strengths, durations. These
+// are where a cm/m or Hz/kHz mix-up flips a verdict.
+var unitPackages = map[string]bool{
+	"core":       true,
+	"geometry":   true,
+	"magnetics":  true,
+	"trajectory": true,
+	"soundfield": true,
+}
+
+// unitSuffixes are the recognized physical-unit name endings. A name like
+// MaxDistanceMeters, cutoffHz or SwingMicroTesla self-documents its unit.
+var unitSuffixes = []string{
+	"Meters", "Hz", "MicroTesla", "Seconds", "Radians", "Degrees", "Deg",
+	"DB", "MS2", "PerSecond", "Ratio",
+}
+
+// unitTag is the doc-comment escape hatch: a field or function whose doc
+// (or trailing comment) contains "unit:" has declared its units in prose.
+const unitTag = "unit:"
+
+// UnitSuffixAnalyzer enforces unit discipline on the exported float API of
+// the physical-quantity packages (core, geometry, magnetics, trajectory,
+// soundfield): every exported float struct field and every float parameter
+// of an exported function must either carry a unit suffix (Meters, Hz,
+// MicroTesla, Seconds, ...) or document its unit with a "unit:" tag in the
+// field's comment / function's doc comment. Dimensionless quantities
+// document that too ("unit: dimensionless").
+var UnitSuffixAnalyzer = &Analyzer{
+	Name: "unitsuffix",
+	Doc:  "exported float fields/params in physical-quantity packages need a unit suffix or unit: tag",
+	Run:  runUnitSuffix,
+}
+
+func runUnitSuffix(pass *Pass) error {
+	if !unitPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						checkStructFields(pass, st)
+					}
+				}
+			case *ast.FuncDecl:
+				checkFuncParams(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkStructFields flags exported float fields without unit suffix or
+// unit: tag.
+func checkStructFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 || !isFloat(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		if commentHasUnitTag(field.Doc) || commentHasUnitTag(field.Comment) {
+			continue
+		}
+		for _, name := range field.Names {
+			if !name.IsExported() || hasUnitSuffix(name.Name) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"exported float field %s needs a unit suffix (%s) or a %q doc tag",
+				name.Name, exampleSuffixes(), unitTag)
+		}
+	}
+}
+
+// checkFuncParams flags float parameters of exported functions/methods
+// whose names carry no unit and whose doc declares none.
+func checkFuncParams(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Type.Params == nil {
+		return
+	}
+	if fd.Recv != nil && !exportedReceiver(fd) {
+		return
+	}
+	if commentHasUnitTag(fd.Doc) {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isFloat(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" || hasUnitSuffix(name.Name) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"float parameter %s of exported %s needs a unit suffix (%s) or a %q line in the doc comment",
+				name.Name, fd.Name.Name, exampleSuffixes(), unitTag)
+		}
+	}
+}
+
+// exportedReceiver reports whether the method's receiver base type is
+// exported.
+func exportedReceiver(fd *ast.FuncDecl) bool {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// hasUnitSuffix reports whether name ends in (or equals, ignoring case) a
+// recognized unit.
+func hasUnitSuffix(name string) bool {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) || strings.EqualFold(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// commentHasUnitTag reports whether any comment line carries a unit: tag.
+func commentHasUnitTag(g *ast.CommentGroup) bool {
+	return g != nil && strings.Contains(g.Text(), unitTag)
+}
+
+// exampleSuffixes renders the head of the suffix list for diagnostics.
+func exampleSuffixes() string {
+	return strings.Join(unitSuffixes[:4], "/")
+}

@@ -21,6 +21,7 @@ import (
 	"voiceguard/internal/ranging"
 	"voiceguard/internal/soundfield"
 	"voiceguard/internal/speech"
+	"voiceguard/internal/stats"
 	"voiceguard/internal/trajectory"
 )
 
@@ -42,7 +43,7 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.Environment == 0 {
 		sc.Environment = magnetics.EnvQuiet
 	}
-	if sc.Distance == 0 {
+	if stats.IsZero(sc.Distance) {
 		sc.Distance = 0.06
 	}
 	if sc.Passphrase == "" {

@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"voiceguard/internal/stats"
 )
 
 // Signal is a mono PCM signal with an associated sample rate.
@@ -30,7 +32,7 @@ func NewSignal(duration, rate float64) *Signal {
 
 // Duration returns the signal length in seconds.
 func (s *Signal) Duration() float64 {
-	if s.Rate == 0 {
+	if stats.IsZero(s.Rate) {
 		return 0
 	}
 	return float64(len(s.Samples)) / s.Rate
@@ -77,7 +79,7 @@ var ErrRateMismatch = errors.New("audio: sample rate mismatch")
 // MixInto adds other into s starting at the given sample offset, extending
 // s if needed. It returns an error if the sample rates differ.
 func (s *Signal) MixInto(other *Signal, offset int) error {
-	if s.Rate != other.Rate {
+	if !stats.ApproxEqual(s.Rate, other.Rate, stats.Epsilon) {
 		return fmt.Errorf("%w: %v vs %v", ErrRateMismatch, s.Rate, other.Rate)
 	}
 	if offset < 0 {
@@ -98,7 +100,7 @@ func (s *Signal) MixInto(other *Signal, offset int) error {
 // Append concatenates other after s. It returns an error if the sample
 // rates differ.
 func (s *Signal) Append(other *Signal) error {
-	if s.Rate != other.Rate {
+	if !stats.ApproxEqual(s.Rate, other.Rate, stats.Epsilon) {
 		return fmt.Errorf("%w: %v vs %v", ErrRateMismatch, s.Rate, other.Rate)
 	}
 	s.Samples = append(s.Samples, other.Samples...)
@@ -125,7 +127,7 @@ func (s *Signal) Peak() float64 {
 // slightly below 1). Silent signals are left unchanged.
 func (s *Signal) Normalize(level float64) *Signal {
 	p := s.Peak()
-	if p == 0 {
+	if stats.IsZero(p) {
 		return s
 	}
 	return s.Scale(level / p)

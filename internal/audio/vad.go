@@ -1,6 +1,10 @@
 package audio
 
-import "math"
+import (
+	"math"
+
+	"voiceguard/internal/stats"
+)
 
 // VADConfig configures the energy-based voice activity detector used to
 // trim leading/trailing silence before feature extraction.
@@ -30,13 +34,13 @@ func (c *VADConfig) setDefaults() {
 	if c.HopSize <= 0 {
 		c.HopSize = c.FrameSize / 2
 	}
-	if c.ThresholdDB == 0 {
+	if stats.IsZero(c.ThresholdDB) {
 		c.ThresholdDB = 12
 	}
 	if c.HangoverFrames == 0 {
 		c.HangoverFrames = 5
 	}
-	if c.MinRMS == 0 {
+	if stats.IsZero(c.MinRMS) {
 		c.MinRMS = 0.02
 	}
 }
@@ -133,7 +137,7 @@ func insertionSort(x []float64) {
 // Resample converts s to the target rate using windowed-sinc interpolation
 // (8-tap Lanczos-style kernel). It returns a new signal; s is unchanged.
 func Resample(s *Signal, targetRate float64) *Signal {
-	if targetRate == s.Rate || len(s.Samples) == 0 {
+	if stats.ApproxEqual(targetRate, s.Rate, stats.Epsilon) || len(s.Samples) == 0 {
 		out := s.Clone()
 		out.Rate = targetRate
 		return out
@@ -154,7 +158,7 @@ func Resample(s *Signal, targetRate float64) *Signal {
 			acc += s.Samples[j] * w
 			wsum += w
 		}
-		if wsum != 0 {
+		if !stats.IsZero(wsum) {
 			out.Samples[i] = acc / wsum
 		}
 	}
@@ -162,7 +166,7 @@ func Resample(s *Signal, targetRate float64) *Signal {
 }
 
 func lanczos(x float64, a int) float64 {
-	if x == 0 {
+	if stats.IsZero(x) {
 		return 1
 	}
 	fa := float64(a)

@@ -109,11 +109,29 @@ type StageResult struct {
 	Pass bool
 	// Score is the component's continuous statistic (meaning varies by
 	// stage; higher is always "more genuine").
-	Score float64
+	Score float64 // unit: stage-dependent score
 	// Detail is a human-readable explanation.
 	Detail string
 	// Elapsed is the stage's processing time for this session.
 	Elapsed time.Duration
+}
+
+// TimeStage returns a function that stamps res.Elapsed with the time
+// since TimeStage was called. Every stage-verify implementation defers it
+// over a named result:
+//
+//	func (v *MyVerifier) Verify(...) (res StageResult) {
+//		defer TimeStage(&res)()
+//		...
+//	}
+//
+// so the per-stage latency breakdown (the paper's §V response-time
+// result, exported through the telemetry histograms) is recorded even
+// when a stage is invoked outside the System cascade. The
+// stageinstrument analyzer in voiceguard-lint enforces this.
+func TimeStage(res *StageResult) func() {
+	start := time.Now()
+	return func() { res.Elapsed = time.Since(start) }
 }
 
 // Decision is the pipeline outcome for one session.

@@ -15,15 +15,15 @@ import (
 type DistanceVerifier struct {
 	// MaxDistance is Dt in meters. The paper calibrates Dt = 6 cm; the
 	// default adds the estimator's margin on top.
-	MaxDistance float64
+	MaxDistance float64 // unit: m
 	// MaxResidual is the maximum RMS circle-fit residual in meters.
-	MaxResidual float64
+	MaxResidual float64 // unit: m
 	// MaxRadialStd is the maximum acoustic radial deviation during the
 	// sweep in meters.
-	MaxRadialStd float64
+	MaxRadialStd float64 // unit: m
 	// MinTurn is the minimum sweep excursion in radians (rejects
 	// motionless replays of the audio channel).
-	MinTurn float64
+	MinTurn float64 // unit: rad
 }
 
 // NewDistanceVerifier returns the verifier at the paper's operating point.
@@ -37,8 +37,9 @@ func NewDistanceVerifier() *DistanceVerifier {
 }
 
 // Verify runs the distance check over a gesture.
-func (v *DistanceVerifier) Verify(g *trajectory.Gesture) StageResult {
-	res := StageResult{Stage: StageDistance}
+func (v *DistanceVerifier) Verify(g *trajectory.Gesture) (res StageResult) {
+	defer TimeStage(&res)()
+	res.Stage = StageDistance
 	est, err := g.Estimate()
 	if err != nil {
 		res.Detail = fmt.Sprintf("trajectory estimation failed: %v", err)

@@ -78,8 +78,9 @@ func DefaultDualMicTraining(seed int64) (mouth, machine [][]soundfield.SLDMeasur
 }
 
 // Verify classifies a dual-mic sweep as stage 2.
-func (v *DualMicVerifier) Verify(ms []soundfield.SLDMeasurement) StageResult {
-	res := StageResult{Stage: StageSoundField}
+func (v *DualMicVerifier) Verify(ms []soundfield.SLDMeasurement) (res StageResult) {
+	defer TimeStage(&res)()
+	res.Stage = StageSoundField
 	if v == nil || v.model == nil {
 		res.Detail = "dual-mic verifier not trained"
 		return res

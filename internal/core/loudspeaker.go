@@ -15,9 +15,9 @@ import (
 // because |B| is invariant to phone orientation.
 type LoudspeakerDetector struct {
 	// Mt is the magnitude-swing threshold in µT.
-	Mt float64
+	Mt float64 // unit: µT
 	// Bt is the change-rate threshold in µT/s.
-	Bt float64
+	Bt float64 // unit: µT/s
 }
 
 // NewLoudspeakerDetector returns the detector at the paper's operating
@@ -29,9 +29,9 @@ func NewLoudspeakerDetector() *LoudspeakerDetector {
 // Metrics are the detector's raw statistics for one trace.
 type Metrics struct {
 	// Swing is max|B| - min|B| over the gesture, µT.
-	Swing float64
+	Swing float64 // unit: µT
 	// MaxRate is the maximum |d|B|/dt|, µT/s.
-	MaxRate float64
+	MaxRate float64 // unit: µT/s
 }
 
 // Measure computes the detection statistics of a magnetometer trace.
@@ -85,8 +85,9 @@ func Measure(mag *sensors.Trace) Metrics {
 
 // Verify runs loudspeaker detection on a magnetometer trace. Pass means
 // "no loudspeaker detected".
-func (d *LoudspeakerDetector) Verify(mag *sensors.Trace) StageResult {
-	res := StageResult{Stage: StageLoudspeaker}
+func (d *LoudspeakerDetector) Verify(mag *sensors.Trace) (res StageResult) {
+	defer TimeStage(&res)()
+	res.Stage = StageLoudspeaker
 	if mag == nil || mag.Len() < 2 {
 		res.Detail = "no magnetometer trace"
 		return res

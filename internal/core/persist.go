@@ -21,8 +21,8 @@ type speakerVerifierDTO struct {
 	Version   int                        `json:"version"`
 	Backend   Backend                    `json:"backend"`
 	MFCC      features.MFCCConfig        `json:"mfcc"`
-	Relevance float64                    `json:"relevance"`
-	Threshold float64                    `json:"threshold"`
+	Relevance float64                    `json:"relevance"` // unit: dimensionless
+	Threshold float64                    `json:"threshold"` // unit: back-end score
 	UBM       json.RawMessage            `json:"ubm"`
 	ISV       json.RawMessage            `json:"isv,omitempty"`
 	Users     map[string]json.RawMessage `json:"users,omitempty"`

@@ -156,8 +156,9 @@ func DefaultSoundFieldTraining(seed int64) (mouth, machine [][]soundfield.Measur
 }
 
 // Verify classifies a sweep.
-func (v *SoundFieldVerifier) Verify(ms []soundfield.Measurement) StageResult {
-	res := StageResult{Stage: StageSoundField}
+func (v *SoundFieldVerifier) Verify(ms []soundfield.Measurement) (res StageResult) {
+	defer TimeStage(&res)()
+	res.Stage = StageSoundField
 	if v == nil || len(v.models) == 0 {
 		res.Detail = "verifier not trained"
 		return res

@@ -9,6 +9,7 @@ import (
 	"voiceguard/internal/audio"
 	"voiceguard/internal/features"
 	"voiceguard/internal/gmm"
+	"voiceguard/internal/stats"
 )
 
 // Backend selects the ASV scoring model, mirroring the paper's choice of
@@ -44,7 +45,7 @@ type SpeakerVerifier struct {
 	// Threshold is the accept threshold on the back-end score (a
 	// log-likelihood ratio for both back-ends). Set it directly or via
 	// CalibrateThreshold.
-	Threshold float64
+	Threshold float64 // unit: back-end score
 
 	users    map[string]*gmm.Verifier
 	isvUsers map[string]*gmm.ISVSpeaker
@@ -58,7 +59,7 @@ type SpeakerVerifierConfig struct {
 	Components int
 	// Relevance is the MAP relevance factor (default 4, Spear's choice
 	// for small enrollment sets).
-	Relevance float64
+	Relevance float64 // unit: dimensionless
 	// ISVRank is the session-subspace rank for the ISV back-end
 	// (default 10).
 	ISVRank int
@@ -80,7 +81,7 @@ func (c *SpeakerVerifierConfig) setDefaults() {
 	if c.Components == 0 {
 		c.Components = 32
 	}
-	if c.Relevance == 0 {
+	if stats.IsZero(c.Relevance) {
 		c.Relevance = 4
 	}
 	if c.ISVRank == 0 {
@@ -223,8 +224,9 @@ func (v *SpeakerVerifier) Score(user string, utt *audio.Signal) (float64, error)
 }
 
 // Verify runs the identity check as a pipeline stage.
-func (v *SpeakerVerifier) Verify(user string, utt *audio.Signal) StageResult {
-	res := StageResult{Stage: StageSpeakerID}
+func (v *SpeakerVerifier) Verify(user string, utt *audio.Signal) (res StageResult) {
+	defer TimeStage(&res)()
+	res.Stage = StageSpeakerID
 	score, err := v.Score(user, utt)
 	if err != nil {
 		res.Detail = err.Error()
@@ -247,6 +249,7 @@ func (v *SpeakerVerifier) Backend() Backend { return v.backend }
 // utterances of an enrolled user: the minimum genuine score minus the
 // safety margin, i.e. the paper's zero-FRR operating point. Margin > 0
 // trades FAR headroom for robustness to genuine-score variation.
+// unit: margin is in back-end score units.
 func (v *SpeakerVerifier) CalibrateThreshold(user string, genuine []*audio.Signal, margin float64) error {
 	if len(genuine) == 0 {
 		return fmt.Errorf("core: calibration needs genuine utterances for %q", user)

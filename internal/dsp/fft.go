@@ -190,10 +190,11 @@ func NextPow2(n int) int {
 	return 1 << bits.Len(uint(n-1))
 }
 
-// validateLength panics with a descriptive message on negative lengths;
-// used by window constructors.
-func validateLength(name string, n int) {
+// validateLength rejects negative lengths with a descriptive error; used
+// by window constructors.
+func validateLength(name string, n int) error {
 	if n < 0 {
-		panic(fmt.Sprintf("dsp: %s window with negative length %d", name, n))
+		return fmt.Errorf("dsp: %s window with negative length %d", name, n)
 	}
+	return nil
 }

@@ -101,17 +101,17 @@ type FIRFilter struct {
 
 // NewLowPassFIR designs a windowed-sinc low-pass FIR filter with the given
 // cutoff in Hz, sample rate in Hz and number of taps (made odd if even, for
-// a symmetric linear-phase design). It panics on non-positive arguments;
-// the filter design parameters are programmer-chosen constants, not runtime
-// inputs.
-func NewLowPassFIR(cutoff, sampleRate float64, taps int) *FIRFilter {
-	if cutoff <= 0 || sampleRate <= 0 || taps <= 0 {
-		panic(fmt.Sprintf("dsp: invalid FIR design cutoff=%v rate=%v taps=%d", cutoff, sampleRate, taps))
+// a symmetric linear-phase design). It returns an error on non-positive
+// arguments so a bad runtime configuration degrades to a failed request
+// instead of taking down the serving process.
+func NewLowPassFIR(cutoffHz, sampleRateHz float64, taps int) (*FIRFilter, error) {
+	if cutoffHz <= 0 || sampleRateHz <= 0 || taps <= 0 {
+		return nil, fmt.Errorf("dsp: invalid FIR design cutoff=%v rate=%v taps=%d", cutoffHz, sampleRateHz, taps)
 	}
 	if taps%2 == 0 {
 		taps++
 	}
-	fc := cutoff / sampleRate
+	fc := cutoffHz / sampleRateHz
 	mid := taps / 2
 	h := make([]float64, taps)
 	var sum float64
@@ -132,7 +132,7 @@ func NewLowPassFIR(cutoff, sampleRate float64, taps int) *FIRFilter {
 	for i := range h {
 		h[i] /= sum
 	}
-	return &FIRFilter{taps: h, delay: make([]float64, taps)}
+	return &FIRFilter{taps: h, delay: make([]float64, taps)}, nil
 }
 
 // Process filters a single sample.
@@ -174,13 +174,16 @@ func (f *FIRFilter) NumTaps() int { return len(f.taps) }
 
 // Decimate returns every factor-th sample of x after low-pass filtering at
 // 0.45× the new Nyquist frequency to prevent aliasing. factor must be ≥ 1.
-func Decimate(x []float64, factor int, sampleRate float64) []float64 {
+func Decimate(x []float64, factor int, sampleRateHz float64) ([]float64, error) {
 	if factor <= 1 {
 		out := make([]float64, len(x))
 		copy(out, x)
-		return out
+		return out, nil
 	}
-	lp := NewLowPassFIR(0.45*sampleRate/float64(2*factor)*2, sampleRate, 63)
+	lp, err := NewLowPassFIR(0.45*sampleRateHz/float64(2*factor)*2, sampleRateHz, 63)
+	if err != nil {
+		return nil, fmt.Errorf("dsp: designing decimation filter: %w", err)
+	}
 	filtered := make([]float64, len(x))
 	copy(filtered, x)
 	lp.ProcessBlock(filtered)
@@ -188,5 +191,5 @@ func Decimate(x []float64, factor int, sampleRate float64) []float64 {
 	for i := 0; i < len(filtered); i += factor {
 		out = append(out, filtered[i])
 	}
-	return out
+	return out, nil
 }

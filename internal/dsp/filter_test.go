@@ -101,7 +101,10 @@ func TestBiquadProcessBlock(t *testing.T) {
 
 func TestFIRLowPass(t *testing.T) {
 	const rate = 48000.0
-	f := NewLowPassFIR(1000, rate, 101)
+	f, err := NewLowPassFIR(1000, rate, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f.NumTaps() != 101 {
 		t.Errorf("taps = %d", f.NumTaps())
 	}
@@ -117,14 +120,20 @@ func TestFIRLowPass(t *testing.T) {
 }
 
 func TestFIREvenTapsMadeOdd(t *testing.T) {
-	f := NewLowPassFIR(1000, 48000, 10)
+	f, err := NewLowPassFIR(1000, 48000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f.NumTaps()%2 != 1 {
 		t.Errorf("taps = %d, want odd", f.NumTaps())
 	}
 }
 
 func TestFIRDCGain(t *testing.T) {
-	f := NewLowPassFIR(2000, 48000, 63)
+	f, err := NewLowPassFIR(2000, 48000, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var last float64
 	for i := 0; i < 200; i++ {
 		last = f.Process(1)
@@ -134,21 +143,30 @@ func TestFIRDCGain(t *testing.T) {
 	}
 }
 
-func TestFIRInvalidDesignPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on invalid design")
-		}
-	}()
-	NewLowPassFIR(-1, 48000, 63)
+func TestFIRInvalidDesignError(t *testing.T) {
+	if _, err := NewLowPassFIR(-1, 48000, 63); err == nil {
+		t.Error("expected error on invalid design")
+	}
+	if _, err := NewLowPassFIR(1000, 0, 63); err == nil {
+		t.Error("expected error on zero sample rate")
+	}
+	if _, err := NewLowPassFIR(1000, 48000, 0); err == nil {
+		t.Error("expected error on zero taps")
+	}
 }
 
 func TestFIRReset(t *testing.T) {
-	f := NewLowPassFIR(1000, 48000, 31)
+	f, err := NewLowPassFIR(1000, 48000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f.Process(5)
 	f.Reset()
 	// After reset, impulse response should match a fresh filter.
-	g := NewLowPassFIR(1000, 48000, 31)
+	g, err := NewLowPassFIR(1000, 48000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 40; i++ {
 		in := 0.0
 		if i == 0 {
@@ -166,7 +184,10 @@ func TestDecimate(t *testing.T) {
 	for i := range x {
 		x[i] = math.Sin(2 * math.Pi * 100 * float64(i) / rate)
 	}
-	y := Decimate(x, 4, rate)
+	y, err := Decimate(x, 4, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(y) != 1200 {
 		t.Errorf("len = %d, want 1200", len(y))
 	}
@@ -181,7 +202,10 @@ func TestDecimate(t *testing.T) {
 		t.Errorf("decimated peak = %v, want ~1", peak)
 	}
 	// factor <= 1 copies.
-	same := Decimate(x, 1, rate)
+	same, err := Decimate(x, 1, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(same) != len(x) {
 		t.Errorf("factor 1 should preserve length")
 	}

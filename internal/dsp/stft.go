@@ -64,7 +64,10 @@ func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
 		return nil, ErrShortSignal
 	}
 	nFrames := 1 + (len(x)-cfg.FrameSize)/cfg.HopSize
-	win := cfg.Window.Coefficients(cfg.FrameSize)
+	win, err := cfg.Window.Coefficients(cfg.FrameSize)
+	if err != nil {
+		return nil, err
+	}
 	nBins := cfg.FFTSize/2 + 1
 
 	sp := &Spectrogram{

@@ -109,7 +109,10 @@ func TestSTFTFrameTime(t *testing.T) {
 func TestWindowProperties(t *testing.T) {
 	for _, w := range []Window{WindowRect, WindowHann, WindowHamming, WindowBlackman} {
 		t.Run(w.String(), func(t *testing.T) {
-			c := w.Coefficients(128)
+			c, err := w.Coefficients(128)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(c) != 128 {
 				t.Fatalf("len = %d", len(c))
 			}
@@ -126,11 +129,14 @@ func TestWindowProperties(t *testing.T) {
 	if (Window(99)).String() != "unknown" {
 		t.Error("unknown window String")
 	}
-	if got := WindowHann.Coefficients(1); len(got) != 1 || got[0] != 1 {
-		t.Errorf("length-1 window = %v", got)
+	if got, err := WindowHann.Coefficients(1); err != nil || len(got) != 1 || got[0] != 1 {
+		t.Errorf("length-1 window = %v (err %v)", got, err)
 	}
 	// Hann endpoints: periodic window starts at 0.
-	c := WindowHann.Coefficients(64)
+	c, err := WindowHann.Coefficients(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(c[0]) > 1e-12 {
 		t.Errorf("hann[0] = %v, want 0", c[0])
 	}
@@ -149,7 +155,10 @@ func TestWindowProperties(t *testing.T) {
 func TestWindowApply(t *testing.T) {
 	x := []float64{1, 1, 1, 1}
 	got := WindowHann.Apply(x)
-	want := WindowHann.Coefficients(4)
+	want, err := WindowHann.Coefficients(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range got {
 		if math.Abs(got[i]-want[i]) > 1e-12 {
 			t.Errorf("apply[%d] = %v, want %v", i, got[i], want[i])
@@ -163,11 +172,8 @@ func TestWindowApply(t *testing.T) {
 	}
 }
 
-func TestWindowNegativeLengthPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on negative window length")
-		}
-	}()
-	WindowHann.Coefficients(-1)
+func TestWindowNegativeLengthError(t *testing.T) {
+	if _, err := WindowHann.Coefficients(-1); err == nil {
+		t.Error("expected error on negative window length")
+	}
 }

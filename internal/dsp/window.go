@@ -30,14 +30,17 @@ func (w Window) String() string {
 }
 
 // Coefficients returns the n window coefficients for w. Periodic windows
-// (suitable for STFT) are produced: the denominator is n, not n-1.
-func (w Window) Coefficients(n int) []float64 {
-	validateLength(w.String(), n)
+// (suitable for STFT) are produced: the denominator is n, not n-1. A
+// negative n is a configuration error and is returned as such.
+func (w Window) Coefficients(n int) ([]float64, error) {
+	if err := validateLength(w.String(), n); err != nil {
+		return nil, err
+	}
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = w.at(i, n)
 	}
-	return out
+	return out, nil
 }
 
 func (w Window) at(i, n int) float64 {

@@ -180,7 +180,7 @@ func runTableICell(backend core.Backend, test int, cfg TableIConfig) (TableIRow,
 			}
 		}
 	default:
-		return TableIRow{}, fmt.Errorf("unknown test %d", test)
+		return TableIRow{}, fmt.Errorf("experiment: unknown test %d", test)
 	}
 
 	// Per-victim zero-FRR thresholds; pool FAR across victims. EER uses

@@ -11,6 +11,7 @@ import (
 
 	"voiceguard/internal/audio"
 	"voiceguard/internal/dsp"
+	"voiceguard/internal/stats"
 )
 
 // MFCCConfig configures the MFCC front-end. The zero value is not valid;
@@ -60,7 +61,7 @@ func (c *MFCCConfig) validate(rate float64) error {
 		return fmt.Errorf("features: need at least 2 mel filters, have %d", c.NumFilters)
 	case c.NumCoeffs < 1 || c.NumCoeffs >= c.NumFilters:
 		return fmt.Errorf("features: NumCoeffs %d must be in [1, NumFilters)", c.NumCoeffs)
-	case c.LowFreq < 0 || (c.HighFreq != 0 && c.HighFreq <= c.LowFreq):
+	case c.LowFreq < 0 || (!stats.IsZero(c.HighFreq) && c.HighFreq <= c.LowFreq):
 		return fmt.Errorf("features: bad band [%v, %v]", c.LowFreq, c.HighFreq)
 	case c.HighFreq > rate/2:
 		return fmt.Errorf("features: HighFreq %v above Nyquist %v", c.HighFreq, rate/2)
@@ -95,11 +96,14 @@ func Extract(s *audio.Signal, cfg MFCCConfig) ([][]float64, error) {
 	}
 	fftSize := dsp.NextPow2(frameLen)
 	high := cfg.HighFreq
-	if high == 0 {
+	if stats.IsZero(high) {
 		high = s.Rate / 2
 	}
 	bank := melFilterbank(cfg.NumFilters, fftSize, s.Rate, cfg.LowFreq, high)
-	win := dsp.WindowHamming.Coefficients(frameLen)
+	win, err := dsp.WindowHamming.Coefficients(frameLen)
+	if err != nil {
+		return nil, fmt.Errorf("features: analysis window: %w", err)
+	}
 	dct := dctMatrix(cfg.NumCoeffs, cfg.NumFilters)
 
 	base := make([][]float64, len(frames))

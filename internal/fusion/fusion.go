@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"voiceguard/internal/sensors"
+	"voiceguard/internal/stats"
 )
 
 // HeadingEstimate is the fused heading track.
@@ -45,10 +46,10 @@ type Config struct {
 }
 
 func (c *Config) setDefaults() {
-	if c.GyroWeight == 0 {
+	if stats.IsZero(c.GyroWeight) {
 		c.GyroWeight = 0.98
 	}
-	if c.MagSign == 0 {
+	if stats.IsZero(c.MagSign) {
 		c.MagSign = 1
 	}
 }

@@ -3,12 +3,14 @@ package geometry
 import (
 	"errors"
 	"math"
+
+	"voiceguard/internal/stats"
 )
 
 // Circle is a circle in the 2D trajectory plane.
 type Circle struct {
 	Center Vec2
-	Radius float64
+	Radius float64 // unit: m
 }
 
 // ErrDegenerate is returned when a fit is attempted on fewer than three
@@ -51,7 +53,7 @@ func FitCircleKasa(pts []Vec2) (Circle, error) {
 	//   [suv svv] [vc] = [ (svvv + svuu)/2 ]
 	det := suu*svv - suv*suv
 	scale := suu + svv
-	if scale == 0 || math.Abs(det) < 1e-12*scale*scale {
+	if stats.IsZero(scale) || math.Abs(det) < 1e-12*scale*scale {
 		return Circle{}, ErrDegenerate
 	}
 	bu := (suuu + suvv) / 2
@@ -199,7 +201,7 @@ func FitLine(pts []Vec2) (point, dir Vec2, err error) {
 		sxy += u * v
 		syy += v * v
 	}
-	if sxx+syy == 0 {
+	if stats.IsZero(sxx + syy) {
 		return Vec2{}, Vec2{}, ErrDegenerate
 	}
 	// Principal eigenvector of the 2×2 scatter matrix.

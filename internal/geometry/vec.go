@@ -10,12 +10,14 @@ package geometry
 import (
 	"fmt"
 	"math"
+
+	"voiceguard/internal/stats"
 )
 
 // Vec2 is a point or direction in the 2D trajectory plane. Units are meters
 // unless stated otherwise.
 type Vec2 struct {
-	X, Y float64
+	X, Y float64 // unit: m unless stated otherwise
 }
 
 // Add returns v + w.
@@ -25,6 +27,7 @@ func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
 func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
 
 // Scale returns v scaled by s.
+// unit: s is a dimensionless factor.
 func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
 
 // Dot returns the dot product v·w.
@@ -43,13 +46,14 @@ func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
 // is returned unchanged.
 func (v Vec2) Normalize() Vec2 {
 	n := v.Norm()
-	if n == 0 {
+	if stats.IsZero(n) {
 		return v
 	}
 	return v.Scale(1 / n)
 }
 
 // Rotate returns v rotated counterclockwise by theta radians.
+// unit: theta in radians.
 func (v Vec2) Rotate(theta float64) Vec2 {
 	s, c := math.Sincos(theta)
 	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
@@ -64,7 +68,7 @@ func (v Vec2) String() string { return fmt.Sprintf("(%.4g, %.4g)", v.X, v.Y) }
 // Vec3 is a point or direction in 3D space, used by the magnetics and
 // sensor models. Units are meters unless stated otherwise.
 type Vec3 struct {
-	X, Y, Z float64
+	X, Y, Z float64 // unit: m unless stated otherwise
 }
 
 // Add returns v + w.
@@ -74,6 +78,7 @@ func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
 func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
 
 // Scale returns v scaled by s.
+// unit: s is a dimensionless factor.
 func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
 
 // Dot returns the dot product v·w.
@@ -98,7 +103,7 @@ func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
 // is returned unchanged.
 func (v Vec3) Normalize() Vec3 {
 	n := v.Norm()
-	if n == 0 {
+	if stats.IsZero(n) {
 		return v
 	}
 	return v.Scale(1 / n)

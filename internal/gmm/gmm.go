@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"voiceguard/internal/stats"
 )
 
 // GMM is a mixture of diagonal-covariance Gaussians.
@@ -60,7 +62,7 @@ func (c *TrainConfig) setDefaults() {
 	if c.MaxIter == 0 {
 		c.MaxIter = 25
 	}
-	if c.Tol == 0 {
+	if stats.IsZero(c.Tol) {
 		c.Tol = 1e-4
 	}
 }
@@ -98,7 +100,7 @@ func Train(data [][]float64, cfg TrainConfig) (*GMM, error) {
 			total += ll
 			for k := 0; k < cfg.Components; k++ {
 				r := resp[k]
-				if r == 0 {
+				if stats.IsZero(r) {
 					continue
 				}
 				n[k] += r
@@ -379,7 +381,7 @@ func normalizeWeights(w []float64) {
 	for _, v := range w {
 		s += v
 	}
-	if s == 0 {
+	if stats.IsZero(s) {
 		for i := range w {
 			w[i] = 1 / float64(len(w))
 		}

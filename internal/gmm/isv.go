@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"voiceguard/internal/stats"
 )
 
 // This file implements a simplified inter-session variability (ISV)
@@ -192,7 +194,7 @@ func dominantDirections(rows [][]float64, r int) [][]float64 {
 		// Map back to supervector space: u = Xᵀ v, normalized.
 		u := make([]float64, dim)
 		for i := 0; i < n; i++ {
-			if v[i] == 0 {
+			if stats.IsZero(v[i]) {
 				continue
 			}
 			for d := 0; d < dim; d++ {

@@ -3,6 +3,8 @@ package gmm
 import (
 	"fmt"
 	"math"
+
+	"voiceguard/internal/stats"
 )
 
 // This file implements the GMM-UBM speaker-verification recipe: a
@@ -70,7 +72,7 @@ func AccumulateStats(g *GMM, frames [][]float64) (n []float64, first [][]float64
 		g.responsibilities(x, resp)
 		for c := 0; c < k; c++ {
 			r := resp[c]
-			if r == 0 {
+			if stats.IsZero(r) {
 				continue
 			}
 			n[c] += r

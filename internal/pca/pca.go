@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"voiceguard/internal/stats"
 )
 
 // Model holds a fitted PCA transform.
@@ -132,7 +134,7 @@ func (m *Model) ExplainedRatio() []float64 {
 		total += v
 	}
 	out := make([]float64, len(m.Explained))
-	if total == 0 {
+	if stats.IsZero(total) {
 		return out
 	}
 	for i, v := range m.Explained {

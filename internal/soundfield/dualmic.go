@@ -21,10 +21,10 @@ import (
 // DualMicConfig describes the two-microphone layout and the measurement.
 type DualMicConfig struct {
 	// Distance is the primary-mic standoff from the source in meters.
-	Distance float64
+	Distance float64 // unit: m
 	// MicSpacing is the distance between the two microphones in meters
 	// (phone length, ≈0.12 for the paper's testbeds).
-	MicSpacing float64
+	MicSpacing float64 // unit: m
 	// ProbeFreqs are the analysis bands in Hz.
 	ProbeFreqs []float64
 	// Positions is the number of (shortened) sweep positions.
@@ -39,6 +39,7 @@ type DualMicConfig struct {
 
 // DefaultDualMic returns the §VII configuration: half the single-mic
 // sweep width, the Nexus-class mic spacing.
+// unit: distance in meters.
 func DefaultDualMic(distance float64) DualMicConfig {
 	if distance <= 0 {
 		distance = 0.06
@@ -144,6 +145,7 @@ func SLDFeatureVector(ms []SLDMeasurement) []float64 {
 // ExpectedPointSourceSLD returns the SLD a point source at the given
 // standoff would produce across the mic spacing — the far-field
 // reference the verifier's features are compared against implicitly.
+// unit: distance and spacing in meters.
 func ExpectedPointSourceSLD(distance, spacing float64) float64 {
 	if distance <= 0 || spacing <= 0 {
 		return 0

@@ -38,9 +38,9 @@ type Piston struct {
 	Label string
 	// Radius is the effective radiator radius in meters (mouth ≈ 0.012,
 	// earphone ≈ 0.005, PC speaker cone ≈ 0.04).
-	Radius float64
+	Radius float64 // unit: m
 	// LevelAt1m is the on-axis level at 1 m in dB (sets loudness).
-	LevelAt1m float64
+	LevelAt1m float64 // unit: dB
 }
 
 var _ Source = (*Piston)(nil)
@@ -51,6 +51,7 @@ func (p *Piston) Name() string { return p.Label }
 // IntensityDB implements Source: spherical spreading beyond the Rayleigh
 // distance, flattened inside it, shaped by the piston directivity
 // 2·J1(ka·sinθ)/(ka·sinθ).
+// unit: f in Hz.
 func (p *Piston) IntensityDB(at geometry.Vec2, f float64) float64 {
 	r := at.Norm()
 	if r < 1e-4 {
@@ -132,13 +133,13 @@ func Mouth() Source {
 type headBaffled struct {
 	Piston
 	// HeadRadius is the baffling head radius in meters.
-	HeadRadius float64
+	HeadRadius float64 // unit: m
 	// ShadowMaxDB is the shadow depth at 90° for frequencies well above
 	// ShadowCorner.
 	ShadowMaxDB float64
 	// ShadowCorner is the frequency in Hz where baffling takes hold
 	// (ka_head ≈ 1.6 for a 9 cm head at 1 kHz).
-	ShadowCorner float64
+	ShadowCorner float64 // unit: Hz
 }
 
 // IntensityDB implements Source.
@@ -161,6 +162,7 @@ func Earphone() Source {
 
 // ConeSpeaker returns a conventional loudspeaker cone of the given radius
 // in meters (PC speakers 3–6 cm, laptop drivers 1.5–2.5 cm).
+// unit: radius in meters.
 func ConeSpeaker(name string, radius float64) Source {
 	return &Piston{Label: name, Radius: radius, LevelAt1m: 66}
 }
@@ -173,11 +175,11 @@ func ConeSpeaker(name string, radius float64) Source {
 // with tubes.
 type Tube struct {
 	// OpeningRadius is the tube mouth radius in meters.
-	OpeningRadius float64
+	OpeningRadius float64 // unit: m
 	// Length is the tube length in meters.
-	Length float64
+	Length float64 // unit: m
 	// LevelAt1m is the driven on-axis level at 1 m in dB.
-	LevelAt1m float64
+	LevelAt1m float64 // unit: dB
 }
 
 var _ Source = (*Tube)(nil)
@@ -188,6 +190,7 @@ func (t *Tube) Name() string {
 }
 
 // IntensityDB implements Source.
+// unit: f in Hz.
 func (t *Tube) IntensityDB(at geometry.Vec2, f float64) float64 {
 	opening := Piston{Label: "tube-opening", Radius: t.OpeningRadius, LevelAt1m: t.LevelAt1m}
 	base := opening.IntensityDB(at, f)
@@ -224,7 +227,7 @@ type Measurement struct {
 // source.
 type SweepConfig struct {
 	// Distance is the phone-source distance in meters.
-	Distance float64
+	Distance float64 // unit: m
 	// HalfAngleDeg is the sweep half-width in degrees (the phone moves
 	// from -HalfAngle to +HalfAngle across the source axis).
 	HalfAngleDeg float64
@@ -249,6 +252,7 @@ const SweepLateralTravel = 0.07
 // bands. The per-position noise is the residual after averaging ~0.2 s of
 // speech frames per position and grows with distance as the received SNR
 // falls.
+// unit: distance in meters.
 func DefaultSweep(distance float64) SweepConfig {
 	if distance <= 0 {
 		distance = 0.06

@@ -76,6 +76,7 @@ func (s *ScoreSet) DETCurve() []DETPoint {
 	// Dedup.
 	uniq := all[:1]
 	for _, v := range all[1:] {
+		//lint:allow floatcmp threshold sweep needs exact dedup of sorted scores; merging near ties would drop operating points
 		if v != uniq[len(uniq)-1] {
 			uniq = append(uniq, v)
 		}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"voiceguard/internal/stats"
 )
 
 // Model is a trained linear SVM with input standardization.
@@ -33,7 +35,7 @@ type TrainConfig struct {
 }
 
 func (c *TrainConfig) setDefaults() {
-	if c.Lambda == 0 {
+	if stats.IsZero(c.Lambda) {
 		c.Lambda = 1e-3
 	}
 	if c.Epochs == 0 {

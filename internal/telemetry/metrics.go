@@ -21,6 +21,7 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Add increases the counter by n. Negative n panics: counters only go up.
 func (c *Counter) Add(n int64) {
 	if n < 0 {
+		//lint:allow nopanic a negative Add is a bug at the call site, not a runtime condition
 		panic("telemetry: counter decremented")
 	}
 	c.v.Add(n)
@@ -83,6 +84,7 @@ type Histogram struct {
 func newHistogram(bounds []float64) *Histogram {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
+			//lint:allow nopanic bucket layouts are compile-time constants; a bad one is a programming error
 			panic("telemetry: histogram buckets not strictly increasing")
 		}
 	}

@@ -106,6 +106,7 @@ func (r *Registry) lookup(name string, kind metricKind, buckets []float64) *fami
 		return f
 	}
 	if f.kind != kind {
+		//lint:allow nopanic mixing kinds under one metric name is a programming error, documented on lookup
 		panic(fmt.Sprintf("telemetry: metric %q registered as %v, requested as %v", name, f.kind, kind))
 	}
 	return f

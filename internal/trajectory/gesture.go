@@ -11,6 +11,7 @@ import (
 	"voiceguard/internal/magnetics"
 	"voiceguard/internal/ranging"
 	"voiceguard/internal/sensors"
+	"voiceguard/internal/stats"
 )
 
 // GestureConfig describes one simulated verification gesture: the motion,
@@ -22,7 +23,7 @@ type GestureConfig struct {
 	// sources). Nil means a quiet default environment.
 	Scene magnetics.FieldSource
 	// PhoneZ is the height of the motion plane in meters.
-	PhoneZ float64
+	PhoneZ float64 // unit: m
 	// Channel is the acoustic ranging channel; the zero value selects
 	// ranging.DefaultChannel.
 	Channel ranging.ChannelConfig
@@ -33,7 +34,7 @@ type GestureConfig struct {
 	// center toward the source, in meters. On the paper's test phones
 	// the AK8975 is at the top edge, which points at the mouth during
 	// the gesture; default 0.03.
-	MagOffset float64
+	MagOffset float64 // unit: m
 	// Seed drives all sensor noise for this gesture.
 	Seed int64
 }
@@ -55,7 +56,7 @@ type Gesture struct {
 	// Heading is the fused heading estimate.
 	Heading *fusion.HeadingEstimate
 	// SweepStart and SweepEnd bound the sweep segment in seconds.
-	SweepStart, SweepEnd float64
+	SweepStart, SweepEnd float64 // unit: s
 }
 
 // gravityMS2 is standard gravity in m/s².
@@ -71,7 +72,7 @@ func SimulateGesture(cfg GestureConfig) (*Gesture, error) {
 		scene = magnetics.NewEnvironment(magnetics.EnvQuiet, cfg.Seed)
 	}
 	ch := cfg.Channel
-	if ch.Freq == 0 && ch.Rate == 0 {
+	if stats.IsZero(ch.Freq) && stats.IsZero(ch.Rate) {
 		ch = ranging.DefaultChannel()
 	}
 	echo := cfg.EchoDist
@@ -99,7 +100,7 @@ func SimulateGesture(cfg GestureConfig) (*Gesture, error) {
 		return nil, fmt.Errorf("trajectory: recording accel: %w", err)
 	}
 	magOffset := cfg.MagOffset
-	if magOffset == 0 {
+	if stats.IsZero(magOffset) {
 		magOffset = 0.03
 	}
 	mag, err := magSensor.Record(dur, func(t float64) geometry.Vec3 {
@@ -156,6 +157,7 @@ func (g *Gesture) Estimate() (Estimate, error) {
 // FromUpload reconstructs a Gesture from raw uploaded traces and the
 // ranging capture — the server-side path: heading fusion, gravity
 // removal and displacement recovery are re-run on the received data.
+// unit: pilotHz in Hz; sweepStart and sweepEnd in seconds.
 func FromUpload(gyro, accel, mag *sensors.Trace, capture *audio.Signal, pilotHz, sweepStart, sweepEnd float64) (*Gesture, error) {
 	if gyro == nil || accel == nil || mag == nil || capture == nil {
 		return nil, fmt.Errorf("trajectory: upload missing traces")

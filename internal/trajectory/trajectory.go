@@ -38,18 +38,19 @@ type UseCase struct {
 	// StartPos is where the gesture begins (near the ear), m.
 	StartPos geometry.Vec2
 	// FinalDistance is the standoff during the sweep, m.
-	FinalDistance float64
+	FinalDistance float64 // unit: m
 	// ApproachDur is the approach segment duration, s.
-	ApproachDur float64
+	ApproachDur float64 // unit: s
 	// SweepDur is the sweep segment duration, s.
-	SweepDur float64
+	SweepDur float64 // unit: s
 	// SweepHalfAngle is the sweep amplitude in radians.
-	SweepHalfAngle float64
+	SweepHalfAngle float64 // unit: rad
 }
 
 // StandardUseCase returns the paper's gesture at the given sweep
 // distance: start 14 cm from the mouth (phone at the ear), approach for
 // 1 s, sweep ±50° for 1.5 s.
+// unit: finalDistance in meters.
 func StandardUseCase(finalDistance float64) UseCase {
 	return UseCase{
 		SourcePos:      geometry.Vec2{X: 0, Y: 0},
@@ -86,6 +87,7 @@ func (u UseCase) sweepAngle(ts float64) float64 {
 }
 
 // PositionAt returns the phone's true position at time t.
+// unit: t in seconds.
 func (u UseCase) PositionAt(t float64) geometry.Vec2 {
 	dir := u.StartPos.Sub(u.SourcePos).Normalize()
 	baseAngle := dir.Angle()
@@ -111,17 +113,20 @@ func (u UseCase) PositionAt(t float64) geometry.Vec2 {
 
 // HeadingAt returns the phone's true heading at time t: the phone screen
 // faces the source, so the heading is the bearing from phone to source.
+// unit: t in seconds.
 func (u UseCase) HeadingAt(t float64) float64 {
 	p := u.PositionAt(t)
 	return u.SourcePos.Sub(p).Angle()
 }
 
 // DistanceAt returns the true phone→source distance at time t.
+// unit: t in seconds.
 func (u UseCase) DistanceAt(t float64) float64 {
 	return u.PositionAt(t).Dist(u.SourcePos)
 }
 
 // TurnRateAt returns the true heading rate (rad/s) via central difference.
+// unit: t in seconds.
 func (u UseCase) TurnRateAt(t float64) float64 {
 	const h = 1e-3
 	a := u.HeadingAt(t + h)
@@ -138,6 +143,7 @@ func (u UseCase) TurnRateAt(t float64) float64 {
 
 // AccelAt returns the true planar acceleration (m/s²) via central
 // difference of positions.
+// unit: t in seconds.
 func (u UseCase) AccelAt(t float64) geometry.Vec2 {
 	const h = 2e-3
 	p0 := u.PositionAt(t - h)
@@ -149,18 +155,18 @@ func (u UseCase) AccelAt(t float64) geometry.Vec2 {
 // Estimate is the recovered gesture geometry.
 type Estimate struct {
 	// Distance is the estimated phone→source distance during the sweep, m.
-	Distance float64
+	Distance float64 // unit: m
 	// Fit is the circle fitted to the reconstructed sweep positions.
 	Fit geometry.Circle
 	// Residual is the RMS circle-fit residual, m.
-	Residual float64
+	Residual float64 // unit: m
 	// SweepRadialStd is the standard deviation of the acoustic radial
 	// displacement across the sweep, m. A sweep genuinely centered on
 	// the sound source keeps this small; a fake pivot in front of a
 	// distant loudspeaker does not.
-	SweepRadialStd float64
+	SweepRadialStd float64 // unit: m
 	// Turn is the total heading excursion during the sweep, rad.
-	Turn float64
+	Turn float64 // unit: rad
 	// Positions are the reconstructed sweep positions (source-centric
 	// frame up to rotation/translation).
 	Positions []geometry.Vec2
@@ -173,6 +179,7 @@ var ErrInsufficientMotion = errors.New("trajectory: insufficient sweep motion fo
 // EstimateDistance recovers the gesture geometry from fused heading, the
 // gravity-free accelerometer trace and the acoustic displacement track.
 // sweepStart/sweepEnd bound the sweep segment in seconds.
+// unit: sweepStart and sweepEnd in seconds.
 func EstimateDistance(head *fusion.HeadingEstimate, linAccel *sensors.Trace, disp *ranging.Displacement, sweepStart, sweepEnd float64) (Estimate, error) {
 	if head == nil || linAccel == nil || disp == nil {
 		return Estimate{}, errors.New("trajectory: nil inputs")
