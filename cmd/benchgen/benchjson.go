@@ -1,0 +1,155 @@
+package main
+
+// -bench-json mode: times the hot-path primitives and the headline
+// experiments in-process and writes machine-readable rows, so CI and the
+// repo can track pipeline latency without parsing `go test -bench` text.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/dsp"
+	"voiceguard/internal/experiment"
+	"voiceguard/internal/features"
+	"voiceguard/internal/gmm"
+)
+
+// benchRow is one benchmark observation, mirroring the fields of
+// `go test -bench -benchmem` output that matter for latency tracking.
+type benchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
+
+// measure runs fn iters times and reports mean wall time and heap
+// allocation count per run. One-shot experiment rows pass iters=1; the
+// micro rows average over enough iterations to stabilize the mean.
+func measure(name string, iters int, fn func() error) (benchRow, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return benchRow{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return benchRow{
+		Name:        name,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: (m1.Mallocs - m0.Mallocs) / uint64(iters),
+	}, nil
+}
+
+// benchSignal synthesizes a deterministic speech-like test utterance.
+func benchSignal(seconds float64) *audio.Signal {
+	rng := rand.New(rand.NewSource(3))
+	n := int(seconds * 16000)
+	samples := make([]float64, n)
+	for i := range samples {
+		t := float64(i) / 16000
+		samples[i] = 0.5*math.Sin(2*math.Pi*190*t) +
+			0.25*math.Sin(2*math.Pi*380*t) +
+			0.1*rng.NormFloat64()
+	}
+	return &audio.Signal{Rate: 16000, Samples: samples}
+}
+
+// benchJSONRows runs every benchmark and returns the rows in a fixed order:
+// hot-path micros first, then the experiment-level latencies.
+func benchJSONRows(seed int64) ([]benchRow, error) {
+	sig := benchSignal(2)
+
+	gmmRng := rand.New(rand.NewSource(seed))
+	gmmTrain := make([][]float64, 400)
+	for i := range gmmTrain {
+		row := make([]float64, 13)
+		for d := range row {
+			row[d] = gmmRng.NormFloat64() + float64(i%4)
+		}
+		gmmTrain[i] = row
+	}
+	model, err := gmm.Train(gmmTrain, gmm.TrainConfig{Components: 16, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("training bench GMM: %w", err)
+	}
+	scoreFrames := gmmTrain[:300]
+
+	var rows []benchRow
+	for _, spec := range []struct {
+		name  string
+		iters int
+		fn    func() error
+	}{
+		{"micro/dsp.FFT1024", 200, func() error {
+			buf := make([]complex128, 1024)
+			for i := range buf {
+				buf[i] = complex(sig.Samples[i], 0)
+			}
+			dsp.FFT(buf)
+			return nil
+		}},
+		{"micro/dsp.STFT", 50, func() error {
+			_, err := dsp.STFT(sig.Samples, dsp.STFTConfig{
+				FrameSize: 400, HopSize: 160, FFTSize: 512, SampleRate: 16000,
+			})
+			return err
+		}},
+		{"micro/features.Extract", 20, func() error {
+			_, err := features.Extract(sig, features.DefaultMFCCConfig())
+			return err
+		}},
+		{"micro/gmm.MeanLogLikelihood", 50, func() error {
+			model.MeanLogLikelihood(scoreFrames)
+			return nil
+		}},
+		{"experiment/table1", 1, func() error {
+			_, err := experiment.RunTableI(experiment.TableIConfig{Seed: seed + 3, UBMComponents: 32})
+			return err
+		}},
+		{"experiment/fig6", 1, func() error {
+			_, err := experiment.RunFig6(seed)
+			return err
+		}},
+		{"experiment/timing", 1, func() error {
+			_, err := experiment.RunTiming(experiment.TimingConfig{Users: 4, TrialsPerUser: 3, Seed: seed})
+			return err
+		}},
+	} {
+		row, err := measure(spec.name, spec.iters, spec.fn)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// writeBenchJSON runs the suite and writes the rows to path.
+func writeBenchJSON(path string, seed int64) error {
+	rows, err := benchJSONRows(seed)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding bench rows: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-28s %14.0f ns/op %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@
 //	benchgen -exp all
 //	benchgen -exp fig12a
 //	benchgen -exp table1 -seed 7
+//	benchgen -bench-json BENCH_pr3.json
 //
 // Experiments: table1, fig6, fig8, fig10, fig12a, fig12b, fig14a, fig14b,
 // fig15, table4, tube, unconventional, adaptive, dualmic, baseline, envs,
@@ -23,8 +24,16 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see package doc)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	benchJSON := flag.String("bench-json", "", "write hot-path benchmark rows as JSON to this path and exit")
 	flag.Parse()
 
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
 		os.Exit(1)

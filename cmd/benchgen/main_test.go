@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("nope", 1); err == nil {
@@ -25,5 +30,55 @@ func TestRunEnvs(t *testing.T) {
 func TestRunFig6(t *testing.T) {
 	if err := run("fig6", 1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMeasureReportsPerIteration(t *testing.T) {
+	calls := 0
+	row, err := measure("x", 4, func() error { calls++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("fn ran %d times, want 4", calls)
+	}
+	if row.Name != "x" || row.NsPerOp <= 0 {
+		t.Fatalf("bad row: %+v", row)
+	}
+}
+
+func TestWriteBenchJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Table I experiment")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeBenchJSON(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("output is not a benchRow array: %v", err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Fatalf("bad row: %+v", r)
+		}
+		if seen[r.Name] {
+			t.Fatalf("duplicate row %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	for _, want := range []string{"micro/features.Extract", "experiment/table1"} {
+		if !seen[want] {
+			t.Fatalf("missing row %q", want)
+		}
 	}
 }

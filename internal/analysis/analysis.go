@@ -16,7 +16,11 @@
 //     must record StageResult.Elapsed (core.TimeStage);
 //   - unitsuffix: exported float fields/params representing physical
 //     quantities must carry a unit suffix (Meters, Hz, MicroTesla,
-//     Seconds, ...) or a "unit:" doc tag.
+//     Seconds, ...) or a "unit:" doc tag;
+//   - poolescape: sync.Pool-obtained buffers must not escape the
+//     acquiring function via return or store — a leaked scratch buffer
+//     is handed to another goroutine by a later Get, a data race no test
+//     reliably catches.
 //
 // A finding is suppressed by a pragma comment on the same line or on the
 // line directly above:
@@ -95,6 +99,7 @@ func All() []*Analyzer {
 		ErrWrapCheckAnalyzer,
 		StageInstrumentAnalyzer,
 		UnitSuffixAnalyzer,
+		PoolEscapeAnalyzer,
 	}
 }
 

@@ -12,6 +12,7 @@ func TestStageInstrumentFixture(t *testing.T) {
 	checkFixture(t, StageInstrumentAnalyzer, "stageinstrument")
 }
 func TestUnitSuffixFixture(t *testing.T) { checkFixture(t, UnitSuffixAnalyzer, "unitsuffix") }
+func TestPoolEscapeFixture(t *testing.T) { checkFixture(t, PoolEscapeAnalyzer, "poolescape") }
 
 // TestLoadAndRunRepoPackage drives the production loader end to end over
 // a real repo package and checks the tree it guards stays clean — the

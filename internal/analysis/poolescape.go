@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolEscapeAnalyzer flags sync.Pool-obtained buffers that escape the
+// function that acquired them: returned to a caller, or stored into a
+// struct field, map, slice element or package-level variable. The hot
+// path's pooling contract (internal/dsp, internal/features) is that a
+// pooled scratch buffer lives strictly between its Get and its Put — a
+// buffer that leaks out lands in a caller's hands while a later Get hands
+// the same memory to another goroutine, a data race no test reliably
+// catches. Managed accessor pairs that hand pooled buffers out on purpose
+// (dsp's acquire/release) document the contract with //lint:allow
+// poolescape <reason>.
+//
+// Taint is tracked per function declaration, syntactically: a variable
+// initialized from (*sync.Pool).Get — through any combination of type
+// assertion, dereference, re-slice or plain copy — is pooled, and so is
+// any variable later derived from it the same way.
+var PoolEscapeAnalyzer = &Analyzer{
+	Name: "poolescape",
+	Doc:  "flags sync.Pool-obtained buffers escaping via return or store",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolEscapes(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkPoolEscapes walks one function body in source order, growing the
+// set of pool-tainted variables and reporting escapes. Nested function
+// literals share the taint set: returning a captured pooled buffer from a
+// closure escapes the pooling scope just the same.
+func checkPoolEscapes(pass *Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+	derived := func(e ast.Expr) bool { return poolDerived(pass, tainted, e) }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				switch lhs := s.Lhs[i].(type) {
+				case *ast.Ident:
+					obj := pass.TypesInfo.Defs[lhs]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[lhs]
+					}
+					if obj == nil {
+						continue
+					}
+					if !derived(rhs) {
+						// Reassignment to a fresh value clears the taint.
+						delete(tainted, obj)
+						continue
+					}
+					if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(s.Pos(), "sync.Pool-obtained buffer stored in package variable %s; it outlives the acquire/release window", lhs.Name)
+						continue
+					}
+					tainted[obj] = true
+				default:
+					// Field, map or element store: the buffer now outlives
+					// the function's pooling scope.
+					if derived(rhs) {
+						pass.Reportf(s.Pos(), "sync.Pool-obtained buffer stored outside the acquiring function; copy it or keep it local until release")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if derived(res) {
+					pass.Reportf(res.Pos(), "sync.Pool-obtained buffer returned from the acquiring function; copy it, or document a managed accessor with //lint:allow poolescape")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// poolDerived reports whether e is a (*sync.Pool).Get result or derives
+// from a tainted variable through assertion, dereference, re-slice, paren
+// or address-of.
+func poolDerived(pass *Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		return obj != nil && tainted[obj]
+	case *ast.ParenExpr:
+		return poolDerived(pass, tainted, x.X)
+	case *ast.TypeAssertExpr:
+		return poolDerived(pass, tainted, x.X)
+	case *ast.StarExpr:
+		return poolDerived(pass, tainted, x.X)
+	case *ast.UnaryExpr:
+		return poolDerived(pass, tainted, x.X)
+	case *ast.SliceExpr:
+		return poolDerived(pass, tainted, x.X)
+	case *ast.CallExpr:
+		return isPoolGet(pass, x)
+	}
+	return false
+}
+
+// isPoolGet reports whether call is (*sync.Pool).Get, directly or through
+// a field chain (p.scratch.Get()).
+func isPoolGet(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	t := pass.TypesInfo.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

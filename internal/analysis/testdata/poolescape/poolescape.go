@@ -1,0 +1,74 @@
+// Package poolescape is the fixture for the poolescape analyzer: pooled
+// buffers must live strictly between their Get and their Put.
+package poolescape
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+
+var global []byte
+
+func leakReturn() []byte {
+	buf := *pool.Get().(*[]byte)
+	return buf // want `sync.Pool-obtained buffer returned from the acquiring function`
+}
+
+func leakReturnResliced() []byte {
+	bptr := pool.Get().(*[]byte)
+	return (*bptr)[:16] // want `returned from the acquiring function`
+}
+
+func leakReturnDirect() *[]byte {
+	return pool.Get().(*[]byte) // want `returned from the acquiring function`
+}
+
+func leakStoreGlobal() {
+	buf := *pool.Get().(*[]byte)
+	global = buf // want `stored in package variable global`
+}
+
+type holder struct{ buf []byte }
+
+func leakStoreField(h *holder) {
+	h.buf = *pool.Get().(*[]byte) // want `stored outside the acquiring function`
+}
+
+func leakFromClosure() func() []byte {
+	buf := *pool.Get().(*[]byte)
+	return func() []byte {
+		return buf // want `returned from the acquiring function`
+	}
+}
+
+// okCopyOut hands back a private copy; the pooled buffer itself stays in
+// the acquire/release window.
+func okCopyOut() []byte {
+	bptr := pool.Get().(*[]byte)
+	out := make([]byte, len(*bptr))
+	copy(out, *bptr)
+	pool.Put(bptr)
+	return out
+}
+
+// okLocalUse consumes the buffer without leaking it.
+func okLocalUse() int {
+	bptr := pool.Get().(*[]byte)
+	n := len(*bptr)
+	pool.Put(bptr)
+	return n
+}
+
+// okReassigned loses the taint when the variable is rebound to fresh
+// memory.
+func okReassigned() []byte {
+	buf := *pool.Get().(*[]byte)
+	n := len(buf)
+	buf = make([]byte, n)
+	return buf
+}
+
+// okManagedAccessor hands pooled buffers out on purpose as one half of an
+// acquire/release pair; the pragma documents the contract.
+func okManagedAccessor() *[]byte {
+	return pool.Get().(*[]byte) //lint:allow poolescape managed acquire/release accessor pair
+}

@@ -110,6 +110,52 @@ func TestFullCascadeStopsImitatorAtIdentityStage(t *testing.T) {
 	}
 }
 
+// TestVerifyParallelStagesKeepCascadeSemantics pins the fan-out contract:
+// stages execute speculatively in parallel, but the decision must be
+// indistinguishable from the serial cascade — stage results in paper
+// order, truncated at the first failure, FailedStage naming that stage.
+// (-cpu=1,4 in CI runs this against both the serial fallback and a real
+// fork-join.)
+func TestVerifyParallelStagesKeepCascadeSemantics(t *testing.T) {
+	roster := speech.NewDistinctRoster(2, 230, 1.5).Profiles()
+	victim, impostor := roster[0], roster[1]
+	sys := fullSystem(t, victim, "513579", 230)
+
+	// An identity-stage failure: a physically present impostor speaking in
+	// their own voice passes all three physical stages, so a truncation
+	// bug or an out-of-order assembly would be visible.
+	session := genuineSessionFor(t, impostor, "513579", 232)
+	session.ClaimedUser = victim.Name
+
+	d, err := sys.Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted {
+		t.Fatal("impostor voice accepted as the victim")
+	}
+	order := []Stage{StageDistance, StageSoundField, StageLoudspeaker, StageSpeakerID}
+	if len(d.Stages) != 4 {
+		t.Fatalf("stages recorded = %d, want the full cascade up to the identity failure", len(d.Stages))
+	}
+	for i, st := range d.Stages {
+		if st.Stage != order[i] {
+			t.Errorf("stage %d = %v, want %v (paper order)", i, st.Stage, order[i])
+		}
+	}
+	for i, st := range d.Stages[:3] {
+		if !st.Pass {
+			t.Errorf("physical stage %d (%v) failed; want the identity stage to be the first failure", i, st.Stage)
+		}
+	}
+	if d.FailedStage != StageSpeakerID {
+		t.Errorf("FailedStage = %v, want %v", d.FailedStage, StageSpeakerID)
+	}
+	if d.Stages[3].Pass {
+		t.Error("identity stage recorded as passing in a rejected decision")
+	}
+}
+
 // genuineSessionFor builds a physically genuine session for any speaking
 // profile (the speaker stands at mouth distance; no loudspeaker).
 func genuineSessionFor(t *testing.T, p speech.Profile, passphrase string, seed int64) *SessionData {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/sensors"
 	"voiceguard/internal/telemetry"
 )
@@ -96,33 +97,46 @@ func (s *System) VerifyTraced(traceID string, session *SessionData) (Decision, e
 	}
 	d := Decision{TraceID: traceID}
 	start := time.Now()
-	run := func(verify func() StageResult) bool {
-		// Each stage stamps its own Elapsed via TimeStage (enforced by
-		// the stageinstrument analyzer).
-		r := verify()
+	// The configured stages are independent, read-only checks over
+	// distinct session channels (Validate guarantees every channel is
+	// present), so they run speculatively in parallel: the cheap sensor
+	// checks overlap the expensive ASV scoring instead of serializing in
+	// front of it. Each stage stamps its own Elapsed via TimeStage
+	// (enforced by the stageinstrument analyzer). The decision is then
+	// assembled in the paper's stage order and truncated at the first
+	// failure, so its contents are indistinguishable from the serial
+	// cascade — a later stage's speculative result is simply discarded
+	// when an earlier stage rejects.
+	var verifies []func() StageResult
+	if s.Distance != nil {
+		verifies = append(verifies, func() StageResult { return s.Distance.Verify(session.Gesture) })
+	}
+	if s.Field != nil {
+		verifies = append(verifies, func() StageResult { return s.Field.Verify(session.Field) })
+	}
+	if s.Speaker != nil {
+		verifies = append(verifies, func() StageResult { return s.Speaker.Verify(session.Gesture.Mag) })
+	}
+	if s.Identity != nil {
+		verifies = append(verifies, func() StageResult {
+			return s.Identity.Verify(session.ClaimedUser, session.Voice)
+		})
+	}
+	results := make([]StageResult, len(verifies))
+	tasks := make([]func(), len(verifies))
+	for i, verify := range verifies {
+		tasks[i] = func() { results[i] = verify() }
+	}
+	parallel.Do(tasks...)
+	d.Accepted = true
+	for _, r := range results {
 		d.Stages = append(d.Stages, r)
 		if !r.Pass {
 			d.FailedStage = r.Stage
-			return false
+			d.Accepted = false
+			break
 		}
-		return true
 	}
-	done := func() (Decision, error) {
-		d.Elapsed = time.Since(start)
-		return d, nil
-	}
-	if s.Distance != nil && !run(func() StageResult { return s.Distance.Verify(session.Gesture) }) {
-		return done()
-	}
-	if s.Field != nil && !run(func() StageResult { return s.Field.Verify(session.Field) }) {
-		return done()
-	}
-	if s.Speaker != nil && !run(func() StageResult { return s.Speaker.Verify(session.Gesture.Mag) }) {
-		return done()
-	}
-	if s.Identity != nil && !run(func() StageResult { return s.Identity.Verify(session.ClaimedUser, session.Voice) }) {
-		return done()
-	}
-	d.Accepted = true
-	return done()
+	d.Elapsed = time.Since(start)
+	return d, nil
 }

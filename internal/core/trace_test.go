@@ -6,7 +6,6 @@ package core
 import (
 	"math/rand"
 	"testing"
-	"time"
 
 	"voiceguard/internal/speech"
 )
@@ -29,15 +28,16 @@ func TestVerifyPopulatesTraceAndTimings(t *testing.T) {
 	if d.Elapsed <= 0 {
 		t.Error("Verify left total Elapsed unset")
 	}
-	var sum time.Duration
+	// Stages run concurrently, so their Elapsed values may sum past the
+	// wall-clock total; the invariant that survives the fan-out is that
+	// every stage is stamped and no single stage exceeds the total.
 	for i, st := range d.Stages {
-		if st.Elapsed < 0 {
-			t.Errorf("stage %d (%v) Elapsed = %v", i, st.Stage, st.Elapsed)
+		if st.Elapsed <= 0 {
+			t.Errorf("stage %d (%v) Elapsed = %v, want > 0", i, st.Stage, st.Elapsed)
 		}
-		sum += st.Elapsed
-	}
-	if sum > d.Elapsed {
-		t.Errorf("stage sum %v exceeds total %v", sum, d.Elapsed)
+		if st.Elapsed > d.Elapsed {
+			t.Errorf("stage %d (%v) Elapsed %v exceeds total %v", i, st.Stage, st.Elapsed, d.Elapsed)
+		}
 	}
 }
 

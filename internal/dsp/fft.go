@@ -12,6 +12,10 @@ import (
 	"math/cmplx"
 )
 
+// The transform implementations live in plan.go: every call below routes
+// through the sync.Map-backed plan cache, so twiddle factors and
+// bit-reversal permutations are computed once per size per process.
+
 // FFT returns the discrete Fourier transform of x. The input is not
 // modified. Power-of-two lengths use an iterative radix-2
 // Cooley–Tukey transform; other lengths fall back to Bluestein's
@@ -45,9 +49,25 @@ func IFFT(x []complex128) []complex128 {
 }
 
 // FFTReal computes the DFT of a real-valued signal and returns the full
-// complex spectrum of the same length.
+// complex spectrum of the same length. Power-of-two lengths run the
+// planned real-input path (one half-size complex transform plus an
+// unpack pass) and mirror the conjugate-symmetric upper half.
 func FFTReal(x []float64) []complex128 {
-	c := make([]complex128, len(x))
+	n := len(x)
+	c := make([]complex128, n)
+	p := PlanFFT(n)
+	if p != nil && p.canPackReal() {
+		m := n / 2
+		spec := make([]complex128, m+1)
+		// Lengths match the plan by construction, so the error is nil.
+		if err := p.RealForward(spec, x); err == nil {
+			copy(c, spec)
+			for k := m + 1; k < n; k++ {
+				c[k] = cmplx.Conj(spec[n-k])
+			}
+			return c
+		}
+	}
 	for i, v := range x {
 		c[i] = complex(v, 0)
 	}
@@ -55,93 +75,14 @@ func FFTReal(x []float64) []complex128 {
 	return c
 }
 
-// fftInPlace transforms x in place. inverse selects the conjugate
-// transform (without the 1/N normalization).
+// fftInPlace transforms x in place through the cached plan for len(x).
+// inverse selects the conjugate transform (without the 1/N
+// normalization).
 func fftInPlace(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
+	if len(x) <= 1 {
 		return
 	}
-	if n&(n-1) == 0 {
-		radix2(x, inverse)
-		return
-	}
-	bluestein(x, inverse)
-}
-
-// radix2 is an iterative in-place Cooley–Tukey FFT for power-of-two sizes.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	// Bit-reversal permutation.
-	for i := 1; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		ws, wc := math.Sincos(step)
-		w := complex(wc, ws)
-		for start := 0; start < n; start += size {
-			tw := complex(1, 0)
-			for k := start; k < start+half; k++ {
-				a := x[k]
-				b := x[k+half] * tw
-				x[k] = a + b
-				x[k+half] = a - b
-				tw *= w
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT via the chirp-z transform,
-// reducing it to a power-of-two convolution.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp: w_k = exp(sign * iπ k² / n). Compute k² mod 2n to avoid
-	// precision loss for large k.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		ang := sign * math.Pi * float64(kk) / float64(n)
-		s, c := math.Sincos(ang)
-		chirp[k] = complex(c, s)
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	scale := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * scale * chirp[k]
-	}
+	PlanFFT(len(x)).transform(x, inverse)
 }
 
 // Magnitudes returns |X_k| for each bin of a spectrum.

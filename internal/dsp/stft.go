@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"voiceguard/internal/parallel"
 )
 
 // Spectrogram is the output of a short-time Fourier transform: a sequence
@@ -56,6 +58,13 @@ func (c *STFTConfig) setDefaults() error {
 var ErrShortSignal = errors.New("dsp: signal shorter than one analysis frame")
 
 // STFT computes the magnitude spectrogram of x.
+//
+// The implementation is the planned hot path: one cached FFTPlan per
+// FFTSize (precomputed twiddles and bit-reversal), cached window
+// coefficients, a single backing allocation for all frame rows, pooled
+// per-worker scratch buffers, and frames fanned out across cores via
+// internal/parallel. Frame rows are written by index, so the output is
+// bit-identical whether the fan-out runs serial or parallel.
 func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
@@ -64,7 +73,7 @@ func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
 		return nil, ErrShortSignal
 	}
 	nFrames := 1 + (len(x)-cfg.FrameSize)/cfg.HopSize
-	win, err := cfg.Window.Coefficients(cfg.FrameSize)
+	win, err := cfg.Window.cachedCoefficients(cfg.FrameSize)
 	if err != nil {
 		return nil, err
 	}
@@ -76,24 +85,70 @@ func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
 		FFTSize:    cfg.FFTSize,
 		HopSize:    cfg.HopSize,
 	}
-	buf := make([]complex128, cfg.FFTSize)
+	backing := make([]float64, nFrames*nBins)
 	for f := 0; f < nFrames; f++ {
-		off := f * cfg.HopSize
-		for i := 0; i < cfg.FrameSize; i++ {
-			buf[i] = complex(x[off+i]*win[i], 0)
-		}
-		for i := cfg.FrameSize; i < cfg.FFTSize; i++ {
-			buf[i] = 0
-		}
-		fftInPlace(buf, false)
-		row := make([]float64, nBins)
-		for k := 0; k < nBins; k++ {
-			re, im := real(buf[k]), imag(buf[k])
-			row[k] = math.Sqrt(re*re + im*im)
-		}
-		sp.Frames[f] = row
+		sp.Frames[f] = backing[f*nBins : (f+1)*nBins : (f+1)*nBins]
+	}
+	plan := PlanFFT(cfg.FFTSize)
+	if plan.canPackReal() {
+		stftPacked(sp, x, cfg, plan, win)
+	} else {
+		stftComplex(sp, x, cfg, plan, win)
 	}
 	return sp, nil
+}
+
+// stftPacked runs the even power-of-two fast path: each frame is packed
+// into a half-size complex buffer, transformed with the half-size plan,
+// and unpacked straight into magnitude bins.
+func stftPacked(sp *Spectrogram, x []float64, cfg STFTConfig, plan *FFTPlan, win []float64) {
+	m := cfg.FFTSize / 2
+	parallel.Range(len(sp.Frames), func(lo, hi int) {
+		zptr := plan.half.acquire()
+		z := *zptr
+		for f := lo; f < hi; f++ {
+			off := f * cfg.HopSize
+			for i := 0; i < m; i++ {
+				var re, im float64
+				if j := 2 * i; j < cfg.FrameSize {
+					re = x[off+j] * win[j]
+				}
+				if j := 2*i + 1; j < cfg.FrameSize {
+					im = x[off+j] * win[j]
+				}
+				z[i] = complex(re, im)
+			}
+			plan.half.transform(z, false)
+			plan.realMagnitudes(z, sp.Frames[f])
+		}
+		plan.half.release(zptr)
+	})
+}
+
+// stftComplex is the generic path for odd or non-power-of-two FFT sizes:
+// a full complex transform per frame, still planned and pooled.
+func stftComplex(sp *Spectrogram, x []float64, cfg STFTConfig, plan *FFTPlan, win []float64) {
+	nBins := cfg.FFTSize/2 + 1
+	parallel.Range(len(sp.Frames), func(lo, hi int) {
+		bptr := plan.acquire()
+		buf := *bptr
+		for f := lo; f < hi; f++ {
+			off := f * cfg.HopSize
+			for i := 0; i < cfg.FrameSize; i++ {
+				buf[i] = complex(x[off+i]*win[i], 0)
+			}
+			for i := cfg.FrameSize; i < cfg.FFTSize; i++ {
+				buf[i] = 0
+			}
+			plan.transform(buf, false)
+			row := sp.Frames[f]
+			for k := 0; k < nBins; k++ {
+				re, im := real(buf[k]), imag(buf[k])
+				row[k] = math.Sqrt(re*re + im*im)
+			}
+		}
+		plan.release(bptr)
+	})
 }
 
 // NumFrames returns the number of analysis frames.

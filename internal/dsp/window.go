@@ -31,15 +31,16 @@ func (w Window) String() string {
 
 // Coefficients returns the n window coefficients for w. Periodic windows
 // (suitable for STFT) are produced: the denominator is n, not n-1. A
-// negative n is a configuration error and is returned as such.
+// negative n is a configuration error and is returned as such. The table
+// is computed once per (window, size) and served from the shared cache;
+// the caller receives a private copy it may mutate freely.
 func (w Window) Coefficients(n int) ([]float64, error) {
-	if err := validateLength(w.String(), n); err != nil {
+	cached, err := w.cachedCoefficients(n)
+	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = w.at(i, n)
-	}
+	copy(out, cached)
 	return out, nil
 }
 
@@ -58,6 +59,15 @@ func (w Window) at(i, n int) float64 {
 	default: // WindowRect and unknown values behave as rectangular.
 		return 1
 	}
+}
+
+// SharedCoefficients returns the cached coefficient table for (w, n)
+// without copying. The returned slice is shared across callers and MUST
+// be treated as read-only — mutate-and-reuse callers want Coefficients.
+// Hot paths (STFT, the MFCC front-end) use this to avoid rebuilding the
+// window per call.
+func (w Window) SharedCoefficients(n int) ([]float64, error) {
+	return w.cachedCoefficients(n)
 }
 
 // Apply multiplies x element-wise by the window coefficients and returns a

@@ -8,9 +8,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"voiceguard/internal/audio"
 	"voiceguard/internal/dsp"
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/stats"
 )
 
@@ -80,6 +82,13 @@ func InvMelScale(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1
 
 // Extract computes the MFCC matrix for the signal: one row per frame.
 // Row layout: [c1..cN, logE] plus deltas of the same when cfg.Deltas.
+//
+// This is the planned hot path: the mel filterbank and DCT basis are
+// cached per configuration, the analysis window comes from the dsp
+// window cache, the spectrum runs through the cached real-input FFTPlan,
+// rows share one backing allocation, and frames fan out across cores via
+// internal/parallel. Rows are written by index, so output is
+// bit-identical to the serial loop.
 func Extract(s *audio.Signal, cfg MFCCConfig) ([][]float64, error) {
 	if err := cfg.validate(s.Rate); err != nil {
 		return nil, err
@@ -99,64 +108,135 @@ func Extract(s *audio.Signal, cfg MFCCConfig) ([][]float64, error) {
 	if stats.IsZero(high) {
 		high = s.Rate / 2
 	}
-	bank := melFilterbank(cfg.NumFilters, fftSize, s.Rate, cfg.LowFreq, high)
-	win, err := dsp.WindowHamming.Coefficients(frameLen)
+	bank := cachedFilterbank(cfg.NumFilters, fftSize, s.Rate, cfg.LowFreq, high)
+	win, err := analysisWindow(frameLen)
 	if err != nil {
-		return nil, fmt.Errorf("features: analysis window: %w", err)
+		return nil, err
 	}
-	dct := dctMatrix(cfg.NumCoeffs, cfg.NumFilters)
+	dct := cachedDCT(cfg.NumCoeffs, cfg.NumFilters)
 
-	base := make([][]float64, len(frames))
-	buf := make([]complex128, fftSize)
-	logFB := make([]float64, cfg.NumFilters)
-	for fi, frame := range frames {
-		for i := 0; i < frameLen; i++ {
-			buf[i] = complex(frame[i]*win[i], 0)
-		}
-		for i := frameLen; i < fftSize; i++ {
-			buf[i] = 0
-		}
-		spec := dsp.FFT(buf)
-		power := dsp.PowerSpectrum(spec[:fftSize/2+1])
-		var energy float64
-		for _, v := range frame {
-			energy += v * v
-		}
-		logE := math.Log(energy + 1e-12)
-
-		for m, filt := range bank {
-			var acc float64
-			for _, tap := range filt {
-				acc += power[tap.bin] * tap.weight
+	rowW := cfg.NumCoeffs + 1
+	base := sliceRows(make([]float64, len(frames)*rowW), rowW)
+	plan := dsp.PlanFFT(fftSize)
+	nBins := fftSize/2 + 1
+	var errMu sync.Mutex
+	var frameErr error
+	parallel.Range(len(frames), func(lo, hi int) {
+		// Per-block scratch: amortized across the block's frames, never
+		// retained past this callback.
+		xbuf := make([]float64, fftSize)
+		power := make([]float64, nBins)
+		logFB := make([]float64, cfg.NumFilters)
+		for fi := lo; fi < hi; fi++ {
+			frame := frames[fi]
+			var energy float64
+			for i := 0; i < frameLen; i++ {
+				xbuf[i] = frame[i] * win[i]
+				energy += frame[i] * frame[i]
 			}
-			logFB[m] = math.Log(acc + 1e-12)
-		}
-		row := make([]float64, cfg.NumCoeffs+1)
-		for k := 0; k < cfg.NumCoeffs; k++ {
-			var acc float64
-			for m := 0; m < cfg.NumFilters; m++ {
-				acc += dct[k][m] * logFB[m]
+			if err := plan.RealPower(power, xbuf); err != nil {
+				// Plan and buffer sizes are fixed above, so this is
+				// unreachable; collected defensively.
+				errMu.Lock()
+				if frameErr == nil {
+					frameErr = err
+				}
+				errMu.Unlock()
+				return
 			}
-			row[k] = acc
+			for m, filt := range bank {
+				var acc float64
+				for _, tap := range filt {
+					acc += power[tap.bin] * tap.weight
+				}
+				logFB[m] = math.Log(acc + 1e-12)
+			}
+			row := base[fi]
+			for k := 0; k < cfg.NumCoeffs; k++ {
+				var acc float64
+				for m := 0; m < cfg.NumFilters; m++ {
+					acc += dct[k][m] * logFB[m]
+				}
+				row[k] = acc
+			}
+			row[cfg.NumCoeffs] = math.Log(energy + 1e-12)
 		}
-		row[cfg.NumCoeffs] = logE
-		base[fi] = row
+	})
+	if frameErr != nil {
+		return nil, fmt.Errorf("features: frame spectrum: %w", frameErr)
 	}
 	out := base
 	if cfg.Deltas {
 		deltas := Deltas(base, 2)
-		out = make([][]float64, len(base))
+		out = sliceRows(make([]float64, len(base)*2*rowW), 2*rowW)
 		for i := range base {
-			row := make([]float64, 0, 2*len(base[i]))
-			row = append(row, base[i]...)
-			row = append(row, deltas[i]...)
-			out[i] = row
+			copy(out[i], base[i])
+			copy(out[i][rowW:], deltas[i])
 		}
 	}
 	if cfg.CMVN {
 		ApplyCMVN(out)
 	}
 	return out, nil
+}
+
+// sliceRows carves a backing array into equal-width rows.
+func sliceRows(backing []float64, width int) [][]float64 {
+	rows := make([][]float64, len(backing)/width)
+	for i := range rows {
+		rows[i] = backing[i*width : (i+1)*width : (i+1)*width]
+	}
+	return rows
+}
+
+// analysisWindow returns the shared Hamming window table for frameLen.
+func analysisWindow(n int) ([]float64, error) {
+	win, err := dsp.WindowHamming.SharedCoefficients(n)
+	if err != nil {
+		return nil, fmt.Errorf("features: analysis window: %w", err)
+	}
+	return win, nil
+}
+
+// bankKey addresses one cached mel filterbank.
+type bankKey struct {
+	numFilters, fftSize int
+	rate, low, high     float64 // unit: Hz
+}
+
+// bankCache maps filterbank geometry → the shared [][]filterTap. A
+// process uses a handful of front-end configurations, so entries live
+// for the life of the process. Stored banks are read-only.
+var bankCache sync.Map // bankKey → [][]filterTap
+
+// cachedFilterbank returns the shared triangular filterbank for the
+// geometry, building it on first use.
+func cachedFilterbank(numFilters, fftSize int, rate, low, high float64) [][]filterTap {
+	key := bankKey{numFilters, fftSize, rate, low, high}
+	if v, ok := bankCache.Load(key); ok {
+		return v.([][]filterTap)
+	}
+	v, _ := bankCache.LoadOrStore(key, melFilterbank(numFilters, fftSize, rate, low, high))
+	return v.([][]filterTap)
+}
+
+// dctKey addresses one cached DCT-II basis.
+type dctKey struct {
+	numCoeffs, numFilters int
+}
+
+// dctCache maps basis shape → the shared [][]float64 rows (read-only).
+var dctCache sync.Map // dctKey → [][]float64
+
+// cachedDCT returns the shared DCT-II basis for the shape, building it
+// on first use.
+func cachedDCT(numCoeffs, numFilters int) [][]float64 {
+	key := dctKey{numCoeffs, numFilters}
+	if v, ok := dctCache.Load(key); ok {
+		return v.([][]float64)
+	}
+	v, _ := dctCache.LoadOrStore(key, dctMatrix(numCoeffs, numFilters))
+	return v.([][]float64)
 }
 
 // filterTap is one (bin, weight) entry of a triangular mel filter.
@@ -225,9 +305,9 @@ func Deltas(feats [][]float64, width int) [][]float64 {
 	for w := 1; w <= width; w++ {
 		denom += 2 * float64(w*w)
 	}
-	out := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		row := make([]float64, dim)
+	out := sliceRows(make([]float64, n*dim), dim)
+	parallel.For(n, func(i int) {
+		row := out[i]
 		for d := 0; d < dim; d++ {
 			var num float64
 			for w := 1; w <= width; w++ {
@@ -243,8 +323,7 @@ func Deltas(feats [][]float64, width int) [][]float64 {
 			}
 			row[d] = num / denom
 		}
-		out[i] = row
-	}
+	})
 	return out
 }
 

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/stats"
 )
 
@@ -88,25 +89,32 @@ func Train(data [][]float64, cfg TrainConfig) (*GMM, error) {
 	g.refreshNorm()
 
 	prev := math.Inf(-1)
-	resp := make([]float64, cfg.Components)
+	tile := newRespTile(len(data), cfg.Components)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		// E-step accumulators.
+		// E-step accumulators. Responsibilities are computed tile by tile
+		// with the per-frame posteriors fanned out across cores, then
+		// accumulated serially in frame order — bit-identical to the
+		// fully serial loop regardless of worker count.
 		n := make([]float64, cfg.Components)
 		sum := newMatrix(cfg.Components, dim)
 		sqsum := newMatrix(cfg.Components, dim)
 		var total float64
-		for _, x := range data {
-			ll := g.responsibilities(x, resp)
-			total += ll
-			for k := 0; k < cfg.Components; k++ {
-				r := resp[k]
-				if stats.IsZero(r) {
-					continue
-				}
-				n[k] += r
-				for d, v := range x {
-					sum[k][d] += r * v
-					sqsum[k][d] += r * v * v
+		for base := 0; base < len(data); base += tile.size() {
+			cnt := tile.compute(g, data, base)
+			for i := 0; i < cnt; i++ {
+				total += tile.ll[i]
+				resp := tile.resp[i]
+				x := data[base+i]
+				for k := 0; k < cfg.Components; k++ {
+					r := resp[k]
+					if stats.IsZero(r) {
+						continue
+					}
+					n[k] += r
+					for d, v := range x {
+						sum[k][d] += r * v
+						sqsum[k][d] += r * v * v
+					}
 				}
 			}
 		}
@@ -291,11 +299,16 @@ func (g *GMM) componentLogLik(c int, x []float64) float64 {
 
 // LogLikelihood returns log p(x) under the mixture.
 func (g *GMM) LogLikelihood(x []float64) float64 {
+	return g.logLikelihoodInto(x, make([]float64, g.NumComponents()))
+}
+
+// logLikelihoodInto is LogLikelihood with caller-provided scratch for the
+// per-component terms, so scoring loops can evaluate frames without
+// allocating. len(lls) must equal NumComponents.
+func (g *GMM) logLikelihoodInto(x, lls []float64) float64 {
 	maxv := math.Inf(-1)
-	k := g.NumComponents()
 	// Two passes: find max for a stable log-sum-exp.
-	lls := make([]float64, k)
-	for c := 0; c < k; c++ {
+	for c := range lls {
 		lls[c] = g.componentLogLik(c, x)
 		if lls[c] > maxv {
 			maxv = lls[c]
@@ -308,15 +321,35 @@ func (g *GMM) LogLikelihood(x []float64) float64 {
 	return maxv + math.Log(sum)
 }
 
+// ensureNorm materializes the cached normalization constants before a
+// parallel region. componentLogLik refreshes the cache lazily, which is
+// fine serially but would race when frames fan out across workers.
+func (g *GMM) ensureNorm() {
+	if g.logNorm == nil {
+		g.refreshNorm()
+	}
+}
+
 // MeanLogLikelihood returns the average frame log-likelihood of a feature
-// matrix.
+// matrix. Frames are scored in parallel with per-worker scratch; the
+// per-frame values are then summed serially in frame order, so the result
+// is bit-identical to the serial loop regardless of worker count.
 func (g *GMM) MeanLogLikelihood(frames [][]float64) float64 {
 	if len(frames) == 0 {
 		return math.Inf(-1)
 	}
+	g.ensureNorm()
+	k := g.NumComponents()
+	lls := make([]float64, len(frames))
+	parallel.Range(len(frames), func(lo, hi int) {
+		scratch := make([]float64, k)
+		for i := lo; i < hi; i++ {
+			lls[i] = g.logLikelihoodInto(frames[i], scratch)
+		}
+	})
 	var s float64
-	for _, x := range frames {
-		s += g.LogLikelihood(x)
+	for _, v := range lls {
+		s += v
 	}
 	return s / float64(len(frames))
 }
@@ -341,6 +374,46 @@ func (g *GMM) responsibilities(x []float64, resp []float64) float64 {
 		resp[c] /= sum
 	}
 	return maxv + math.Log(sum)
+}
+
+// respTileFrames bounds the scratch footprint of a tiled E-step: posteriors
+// are computed for at most this many frames at a time.
+const respTileFrames = 512
+
+// respTile is a reusable block of per-frame responsibilities and frame
+// log-likelihoods. compute fans the posterior evaluation for one tile of
+// frames out across cores; the caller then accumulates the tile serially
+// in frame order, which keeps the overall reduction bit-identical to a
+// fully serial E-step.
+type respTile struct {
+	resp [][]float64
+	ll   []float64
+}
+
+func newRespTile(frames, components int) *respTile {
+	n := frames
+	if n > respTileFrames {
+		n = respTileFrames
+	}
+	return &respTile{resp: newMatrix(n, components), ll: make([]float64, n)}
+}
+
+func (t *respTile) size() int { return len(t.ll) }
+
+// compute fills the tile with posteriors for data[base : base+cnt] and
+// returns cnt, the number of frames covered.
+func (t *respTile) compute(g *GMM, data [][]float64, base int) int {
+	cnt := len(data) - base
+	if cnt > t.size() {
+		cnt = t.size()
+	}
+	g.ensureNorm()
+	parallel.Range(cnt, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.ll[i] = g.responsibilities(data[base+i], t.resp[i])
+		}
+	})
+	return cnt
 }
 
 // Clone returns a deep copy of the model.

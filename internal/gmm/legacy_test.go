@@ -1,0 +1,209 @@
+package gmm
+
+// Seed (pre-fan-out) scoring and accumulation paths kept in test code: the
+// parallel implementations promise bit-identical results to these serial
+// loops regardless of worker count, so the comparisons below use exact
+// equality, not tolerances.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voiceguard/internal/stats"
+)
+
+// legacyMeanLogLikelihood is the seed serial scoring loop.
+func legacyMeanLogLikelihood(g *GMM, frames [][]float64) float64 {
+	if len(frames) == 0 {
+		return math.Inf(-1)
+	}
+	var s float64
+	for _, x := range frames {
+		s += g.LogLikelihood(x)
+	}
+	return s / float64(len(frames))
+}
+
+// legacyAccumulateStats is the seed serial Baum–Welch accumulator.
+func legacyAccumulateStats(g *GMM, frames [][]float64) (n []float64, first [][]float64) {
+	k := g.NumComponents()
+	dim := g.Dim()
+	n = make([]float64, k)
+	first = newMatrix(k, dim)
+	resp := make([]float64, k)
+	for _, x := range frames {
+		g.responsibilities(x, resp)
+		for c := 0; c < k; c++ {
+			r := resp[c]
+			if stats.IsZero(r) {
+				continue
+			}
+			n[c] += r
+			for d, v := range x {
+				first[c][d] += r * v
+			}
+		}
+	}
+	return n, first
+}
+
+// legacyTrain duplicates Train with the seed's serial E-step so the tiled
+// parallel E-step can be checked for bit-identical models.
+func legacyTrain(data [][]float64, cfg TrainConfig) *GMM {
+	cfg.setDefaults()
+	dim := len(data[0])
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := kmeansInit(data, cfg.Components, rng)
+	g.refreshNorm()
+
+	prev := math.Inf(-1)
+	resp := make([]float64, cfg.Components)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		n := make([]float64, cfg.Components)
+		sum := newMatrix(cfg.Components, dim)
+		sqsum := newMatrix(cfg.Components, dim)
+		var total float64
+		for _, x := range data {
+			ll := g.responsibilities(x, resp)
+			total += ll
+			for k := 0; k < cfg.Components; k++ {
+				r := resp[k]
+				if stats.IsZero(r) {
+					continue
+				}
+				n[k] += r
+				for d, v := range x {
+					sum[k][d] += r * v
+					sqsum[k][d] += r * v * v
+				}
+			}
+		}
+		for k := 0; k < cfg.Components; k++ {
+			if n[k] < 1e-8 {
+				x := data[rng.Intn(len(data))]
+				copy(g.Means[k], x)
+				for d := range g.Vars[k] {
+					g.Vars[k][d] = 1
+				}
+				g.Weights[k] = 1e-4
+				continue
+			}
+			g.Weights[k] = n[k] / float64(len(data))
+			for d := 0; d < dim; d++ {
+				mu := sum[k][d] / n[k]
+				g.Means[k][d] = mu
+				v := sqsum[k][d]/n[k] - mu*mu
+				if v < varFloor {
+					v = varFloor
+				}
+				g.Vars[k][d] = v
+			}
+		}
+		normalizeWeights(g.Weights)
+		g.refreshNorm()
+
+		mean := total / float64(len(data))
+		if mean-prev < cfg.Tol && iter > 0 {
+			break
+		}
+		prev = mean
+	}
+	return g
+}
+
+func scoringFixture(tb testing.TB, frames int) (*GMM, [][]float64) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(11))
+	centers := [][]float64{
+		{0, 0, 0, 0}, {4, 4, 0, -2}, {-3, 2, 5, 1},
+	}
+	train := blobs(centers, 240, 0.8, rng)
+	g, err := Train(train, TrainConfig{Components: 8, Seed: 5})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	test := blobs(centers, frames/len(centers)+1, 0.9, rng)[:frames]
+	return g, test
+}
+
+// TestMeanLogLikelihoodMatchesLegacy pins the determinism contract: the
+// parallel fan-out must be bit-identical to the serial loop.
+func TestMeanLogLikelihoodMatchesLegacy(t *testing.T) {
+	g, test := scoringFixture(t, 201)
+	for _, n := range []int{0, 1, 3, 7, 201} {
+		got := g.MeanLogLikelihood(test[:n])
+		want := legacyMeanLogLikelihood(g, test[:n])
+		if got != want { //lint:allow floatcmp parallel scoring must be bit-identical to serial
+			t.Fatalf("n=%d: parallel %v != serial %v", n, got, want)
+		}
+	}
+}
+
+// TestAccumulateStatsMatchesLegacy pins bit-identical Baum–Welch statistics
+// from the tiled parallel accumulator, including across a tile boundary.
+func TestAccumulateStatsMatchesLegacy(t *testing.T) {
+	g, test := scoringFixture(t, respTileFrames+37)
+	n, first, err := AccumulateStats(g, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN, wantFirst := legacyAccumulateStats(g, test)
+	for c := range n {
+		if n[c] != wantN[c] { //lint:allow floatcmp tiled stats must be bit-identical to serial
+			t.Fatalf("n[%d]: tiled %v != serial %v", c, n[c], wantN[c])
+		}
+		for d := range first[c] {
+			if first[c][d] != wantFirst[c][d] { //lint:allow floatcmp tiled stats must be bit-identical to serial
+				t.Fatalf("first[%d][%d]: tiled %v != serial %v", c, d, first[c][d], wantFirst[c][d])
+			}
+		}
+	}
+}
+
+// TestTrainMatchesLegacyEStep pins that the tiled parallel E-step produces
+// the same model, bit for bit, as the seed's serial E-step.
+func TestTrainMatchesLegacyEStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	data := blobs([][]float64{{0, 0}, {5, 5}, {-4, 3}}, 300, 0.7, rng)
+	cfg := TrainConfig{Components: 6, Seed: 9, MaxIter: 12}
+	got, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := legacyTrain(data, cfg)
+	for c := range want.Weights {
+		if got.Weights[c] != want.Weights[c] { //lint:allow floatcmp tiled E-step must be bit-identical to serial
+			t.Fatalf("weight %d: %v != %v", c, got.Weights[c], want.Weights[c])
+		}
+		for d := range want.Means[c] {
+			if got.Means[c][d] != want.Means[c][d] { //lint:allow floatcmp tiled E-step must be bit-identical to serial
+				t.Fatalf("mean %d/%d: %v != %v", c, d, got.Means[c][d], want.Means[c][d])
+			}
+			if got.Vars[c][d] != want.Vars[c][d] { //lint:allow floatcmp tiled E-step must be bit-identical to serial
+				t.Fatalf("var %d/%d: %v != %v", c, d, got.Vars[c][d], want.Vars[c][d])
+			}
+		}
+	}
+}
+
+// BenchmarkMeanLogLikelihoodLegacy / BenchmarkMeanLogLikelihood read as a
+// before/after pair: serial per-frame allocation vs parallel fan-out with
+// per-worker scratch.
+func BenchmarkMeanLogLikelihoodLegacy(b *testing.B) {
+	g, test := scoringFixture(b, 600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		legacyMeanLogLikelihood(g, test)
+	}
+}
+
+func BenchmarkMeanLogLikelihood(b *testing.B) {
+	g, test := scoringFixture(b, 600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MeanLogLikelihood(test)
+	}
+}

@@ -58,26 +58,37 @@ func MAPAdapt(ubm *GMM, frames [][]float64, relevance float64) (*GMM, error) {
 }
 
 // AccumulateStats computes zeroth-order (n) and first-order (sum) Baum–
-// Welch statistics of frames against the model.
+// Welch statistics of frames against the model. Posteriors are computed in
+// parallel tiles and accumulated serially in frame order, so the statistics
+// are bit-identical to a serial pass.
 func AccumulateStats(g *GMM, frames [][]float64) (n []float64, first [][]float64, err error) {
 	k := g.NumComponents()
 	dim := g.Dim()
-	n = make([]float64, k)
-	first = newMatrix(k, dim)
-	resp := make([]float64, k)
 	for i, x := range frames {
 		if len(x) != dim {
 			return nil, nil, fmt.Errorf("%w: frame %d has dim %d, want %d", ErrBadTrainingData, i, len(x), dim)
 		}
-		g.responsibilities(x, resp)
-		for c := 0; c < k; c++ {
-			r := resp[c]
-			if stats.IsZero(r) {
-				continue
-			}
-			n[c] += r
-			for d, v := range x {
-				first[c][d] += r * v
+	}
+	n = make([]float64, k)
+	first = newMatrix(k, dim)
+	if len(frames) == 0 {
+		return n, first, nil
+	}
+	tile := newRespTile(len(frames), k)
+	for base := 0; base < len(frames); base += tile.size() {
+		cnt := tile.compute(g, frames, base)
+		for i := 0; i < cnt; i++ {
+			resp := tile.resp[i]
+			x := frames[base+i]
+			for c := 0; c < k; c++ {
+				r := resp[c]
+				if stats.IsZero(r) {
+					continue
+				}
+				n[c] += r
+				for d, v := range x {
+					first[c][d] += r * v
+				}
 			}
 		}
 	}

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce checks that every index is visited exactly
+// once for sizes around the serial threshold and the worker count.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 1000} {
+		hits := make([]int32, n)
+		For(n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+// TestRangeBlocksPartition checks that Range's blocks tile [0, n) exactly.
+func TestRangeBlocksPartition(t *testing.T) {
+	for _, n := range []int{1, 8, 17, 100, 1001} {
+		covered := make([]int32, n)
+		Range(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("n=%d: bad block [%d, %d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestMapMatchesSerial checks output ordering and bit-identical results
+// against the plain loop.
+func TestMapMatchesSerial(t *testing.T) {
+	in := make([]float64, 513)
+	for i := range in {
+		in[i] = float64(i) * 0.25
+	}
+	sq := func(_ int, v float64) float64 { return v*v + 1 }
+	got := Map(in, sq)
+	for i, v := range in {
+		if want := sq(i, v); got[i] != want { //lint:allow floatcmp bit-identity is the contract under test
+			t.Fatalf("Map[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	if Map[int, int](nil, func(int, int) int { return 0 }) != nil {
+		t.Error("Map(nil) should be nil")
+	}
+}
+
+// TestSmallInputStaysOnCallerGoroutine checks the serial fallback: below
+// the threshold no new goroutines run the body.
+func TestSmallInputStaysOnCallerGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	For(minParallel-1, func(i int) {
+		if g := runtime.NumGoroutine(); g > before+1 {
+			// Allow unrelated runtime goroutines a little slack; the
+			// fork path would add Workers()-1 at once.
+			t.Errorf("serial fallback spawned goroutines: %d > %d", g, before)
+		}
+	})
+}
+
+// TestDoRunsEveryTask checks that Do executes each task exactly once and
+// writes land in per-task slots, for 0..5 tasks (spanning the serial and
+// forked paths).
+func TestDoRunsEveryTask(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		hits := make([]int32, n)
+		tasks := make([]func(), n)
+		for i := range tasks {
+			tasks[i] = func() { atomic.AddInt32(&hits[i], 1) }
+		}
+		Do(tasks...)
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: task %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+// TestDoWaitsForAllTasks checks the join: results written by every task are
+// visible when Do returns.
+func TestDoWaitsForAllTasks(t *testing.T) {
+	var a, b, c int
+	Do(
+		func() { a = 1 },
+		func() { b = 2 },
+		func() { c = 3 },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("results not visible after Do: %d %d %d", a, b, c)
+	}
+}
+
+// TestWorkersPositive pins the sizing contract.
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}
