@@ -1,8 +1,9 @@
 // Command voiceguard-server runs the verification backend: it trains the
 // anti-spoofing pipeline (and optionally an ASV back-end over a synthetic
 // background population), then serves /verify, /voiceprint, /healthz,
-// /stats and /metrics over HTTP. SIGINT/SIGTERM drain in-flight
-// verifications before exit.
+// /stats, /metrics and the decision flight-recorder endpoints
+// (/debug/decisions, /debug/decisions.jsonl, /debug/trace/{id}) over
+// HTTP. SIGINT/SIGTERM drain in-flight verifications before exit.
 //
 // Usage:
 //
@@ -39,19 +40,21 @@ func main() {
 	enroll := flag.String("enroll", "", "comma-separated user:seed=N pairs to enroll synthetic users")
 	metrics := flag.Bool("metrics", true, "expose the GET /metrics Prometheus endpoint")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flight := flag.Int("flight", 0, "decision flight-recorder capacity (0 = default)")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of requests recording span traces [0, 1]")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *asv, *enroll, *metrics, *withPprof, logger); err != nil {
+	if err := run(ctx, *addr, *seed, *asv, *enroll, *metrics, *withPprof, *flight, *traceSample, logger); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, addr string, seed int64, withASV bool, enrollSpec string,
-	metrics, withPprof bool, logger *slog.Logger) error {
+	metrics, withPprof bool, flight int, traceSample float64, logger *slog.Logger) error {
 	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: seed})
 	if err != nil {
 		return fmt.Errorf("building pipeline: %w", err)
@@ -69,7 +72,11 @@ func run(ctx context.Context, addr string, seed int64, withASV bool, enrollSpec 
 		sys.AttachIdentity(verifier)
 		logger.Info("ASV stage attached", "backend", verifier.Backend())
 	}
-	opts := []server.Option{server.WithMetricsEndpoint(metrics)}
+	opts := []server.Option{
+		server.WithMetricsEndpoint(metrics),
+		server.WithFlightRecorder(flight),
+		server.WithTraceSampling(traceSample),
+	}
 	if withPprof {
 		opts = append(opts, server.WithPprof())
 	}

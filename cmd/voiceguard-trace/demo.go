@@ -1,0 +1,151 @@
+package main
+
+// The demo subcommand: builds a traced pipeline, runs a genuine session
+// and a handful of machine attacks through it, and writes the resulting
+// flight-recorder contents as JSONL. CI uses it to produce a sample trace
+// dump artifact; the README's example tree comes from the same output.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/audio"
+	"voiceguard/internal/core"
+	"voiceguard/internal/device"
+	"voiceguard/internal/speech"
+	"voiceguard/internal/telemetry"
+)
+
+// demoPassphrase is the digit passphrase all demo sessions speak.
+const demoPassphrase = "472913"
+
+// runDemo implements the demo subcommand.
+func runDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	out := fs.String("o", "-", "output JSONL path (- for stdout)")
+	n := fs.Int("n", 4, "number of replay-attack sessions")
+	seed := fs.Int64("seed", 1, "scenario seed")
+	withASV := fs.Bool("asv", true, "train and attach the speaker-identity stage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	recorder := telemetry.NewFlightRecorder(*n + 2)
+	records, err := generateDemo(recorder, *n, *seed, *withASV)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := recorder.WriteJSONL(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d traces (%d sessions) to %s\n", len(recorder.Snapshot()), records, *out)
+	return nil
+}
+
+// generateDemo runs 1 genuine + n replay sessions through a traced
+// pipeline, filling recorder. It returns the session count.
+func generateDemo(recorder *telemetry.FlightRecorder, n int, seed int64, withASV bool) (int, error) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: seed})
+	if err != nil {
+		return 0, fmt.Errorf("building pipeline: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	victim := speech.RandomProfile("victim", rng)
+	if withASV {
+		verifier, err := demoASV(victim, seed)
+		if err != nil {
+			return 0, fmt.Errorf("training ASV: %w", err)
+		}
+		sys.AttachIdentity(verifier)
+	}
+	sys.Tracer = telemetry.NewTracer(telemetry.TracerConfig{Recorder: recorder})
+
+	sc := attack.Scenario{Distance: 0.06, ClaimedUser: "victim", Seed: seed}
+	sessions := 0
+	genuine, err := attack.Genuine(victim, sc)
+	if err != nil {
+		return sessions, fmt.Errorf("building genuine session: %w", err)
+	}
+	if _, err := sys.Verify(genuine); err != nil {
+		return sessions, fmt.Errorf("verifying genuine session: %w", err)
+	}
+	sessions++
+
+	recording, err := attack.Record(victim, demoPassphrase, seed)
+	if err != nil {
+		return sessions, fmt.Errorf("recording victim: %w", err)
+	}
+	cat := device.Catalog()
+	for i := 0; i < n; i++ {
+		spk := cat[(i*5)%len(cat)]
+		replaySc := sc
+		replaySc.Seed = seed + int64(i) + 1
+		session, err := attack.Replay(recording, spk, replaySc)
+		if err != nil {
+			return sessions, fmt.Errorf("building replay session %d (%s %s): %w", i, spk.Maker, spk.Model, err)
+		}
+		if _, err := sys.Verify(session); err != nil {
+			return sessions, fmt.Errorf("verifying replay session %d: %w", i, err)
+		}
+		sessions++
+	}
+	return sessions, nil
+}
+
+// demoASV trains a small identity back-end and enrolls the victim, enough
+// for the demo traces to include the mfcc-extract/gmm-score sub-tree.
+func demoASV(victim speech.Profile, seed int64) (*core.SpeakerVerifier, error) {
+	roster := speech.NewRoster(6, seed+100)
+	utts, err := roster.Generate(speech.CorpusConfig{
+		Sessions: 2, UtterancesPerSession: 2, Digits: 6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	background := make(map[string][][]*audio.Signal)
+	for spk, us := range speech.BySpeaker(utts) {
+		perSession := map[int][]*audio.Signal{}
+		maxSess := 0
+		for _, u := range us {
+			perSession[u.Session] = append(perSession[u.Session], u.Audio)
+			if u.Session > maxSess {
+				maxSess = u.Session
+			}
+		}
+		for s := 0; s <= maxSess; s++ {
+			background[spk] = append(background[spk], perSession[s])
+		}
+	}
+	verifier, err := core.TrainSpeakerVerifier(background, core.SpeakerVerifierConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	synth, err := speech.NewSynthesizer(victim, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	var session []*audio.Signal
+	for k := 0; k < 4; k++ {
+		utt, err := synth.SayDigits(demoPassphrase)
+		if err != nil {
+			return nil, err
+		}
+		session = append(session, utt)
+	}
+	if err := verifier.Enroll("victim", [][]*audio.Signal{session}); err != nil {
+		return nil, err
+	}
+	return verifier, nil
+}

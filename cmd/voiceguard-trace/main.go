@@ -1,0 +1,58 @@
+// Command voiceguard-trace works with decision flight-recorder dumps: the
+// JSONL exported by a server's /debug/decisions.jsonl (or written by the
+// demo subcommand). It renders evidence-carrying span trees, diffs two
+// traces span-by-span, and aggregates per-stage evidence distributions —
+// the offline half of the §VII threshold-calibration loop.
+//
+// Usage:
+//
+//	voiceguard-trace show traces.jsonl            # every retained trace
+//	voiceguard-trace show traces.jsonl <trace-id> # one span tree
+//	voiceguard-trace diff traces.jsonl <id-a> <id-b>
+//	voiceguard-trace stats traces.jsonl           # evidence p50/p95 per stage
+//	voiceguard-trace demo -o traces.jsonl         # generate a sample dump
+//
+// A file argument of "-" reads stdin.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "show":
+		err = runShow(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "demo":
+		err = runDemo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voiceguard-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  voiceguard-trace show  <file.jsonl> [trace-id]   render span trees
+  voiceguard-trace diff  <file.jsonl> <id-a> <id-b> compare two traces
+  voiceguard-trace stats <file.jsonl>              per-stage evidence p50/p95
+  voiceguard-trace demo  [-o out.jsonl] [-n N]     generate a sample dump
+a file of "-" reads stdin`)
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"voiceguard/internal/telemetry"
+)
+
+// sampleRecord builds one finished trace with a three-level span tree and
+// evidence attrs, via the real tracer.
+func sampleRecord(t *testing.T, traceID string, accepted bool) *telemetry.TraceRecord {
+	t.Helper()
+	tr := telemetry.NewTracer(telemetry.TracerConfig{})
+	root := tr.StartTrace(traceID, "verify")
+	stage := root.StartSpan("stage:distance")
+	stage.SetFloat("distance_cm", 11.7, "cm")
+	stage.SetFloat("threshold_dt_cm", 6, "cm")
+	est := stage.StartSpan("trajectory-estimate")
+	est.End()
+	stage.SetBool("pass", accepted)
+	stage.End()
+	v := telemetry.Verdict{Accepted: accepted, Elapsed: 2 * time.Millisecond}
+	if !accepted {
+		v.FailedStage = "distance"
+	}
+	rec := tr.Finish(root, v)
+	if rec == nil {
+		t.Fatal("Finish returned nil")
+	}
+	return rec
+}
+
+// TestTreeReproducedFromJSONL pins the export contract: rendering a trace
+// straight from the recorder and rendering it after a JSONL round trip
+// must produce byte-identical span trees.
+func TestTreeReproducedFromJSONL(t *testing.T) {
+	rec := sampleRecord(t, "req-1", false)
+
+	var direct bytes.Buffer
+	printTrace(&direct, rec)
+
+	var jsonl bytes.Buffer
+	if err := telemetry.WriteJSONL(&jsonl, []*telemetry.TraceRecord{rec}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := telemetry.ReadJSONL(&jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("round trip produced %d records", len(back))
+	}
+	var reparsed bytes.Buffer
+	printTrace(&reparsed, back[0])
+
+	if direct.String() != reparsed.String() {
+		t.Fatalf("tree differs after JSONL round trip:\ndirect:\n%s\nreparsed:\n%s",
+			direct.String(), reparsed.String())
+	}
+	out := direct.String()
+	for _, want := range []string{
+		"REJECTED at distance", "stage:distance", "trajectory-estimate",
+		"distance_cm=11.7cm", "threshold_dt_cm=6cm",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildTreeNestsAndOrphans(t *testing.T) {
+	rec := sampleRecord(t, "req-2", true)
+	roots := buildTree(rec)
+	if len(roots) != 1 || roots[0].span.Name != "verify" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	if len(roots[0].children) != 1 || roots[0].children[0].span.Name != "stage:distance" {
+		t.Fatalf("stage not nested under root")
+	}
+	if len(roots[0].children[0].children) != 1 {
+		t.Fatal("sub-operation not nested under stage")
+	}
+
+	// A span whose parent was dropped must surface as an extra root, not
+	// vanish from the rendering.
+	orphaned := &telemetry.TraceRecord{
+		TraceID: "o",
+		Spans: []telemetry.SpanRecord{
+			{SpanID: "r", Name: "verify"},
+			{SpanID: "x", ParentID: "gone", Name: "stranded"},
+		},
+	}
+	roots = buildTree(orphaned)
+	if len(roots) != 2 {
+		t.Fatalf("orphan handling: %d roots, want 2", len(roots))
+	}
+}
+
+func TestFindTracePrefersLatestDuplicate(t *testing.T) {
+	recs := []*telemetry.TraceRecord{
+		{TraceID: "dup", ElapsedUS: 1},
+		{TraceID: "dup", ElapsedUS: 2},
+	}
+	got, err := findTrace(recs, "dup")
+	if err != nil || got.ElapsedUS != 2 {
+		t.Fatalf("findTrace = %+v, %v", got, err)
+	}
+	if _, err := findTrace(recs, "absent"); err == nil {
+		t.Fatal("missing trace did not error")
+	}
+}
+
+func TestFlattenPathsDisambiguatesSiblings(t *testing.T) {
+	rec := &telemetry.TraceRecord{
+		TraceID: "p",
+		Spans: []telemetry.SpanRecord{
+			{SpanID: "r", Name: "verify"},
+			{SpanID: "a", ParentID: "r", Name: "block", StartUS: 1},
+			{SpanID: "b", ParentID: "r", Name: "block", StartUS: 2},
+		},
+	}
+	paths, order := flattenPaths(rec)
+	if len(paths) != 3 || len(order) != 3 {
+		t.Fatalf("paths = %v", order)
+	}
+	if _, ok := paths["/verify/block"]; !ok {
+		t.Errorf("first sibling path missing: %v", order)
+	}
+	if _, ok := paths["/verify/block#1"]; !ok {
+		t.Errorf("second sibling not disambiguated: %v", order)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if !math.IsNaN(percentile(nil, 0.5)) {
+		t.Error("empty slice did not give NaN")
+	}
+	vs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.5, 3}, {1, 5}, {0.25, 2}, {0.95, 4.8},
+	}
+	for _, c := range cases {
+		if got := percentile(vs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("percentile(%.2f) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single element percentile = %g", got)
+	}
+}
+
+func TestFormatDur(t *testing.T) {
+	cases := []struct {
+		us   int64
+		want string
+	}{
+		{250, "250µs"}, {1500, "1.5ms"}, {2_340_000, "2.34s"},
+	}
+	for _, c := range cases {
+		if got := formatDur(c.us); got != c.want {
+			t.Errorf("formatDur(%d) = %q, want %q", c.us, got, c.want)
+		}
+	}
+}
+
+// TestGenerateDemoFillsRecorder runs the demo generator end to end (ASV
+// off to keep it fast) and checks every produced trace is replayable.
+func TestGenerateDemoFillsRecorder(t *testing.T) {
+	rec := telemetry.NewFlightRecorder(4)
+	sessions, err := generateDemo(rec, 1, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sessions != 2 {
+		t.Fatalf("sessions = %d, want genuine + 1 replay", sessions)
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("recorder kept %d traces, want 2", len(snap))
+	}
+	for _, r := range snap {
+		if len(r.Spans) < 4 {
+			t.Errorf("trace %s has only %d spans", r.TraceID, len(r.Spans))
+		}
+		if _, ok := r.StageSpan("distance"); !ok {
+			t.Errorf("trace %s missing the distance stage span", r.TraceID)
+		}
+	}
+}

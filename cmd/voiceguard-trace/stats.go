@@ -1,0 +1,118 @@
+package main
+
+// The stats subcommand: per-stage evidence distributions over a JSONL
+// dump. For each "stage:<name>" span the numeric attributes (measured
+// quantities and live thresholds) are pooled across traces and summarized
+// as count/p50/p95/min/max — the empirical distributions the §VII
+// adaptive-threshold calibration reads thresholds off.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"voiceguard/internal/telemetry"
+)
+
+// evidenceKey addresses one pooled distribution.
+type evidenceKey struct {
+	stage, attr string
+}
+
+// percentile returns the q-quantile (0 ≤ q ≤ 1) of sorted values by
+// linear interpolation; NaN for an empty slice.
+func percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + (sorted[lo+1]-sorted[lo])*frac
+}
+
+// runStats implements the stats subcommand.
+func runStats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stats wants <file.jsonl>, got %d args", len(args))
+	}
+	recs, err := loadTraces(args[0])
+	if err != nil {
+		return err
+	}
+	pooled := make(map[evidenceKey][]float64)
+	units := make(map[evidenceKey]string)
+	durs := make(map[string][]float64)
+	for _, rec := range recs {
+		for _, sp := range rec.Spans {
+			if !strings.HasPrefix(sp.Name, telemetry.StageSpanName) {
+				continue
+			}
+			stage := strings.TrimPrefix(sp.Name, telemetry.StageSpanName)
+			durs[stage] = append(durs[stage], float64(sp.DurUS)/1e3)
+			for _, a := range sp.Attrs {
+				v, ok := a.Number()
+				if !ok {
+					continue
+				}
+				k := evidenceKey{stage, a.Key}
+				pooled[k] = append(pooled[k], v)
+				if a.Unit != "" {
+					units[k] = a.Unit
+				}
+			}
+		}
+	}
+	if len(pooled) == 0 {
+		fmt.Printf("no stage spans in %d traces\n", len(recs))
+		return nil
+	}
+	keys := make([]evidenceKey, 0, len(pooled))
+	for k := range pooled {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].stage != keys[j].stage {
+			return keys[i].stage < keys[j].stage
+		}
+		return keys[i].attr < keys[j].attr
+	})
+	w := os.Stdout
+	fmt.Fprintf(w, "%d traces\n\n", len(recs))
+	fmt.Fprintf(w, "%-12s %-24s %6s %12s %12s %12s %12s %s\n",
+		"stage", "evidence", "n", "p50", "p95", "min", "max", "unit")
+	last := ""
+	for _, k := range keys {
+		if k.stage != last && last != "" {
+			fmt.Fprintln(w)
+		}
+		last = k.stage
+		vs := pooled[k]
+		sort.Float64s(vs)
+		fmt.Fprintf(w, "%-12s %-24s %6d %12.4g %12.4g %12.4g %12.4g %s\n",
+			k.stage, k.attr, len(vs),
+			percentile(vs, 0.50), percentile(vs, 0.95), vs[0], vs[len(vs)-1], units[k])
+	}
+	fmt.Fprintln(w)
+	stages := make([]string, 0, len(durs))
+	for s := range durs {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	fmt.Fprintf(w, "%-12s %6s %12s %12s  latency (ms)\n", "stage", "n", "p50", "p95")
+	for _, s := range stages {
+		vs := durs[s]
+		sort.Float64s(vs)
+		fmt.Fprintf(w, "%-12s %6d %12.4g %12.4g\n", s, len(vs), percentile(vs, 0.50), percentile(vs, 0.95))
+	}
+	return nil
+}

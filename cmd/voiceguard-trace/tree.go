@@ -1,0 +1,258 @@
+package main
+
+// Span-tree rendering and the show/diff subcommands.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"voiceguard/internal/telemetry"
+)
+
+// loadTraces reads a JSONL dump from path ("-" for stdin).
+func loadTraces(path string) ([]*telemetry.TraceRecord, error) {
+	if path == "-" {
+		return telemetry.ReadJSONL(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening %s: %w", path, err)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// findTrace returns the record with the given ID (the latest when
+// duplicated).
+func findTrace(recs []*telemetry.TraceRecord, id string) (*telemetry.TraceRecord, error) {
+	var best *telemetry.TraceRecord
+	for _, r := range recs {
+		if r.TraceID == id {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("trace %s not in dump (%d traces)", id, len(recs))
+	}
+	return best, nil
+}
+
+// node is one span plus its resolved children, ordered by start time.
+type node struct {
+	span     telemetry.SpanRecord
+	children []*node
+}
+
+// buildTree links a record's flat spans into root nodes. Spans whose
+// parent is missing (dropped past the span budget) surface as extra
+// roots rather than disappearing.
+func buildTree(rec *telemetry.TraceRecord) []*node {
+	nodes := make(map[string]*node, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		nodes[sp.SpanID] = &node{span: sp}
+	}
+	var roots []*node
+	for _, sp := range rec.Spans {
+		n := nodes[sp.SpanID]
+		if parent, ok := nodes[sp.ParentID]; ok && sp.ParentID != sp.SpanID {
+			parent.children = append(parent.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.children)
+	}
+	return roots
+}
+
+// sortNodes orders siblings by start time, span ID breaking ties so the
+// rendering is deterministic.
+func sortNodes(ns []*node) {
+	sort.Slice(ns, func(i, j int) bool {
+		a, b := ns[i].span, ns[j].span
+		if a.StartUS != b.StartUS {
+			return a.StartUS < b.StartUS
+		}
+		return a.SpanID < b.SpanID
+	})
+}
+
+// formatDur renders microseconds human-readably.
+func formatDur(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+// spanLabel renders one span's name, duration and attributes.
+func spanLabel(sp telemetry.SpanRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)", sp.Name, formatDur(sp.DurUS))
+	for _, a := range sp.Attrs {
+		b.WriteString(" ")
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// writeTree renders nodes with box-drawing guides.
+func writeTree(w io.Writer, ns []*node, prefix string) {
+	for i, n := range ns {
+		connector, childPrefix := "├─ ", prefix+"│  "
+		if i == len(ns)-1 {
+			connector, childPrefix = "└─ ", prefix+"   "
+		}
+		fmt.Fprintf(w, "%s%s%s\n", prefix, connector, spanLabel(n.span))
+		writeTree(w, n.children, childPrefix)
+	}
+}
+
+// printTrace renders one trace: a verdict header then the span tree.
+func printTrace(w io.Writer, rec *telemetry.TraceRecord) {
+	verdict := "ACCEPTED"
+	if !rec.Accepted {
+		verdict = "REJECTED at " + rec.FailedStage
+	}
+	fmt.Fprintf(w, "trace %s  %s  elapsed %s  spans %d",
+		rec.TraceID, verdict, formatDur(rec.ElapsedUS), len(rec.Spans))
+	if rec.Dropped > 0 {
+		fmt.Fprintf(w, "  dropped %d", rec.Dropped)
+	}
+	fmt.Fprintln(w)
+	writeTree(w, buildTree(rec), "")
+}
+
+// runShow implements the show subcommand.
+func runShow(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("show wants <file.jsonl> [trace-id], got %d args", len(args))
+	}
+	recs, err := loadTraces(args[0])
+	if err != nil {
+		return err
+	}
+	if len(args) == 2 {
+		rec, err := findTrace(recs, args[1])
+		if err != nil {
+			return err
+		}
+		printTrace(os.Stdout, rec)
+		return nil
+	}
+	for i, rec := range recs {
+		if i > 0 {
+			fmt.Println()
+		}
+		printTrace(os.Stdout, rec)
+	}
+	return nil
+}
+
+// pathOf addresses a span by its name chain from the root, with a
+// sibling index to disambiguate repeated names (worker blocks).
+func pathOf(prefix string, idx map[string]int, name string) string {
+	p := prefix + "/" + name
+	n := idx[p]
+	idx[p] = n + 1
+	if n > 0 {
+		return fmt.Sprintf("%s#%d", p, n)
+	}
+	return p
+}
+
+// flattenPaths maps span path → span for structural diffing.
+func flattenPaths(rec *telemetry.TraceRecord) (map[string]telemetry.SpanRecord, []string) {
+	out := make(map[string]telemetry.SpanRecord, len(rec.Spans))
+	var order []string
+	idx := make(map[string]int)
+	var walk func(prefix string, ns []*node)
+	walk = func(prefix string, ns []*node) {
+		for _, n := range ns {
+			p := pathOf(prefix, idx, n.span.Name)
+			out[p] = n.span
+			order = append(order, p)
+			walk(p, n.children)
+		}
+	}
+	walk("", buildTree(rec))
+	return out, order
+}
+
+// runDiff implements the diff subcommand: structural and evidence
+// comparison of two traces from one dump.
+func runDiff(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("diff wants <file.jsonl> <id-a> <id-b>, got %d args", len(args))
+	}
+	recs, err := loadTraces(args[0])
+	if err != nil {
+		return err
+	}
+	a, err := findTrace(recs, args[1])
+	if err != nil {
+		return err
+	}
+	b, err := findTrace(recs, args[2])
+	if err != nil {
+		return err
+	}
+	verdict := func(r *telemetry.TraceRecord) string {
+		if r.Accepted {
+			return "ACCEPTED"
+		}
+		return "REJECTED at " + r.FailedStage
+	}
+	fmt.Printf("a: trace %s  %s  elapsed %s\n", a.TraceID, verdict(a), formatDur(a.ElapsedUS))
+	fmt.Printf("b: trace %s  %s  elapsed %s\n\n", b.TraceID, verdict(b), formatDur(b.ElapsedUS))
+
+	pa, orderA := flattenPaths(a)
+	pb, orderB := flattenPaths(b)
+	for _, p := range orderA {
+		sa := pa[p]
+		sb, ok := pb[p]
+		if !ok {
+			fmt.Printf("- %s (only in a: %s)\n", p, formatDur(sa.DurUS))
+			continue
+		}
+		line := fmt.Sprintf("  %s  %s -> %s", p, formatDur(sa.DurUS), formatDur(sb.DurUS))
+		var attrDiffs []string
+		for _, aa := range sa.Attrs {
+			ba, ok := sb.Attr(aa.Key)
+			switch {
+			case !ok:
+				attrDiffs = append(attrDiffs, fmt.Sprintf("%s only in a", aa.String()))
+			case aa.String() != ba.String():
+				attrDiffs = append(attrDiffs, fmt.Sprintf("%s -> %s", aa.String(), ba.String()))
+			}
+		}
+		for _, ba := range sb.Attrs {
+			if _, ok := sa.Attr(ba.Key); !ok {
+				attrDiffs = append(attrDiffs, fmt.Sprintf("%s only in b", ba.String()))
+			}
+		}
+		if len(attrDiffs) > 0 {
+			line += "  [" + strings.Join(attrDiffs, "; ") + "]"
+		}
+		fmt.Println(line)
+	}
+	for _, p := range orderB {
+		if _, ok := pa[p]; !ok {
+			fmt.Printf("+ %s (only in b: %s)\n", p, formatDur(pb[p].DurUS))
+		}
+	}
+	return nil
+}

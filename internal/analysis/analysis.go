@@ -20,7 +20,10 @@
 //   - poolescape: sync.Pool-obtained buffers must not escape the
 //     acquiring function via return or store — a leaked scratch buffer
 //     is handed to another goroutine by a later Get, a data race no test
-//     reliably catches.
+//     reliably catches;
+//   - spanclose: telemetry spans from StartSpan/StartTrace must reach an
+//     End or be handed onward — a forgotten span corrupts the duration
+//     evidence the flight recorder retains for threshold calibration.
 //
 // A finding is suppressed by a pragma comment on the same line or on the
 // line directly above:
@@ -100,6 +103,7 @@ func All() []*Analyzer {
 		StageInstrumentAnalyzer,
 		UnitSuffixAnalyzer,
 		PoolEscapeAnalyzer,
+		SpanCloseAnalyzer,
 	}
 }
 

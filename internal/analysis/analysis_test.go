@@ -13,6 +13,7 @@ func TestStageInstrumentFixture(t *testing.T) {
 }
 func TestUnitSuffixFixture(t *testing.T) { checkFixture(t, UnitSuffixAnalyzer, "unitsuffix") }
 func TestPoolEscapeFixture(t *testing.T) { checkFixture(t, PoolEscapeAnalyzer, "poolescape") }
+func TestSpanCloseFixture(t *testing.T)  { checkFixture(t, SpanCloseAnalyzer, "spanclose") }
 
 // TestLoadAndRunRepoPackage drives the production loader end to end over
 // a real repo package and checks the tree it guards stays clean — the

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SpanCloseAnalyzer checks that every telemetry span opened with
+// Span.StartSpan or Tracer.StartTrace reaches an End. A span that is
+// never ended freezes with a zero end time; the flight recorder then
+// closes it at snapshot time, silently inflating its duration to the
+// whole trace and corrupting the latency evidence the §VII calibration
+// reads. The ownership convention is transfer-based, mirroring the code:
+//
+//   - calling End (directly or deferred) discharges the obligation;
+//   - passing the span to any call hands the obligation onward (the
+//     callee either ends it or is itself checked here);
+//   - returning the span, or storing it beyond a plain variable binding,
+//     transfers the obligation to the caller/holder.
+//
+// What the analyzer flags is the remaining case: a span bound to a local
+// variable (or discarded outright) that no End, call argument, return or
+// store ever touches — a span opened and forgotten.
+var SpanCloseAnalyzer = &Analyzer{
+	Name: "spanclose",
+	Doc:  "spans from telemetry.StartSpan/StartTrace must be ended or handed onward",
+	Run:  runSpanClose,
+}
+
+func runSpanClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpanClose(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// spanStart is one tracked StartSpan/StartTrace binding.
+type spanStart struct {
+	obj       types.Object
+	pos       ast.Node
+	satisfied bool
+}
+
+// checkSpanClose analyzes one function body (closures included — their
+// spans resolve to the same identifiers).
+func checkSpanClose(pass *Pass, body *ast.BlockStmt) {
+	var starts []*spanStart
+	byObj := make(map[types.Object]*spanStart)
+
+	// Pass 1: collect span-start bindings and flag discarded results.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isSpanStart(pass, call) {
+				pass.Reportf(call.Pos(),
+					"span from %s is discarded; bind it and call End (or hand it to a call that does)",
+					callName(call))
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isSpanStart(pass, call) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					// Stored into a field or index: the holder owns it now.
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"span from %s is discarded; bind it and call End (or hand it to a call that does)",
+						callName(call))
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil || byObj[obj] != nil {
+					continue
+				}
+				st := &spanStart{obj: obj, pos: call}
+				starts = append(starts, st)
+				byObj[obj] = st
+			}
+		}
+		return true
+	})
+	if len(starts) == 0 {
+		return
+	}
+
+	// Pass 2: look for a discharging use of each tracked span variable.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if st := byObj[pass.TypesInfo.ObjectOf(id)]; st != nil {
+						st.satisfied = true
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				markSpanUse(pass, byObj, arg)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				markSpanUse(pass, byObj, res)
+			}
+		case *ast.AssignStmt:
+			// Rebinding the span to another name or into a structure
+			// transfers ownership; the alias or holder is accountable.
+			for _, rhs := range n.Rhs {
+				if _, ok := rhs.(*ast.CallExpr); ok {
+					continue
+				}
+				markSpanUse(pass, byObj, rhs)
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				markSpanUse(pass, byObj, el)
+			}
+		}
+		return true
+	})
+
+	for _, st := range starts {
+		if !st.satisfied {
+			pass.Reportf(st.pos.Pos(),
+				"span %s is never ended; add `defer %s.End()` or hand the span to a call that ends it",
+				st.obj.Name(), st.obj.Name())
+		}
+	}
+}
+
+// markSpanUse discharges a tracked span when expr is (or takes the
+// address of) its identifier.
+func markSpanUse(pass *Pass, byObj map[types.Object]*spanStart, expr ast.Expr) {
+	if un, ok := expr.(*ast.UnaryExpr); ok {
+		expr = un.X
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if st := byObj[pass.TypesInfo.ObjectOf(id)]; st != nil {
+		st.satisfied = true
+	}
+}
+
+// isSpanStart reports whether call invokes telemetry's Span.StartSpan or
+// Tracer.StartTrace.
+func isSpanStart(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "StartSpan" && name != "StartTrace" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "telemetry" || strings.HasSuffix(path, "/telemetry")
+}

@@ -7,8 +7,9 @@ import (
 )
 
 // StageInstrumentAnalyzer checks that every type implementing the core
-// stage-verify signature — a Verify method returning core.StageResult —
-// records the stage's processing time in StageResult.Elapsed. The
+// stage-verify signature — a Verify or VerifySpan method returning
+// core.StageResult — records the stage's processing time in
+// StageResult.Elapsed. The
 // per-stage latency breakdown behind the paper's §V response-time result
 // (and the PR 1 telemetry histograms fed from it) silently reads zero for
 // any stage added without instrumentation; this catches that at lint time.
@@ -27,7 +28,10 @@ func runStageInstrument(pass *Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Name.Name != "Verify" || fd.Body == nil {
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Verify" && fd.Name.Name != "VerifySpan" {
 				continue
 			}
 			if !returnsStageResult(pass.TypesInfo, fd) {
@@ -37,8 +41,8 @@ func runStageInstrument(pass *Pass) error {
 				continue
 			}
 			pass.Reportf(fd.Name.Pos(),
-				"Verify method on %s returns core.StageResult but never records Elapsed; add `defer core.TimeStage(&res)()` or set the field",
-				receiverName(fd))
+				"%s method on %s returns core.StageResult but never records Elapsed; add `defer core.TimeStage(&res)()` or set the field",
+				fd.Name.Name, receiverName(fd))
 		}
 	}
 	return nil
@@ -86,9 +90,9 @@ func recordsElapsed(body *ast.BlockStmt) bool {
 			switch name := callName(n); name {
 			case "TimeStage", "timeStage":
 				found = true
-			case "Verify":
-				// Delegation: the inner Verify is checked where it is
-				// declared.
+			case "Verify", "VerifySpan":
+				// Delegation: the inner Verify/VerifySpan is checked where
+				// it is declared.
 				found = true
 			}
 		}

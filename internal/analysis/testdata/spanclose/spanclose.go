@@ -1,0 +1,80 @@
+// Package spanclose is the fixture for the spanclose analyzer: every
+// span from telemetry.StartSpan/StartTrace must reach an End or be
+// handed to code that ends it.
+package spanclose
+
+import "voiceguard/internal/telemetry"
+
+func leakNoEnd(parent *telemetry.Span) {
+	sp := parent.StartSpan("stft") // want `span sp is never ended`
+	sp.SetInt("frames", 128)
+}
+
+func leakDiscard(parent *telemetry.Span) {
+	parent.StartSpan("mfcc") // want `span from StartSpan is discarded`
+}
+
+func leakBlank(parent *telemetry.Span) {
+	_ = parent.StartSpan("gmm") // want `span from StartSpan is discarded`
+}
+
+func leakTrace(tr *telemetry.Tracer) {
+	root := tr.StartTrace("", "verify") // want `span root is never ended`
+	root.SetBool("pass", false)
+}
+
+// okDefer is the canonical pattern: bind and defer End.
+func okDefer(parent *telemetry.Span) {
+	sp := parent.StartSpan("score")
+	defer sp.End()
+	sp.SetFloat("llr", 1.5, "nat/frame")
+}
+
+// okExplicitEnd ends the span on the straight-line path.
+func okExplicitEnd(parent *telemetry.Span) {
+	sp := parent.StartSpan("measure")
+	sp.SetFloat("field_ut", 42, "µT")
+	sp.End()
+}
+
+// okHandOff passes the span to a helper; ownership (and the End
+// obligation) transfers with it.
+func okHandOff(parent *telemetry.Span) {
+	sp := parent.StartSpan("stage:distance")
+	endStage(sp, true)
+}
+
+func endStage(sp *telemetry.Span, pass bool) {
+	sp.SetBool("pass", pass)
+	sp.End()
+}
+
+// okReturn transfers the obligation to the caller.
+func okReturn(parent *telemetry.Span) *telemetry.Span {
+	sp := parent.StartSpan("worker")
+	sp.SetInt("block_lo", 0)
+	return sp
+}
+
+// okFinish hands the root to Tracer.Finish, which ends it.
+func okFinish(tr *telemetry.Tracer) {
+	root := tr.StartTrace("", "verify")
+	tr.Finish(root, telemetry.Verdict{Accepted: true})
+}
+
+// okStartSpan starts spans through an unrelated type; only telemetry's
+// methods are in scope.
+type fakeSession struct{}
+
+func (fakeSession) StartSpan(name string) int { return len(name) }
+
+func okUnrelated(s fakeSession) {
+	s.StartSpan("not-a-telemetry-span")
+}
+
+// okAllowed documents an intentionally unterminated span; the pragma
+// suppresses the finding.
+func okAllowed(parent *telemetry.Span) {
+	sp := parent.StartSpan("sentinel") //lint:allow spanclose sentinel span closed by recorder snapshot
+	sp.SetBool("pinned", true)
+}

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -133,6 +134,66 @@ func (c *Client) Enroll(user string, sessions [][]*audio.Signal) error {
 	}
 	if !er.OK {
 		return fmt.Errorf("client: enrollment rejected: %s", er.Error)
+	}
+	return nil
+}
+
+// get issues a GET to a server debug endpoint and fails on non-200.
+func (c *Client) get(path string) (*http.Response, error) {
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Get(c.BaseURL + path)
+	if err != nil {
+		return nil, fmt.Errorf("client: fetching %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: %s returned status %d", path, resp.StatusCode)
+	}
+	return resp, nil
+}
+
+// RecentDecisions fetches the server's retained decision summaries,
+// newest first.
+func (c *Client) RecentDecisions() ([]telemetry.TraceSummary, error) {
+	resp, err := c.get("/debug/decisions")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []telemetry.TraceSummary
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding decision summaries: %w", err)
+	}
+	return out, nil
+}
+
+// Trace fetches one decision's full span tree by trace ID.
+func (c *Client) Trace(traceID string) (*telemetry.TraceRecord, error) {
+	resp, err := c.get("/debug/trace/" + traceID)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	rec := &telemetry.TraceRecord{}
+	if err := json.NewDecoder(resp.Body).Decode(rec); err != nil {
+		return nil, fmt.Errorf("client: decoding trace %s: %w", traceID, err)
+	}
+	return rec, nil
+}
+
+// DumpDecisionsJSONL streams the server's retained traces as JSONL into
+// w — the offline input format of cmd/voiceguard-trace.
+func (c *Client) DumpDecisionsJSONL(w io.Writer) error {
+	resp, err := c.get("/debug/decisions.jsonl")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return fmt.Errorf("client: streaming decision JSONL: %w", err)
 	}
 	return nil
 }

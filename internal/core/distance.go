@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"voiceguard/internal/telemetry"
 	"voiceguard/internal/trajectory"
 )
 
@@ -38,13 +39,31 @@ func NewDistanceVerifier() *DistanceVerifier {
 
 // Verify runs the distance check over a gesture.
 func (v *DistanceVerifier) Verify(g *trajectory.Gesture) (res StageResult) {
+	return v.VerifySpan(nil, g)
+}
+
+// VerifySpan is Verify attaching its decision evidence to span (nil
+// disables tracing at zero cost): the estimated quantities and the live
+// thresholds they are gated by, plus a "trajectory-estimate" child around
+// the circle fit. The caller owns span's End.
+func (v *DistanceVerifier) VerifySpan(span *telemetry.Span, g *trajectory.Gesture) (res StageResult) {
 	defer TimeStage(&res)()
 	res.Stage = StageDistance
+	sub := span.StartSpan("trajectory-estimate")
 	est, err := g.Estimate()
+	sub.End()
+	span.SetFloat("threshold_dt_cm", v.MaxDistance*100, "cm")
+	span.SetFloat("threshold_residual_mm", v.MaxResidual*1000, "mm")
+	span.SetFloat("threshold_radial_std_mm", v.MaxRadialStd*1000, "mm")
+	span.SetFloat("threshold_min_turn_rad", v.MinTurn, "rad")
 	if err != nil {
 		res.Detail = fmt.Sprintf("trajectory estimation failed: %v", err)
 		return res
 	}
+	span.SetFloat("distance_cm", est.Distance*100, "cm")
+	span.SetFloat("residual_mm", est.Residual*1000, "mm")
+	span.SetFloat("radial_std_mm", est.SweepRadialStd*1000, "mm")
+	span.SetFloat("turn_rad", est.Turn, "rad")
 	// Score: margin below the distance gate (positive = inside).
 	res.Score = v.MaxDistance - est.Distance
 	switch {

@@ -1,0 +1,127 @@
+package core
+
+// Flight-recorder integration: a rejected verification must leave behind
+// a span tree deep enough to replay the decision — request root, the
+// failing stage, and the stage's sub-operations — with the stage's
+// numeric evidence and the live threshold it violated attached as typed
+// attributes. This is the forensic contract behind /debug/trace/{id}.
+
+import (
+	"math/rand"
+	"testing"
+
+	"voiceguard/internal/speech"
+	"voiceguard/internal/telemetry"
+	"voiceguard/internal/trajectory"
+)
+
+// traceDepth returns the number of levels in the record's span tree.
+func traceDepth(rec *telemetry.TraceRecord) int {
+	parent := make(map[string]string, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		parent[sp.SpanID] = sp.ParentID
+	}
+	max := 0
+	for _, sp := range rec.Spans {
+		d, id := 0, sp.SpanID
+		for id != "" {
+			d++
+			id = parent[id]
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func TestRejectedVerifyTraceCarriesEvidenceAndDepth(t *testing.T) {
+	sys, err := BuildSystem(SystemConfig{FieldSeed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewFlightRecorder(8)
+	sys.Tracer = telemetry.NewTracer(telemetry.TracerConfig{Recorder: rec})
+
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(41)))
+	session := genuineSessionFor(t, victim, "135792", 41)
+	// Swap in a gesture performed at 12 cm — twice the Dt gate — so the
+	// distance stage rejects on real numeric evidence.
+	far, err := trajectory.SimulateGesture(trajectory.GestureConfig{
+		UseCase: trajectory.StandardUseCase(0.12), Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session.Gesture = far
+
+	d, err := sys.Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted || d.FailedStage != StageDistance {
+		t.Fatalf("decision = %+v, want a distance rejection", d)
+	}
+
+	tr := rec.Find(d.TraceID)
+	if tr == nil {
+		t.Fatalf("trace %s not retained by the flight recorder", d.TraceID)
+	}
+	if tr.Accepted || tr.FailedStage != StageDistance.MetricName() {
+		t.Fatalf("trace verdict = accepted=%t failed=%q", tr.Accepted, tr.FailedStage)
+	}
+	if depth := traceDepth(tr); depth < 3 {
+		t.Fatalf("span tree depth = %d, want ≥ 3 (root → stage → sub-operation)", depth)
+	}
+
+	sp, ok := tr.StageSpan(StageDistance.MetricName())
+	if !ok {
+		t.Fatal("no stage:distance span in the trace")
+	}
+	dist, ok := sp.Attr("distance_cm")
+	if !ok {
+		t.Fatal("failing stage carries no distance_cm evidence")
+	}
+	gate, ok := sp.Attr("threshold_dt_cm")
+	if !ok {
+		t.Fatal("failing stage carries no threshold_dt_cm attribute")
+	}
+	dv, _ := dist.Number()
+	gv, _ := gate.Number()
+	if !(dv > gv) {
+		t.Fatalf("evidence does not show the violation: distance %.2f cm vs Dt %.2f cm", dv, gv)
+	}
+	if pass, ok := sp.Attr("pass"); !ok || pass.Bool {
+		t.Fatalf("stage span pass attr = %+v, %v; want recorded false", pass, ok)
+	}
+
+	// The digest /debug/decisions serves must surface the same numbers.
+	sum := tr.Summary()
+	if sum.Evidence["distance_cm"] != dv || sum.Evidence["threshold_dt_cm"] != gv {
+		t.Fatalf("summary evidence = %v", sum.Evidence)
+	}
+}
+
+func TestVerifyNotSampledLeavesNoTrace(t *testing.T) {
+	sys, err := BuildSystem(SystemConfig{FieldSeed: 42, DisableField: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewFlightRecorder(8)
+	sys.Tracer = telemetry.NewTracer(telemetry.TracerConfig{
+		Sample:   telemetry.SampleNone(),
+		Recorder: rec,
+	})
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(42)))
+	session := genuineSessionFor(t, victim, "135792", 42)
+	d, err := sys.Verify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TraceID == "" {
+		t.Fatal("unsampled decision lost its trace ID")
+	}
+	if got := rec.Snapshot(); len(got) != 0 {
+		t.Fatalf("unsampled verification recorded %d traces", len(got))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"voiceguard/internal/sensors"
+	"voiceguard/internal/telemetry"
 )
 
 // LoudspeakerDetector implements stage 3 (§IV-B3): it flags sessions
@@ -86,13 +87,28 @@ func Measure(mag *sensors.Trace) Metrics {
 // Verify runs loudspeaker detection on a magnetometer trace. Pass means
 // "no loudspeaker detected".
 func (d *LoudspeakerDetector) Verify(mag *sensors.Trace) (res StageResult) {
+	return d.VerifySpan(nil, mag)
+}
+
+// VerifySpan is Verify attaching its decision evidence to span (nil
+// disables tracing at zero cost): the measured field swing and change
+// rate with the live Mt/βt thresholds (which Calibrate may have raised),
+// plus a "field-measure" child around statistic extraction. The caller
+// owns span's End.
+func (d *LoudspeakerDetector) VerifySpan(span *telemetry.Span, mag *sensors.Trace) (res StageResult) {
 	defer TimeStage(&res)()
 	res.Stage = StageLoudspeaker
+	span.SetFloat("threshold_mt_ut", d.Mt, "µT")
+	span.SetFloat("threshold_beta_ut_per_s", d.Bt, "µT/s")
 	if mag == nil || mag.Len() < 2 {
 		res.Detail = "no magnetometer trace"
 		return res
 	}
+	sub := span.StartSpan("field-measure")
 	m := Measure(mag)
+	sub.End()
+	span.SetFloat("field_ut", m.Swing, "µT")
+	span.SetFloat("beta_ut_per_s", m.MaxRate, "µT/s")
 	// Score: normalized margin below the nearer threshold (positive =
 	// clean).
 	swingMargin := 1 - m.Swing/d.Mt

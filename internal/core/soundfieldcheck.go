@@ -6,6 +6,7 @@ import (
 
 	"voiceguard/internal/soundfield"
 	"voiceguard/internal/svm"
+	"voiceguard/internal/telemetry"
 )
 
 // SoundFieldVerifier implements stage 2 (§IV-B2): linear SVMs trained to
@@ -157,6 +158,15 @@ func DefaultSoundFieldTraining(seed int64) (mouth, machine [][]soundfield.Measur
 
 // Verify classifies a sweep.
 func (v *SoundFieldVerifier) Verify(ms []soundfield.Measurement) (res StageResult) {
+	return v.VerifySpan(nil, ms)
+}
+
+// VerifySpan is Verify attaching its decision evidence to span (nil
+// disables tracing at zero cost): the SVM margin, the accept threshold
+// (zero: the decision boundary), and the selected angular-width band,
+// plus an "svm-margin" child around classification. The caller owns
+// span's End.
+func (v *SoundFieldVerifier) VerifySpan(span *telemetry.Span, ms []soundfield.Measurement) (res StageResult) {
 	defer TimeStage(&res)()
 	res.Stage = StageSoundField
 	if v == nil || len(v.models) == 0 {
@@ -167,8 +177,13 @@ func (v *SoundFieldVerifier) Verify(ms []soundfield.Measurement) (res StageResul
 		res.Detail = "no sound-field measurements"
 		return res
 	}
+	sub := span.StartSpan("svm-margin")
 	model := v.modelFor(ms)
 	margin := model.Margin(soundfield.FeatureVector(ms))
+	sub.End()
+	span.SetFloat("svm_margin", margin, "")
+	span.SetFloat("threshold_margin", 0, "")
+	span.SetInt("band_deg", int64(bandKey(ms)))
 	res.Score = margin
 	if margin >= 0 {
 		res.Pass = true

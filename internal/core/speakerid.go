@@ -10,6 +10,7 @@ import (
 	"voiceguard/internal/features"
 	"voiceguard/internal/gmm"
 	"voiceguard/internal/stats"
+	"voiceguard/internal/telemetry"
 )
 
 // Backend selects the ASV scoring model, mirroring the paper's choice of
@@ -203,35 +204,59 @@ func (v *SpeakerVerifier) Enroll(user string, sessions [][]*audio.Signal) error 
 
 // Score returns the back-end score of an utterance against a user.
 func (v *SpeakerVerifier) Score(user string, utt *audio.Signal) (float64, error) {
-	frames, err := v.extract(utt)
+	return v.ScoreSpan(nil, user, utt)
+}
+
+// ScoreSpan is Score recording the two expensive sub-operations under
+// span (nil disables tracing at zero cost): an "mfcc-extract" child
+// around the feature front-end and a "gmm-score" child around back-end
+// scoring, each carrying its own shape and fan-out children. The caller
+// owns span's End.
+func (v *SpeakerVerifier) ScoreSpan(span *telemetry.Span, user string, utt *audio.Signal) (float64, error) {
+	ex := span.StartSpan("mfcc-extract")
+	frames, err := features.ExtractSpan(ex, utt, v.mfcc)
+	ex.End()
 	if err != nil {
 		return 0, fmt.Errorf("core: extracting test features: %w", err)
 	}
+	sc := span.StartSpan("gmm-score")
+	defer sc.End()
 	switch v.backend {
 	case BackendISV:
 		spk, ok := v.isvUsers[user]
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrUnknownUser, user)
 		}
-		return spk.Score(frames)
+		return spk.ScoreSpan(sc, frames)
 	default:
 		ver, ok := v.users[user]
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrUnknownUser, user)
 		}
-		return ver.Score(frames), nil
+		return ver.ScoreSpan(sc, frames), nil
 	}
 }
 
 // Verify runs the identity check as a pipeline stage.
 func (v *SpeakerVerifier) Verify(user string, utt *audio.Signal) (res StageResult) {
+	return v.VerifySpan(nil, user, utt)
+}
+
+// VerifySpan is Verify attaching its decision evidence to span (nil
+// disables tracing at zero cost): the log-likelihood-ratio score, the
+// live accept threshold, and the back-end name, plus the ScoreSpan
+// sub-operation children. The caller owns span's End.
+func (v *SpeakerVerifier) VerifySpan(span *telemetry.Span, user string, utt *audio.Signal) (res StageResult) {
 	defer TimeStage(&res)()
 	res.Stage = StageSpeakerID
-	score, err := v.Score(user, utt)
+	span.SetString("backend", v.backend.String())
+	span.SetFloat("threshold_llr", v.Threshold, "nat/frame")
+	score, err := v.ScoreSpan(span, user, utt)
 	if err != nil {
 		res.Detail = err.Error()
 		return res
 	}
+	span.SetFloat("llr", score, "nat/frame")
 	res.Score = score - v.Threshold
 	if score >= v.Threshold {
 		res.Pass = true

@@ -20,6 +20,12 @@ type System struct {
 	Speaker *LoudspeakerDetector
 	// Identity is stage 4.
 	Identity *SpeakerVerifier
+	// Tracer, when set, records an evidence-carrying span tree per
+	// verification: one "stage:<name>" span per executed stage carrying
+	// the stage's measured quantities and live thresholds, with sub-op
+	// and worker-block children below. Nil disables tracing at the cost
+	// of one pointer test per call.
+	Tracer *telemetry.Tracer
 }
 
 // SystemConfig assembles a System with defaults.
@@ -86,40 +92,67 @@ func (s *System) Verify(session *SessionData) (Decision, error) {
 // decision carries the total pipeline latency — the per-stage breakdown
 // behind the paper's §V end-to-end response-time result.
 func (s *System) VerifyTraced(traceID string, session *SessionData) (Decision, error) {
-	if err := session.Validate(); err != nil {
-		return Decision{}, err
-	}
-	if s.Distance == nil && s.Field == nil && s.Speaker == nil && s.Identity == nil {
-		return Decision{}, ErrIncompleteSystem
-	}
+	// The trace ID is assigned before validation so even an errored
+	// attempt returns a Decision that correlates with the request's logs
+	// and metrics exemplars.
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
 	}
+	if err := session.Validate(); err != nil {
+		return Decision{TraceID: traceID}, err
+	}
+	if s.Distance == nil && s.Field == nil && s.Speaker == nil && s.Identity == nil {
+		return Decision{TraceID: traceID}, ErrIncompleteSystem
+	}
 	d := Decision{TraceID: traceID}
 	start := time.Now()
+	root := s.Tracer.StartTrace(traceID, "verify")
 	// The configured stages are independent, read-only checks over
 	// distinct session channels (Validate guarantees every channel is
 	// present), so they run speculatively in parallel: the cheap sensor
 	// checks overlap the expensive ASV scoring instead of serializing in
 	// front of it. Each stage stamps its own Elapsed via TimeStage
-	// (enforced by the stageinstrument analyzer). The decision is then
-	// assembled in the paper's stage order and truncated at the first
-	// failure, so its contents are indistinguishable from the serial
-	// cascade — a later stage's speculative result is simply discarded
-	// when an earlier stage rejects.
+	// (enforced by the stageinstrument analyzer) and, when tracing, runs
+	// under its own "stage:<name>" span carrying its decision evidence.
+	// The decision is then assembled in the paper's stage order and
+	// truncated at the first failure, so its contents are
+	// indistinguishable from the serial cascade — a later stage's
+	// speculative result is simply discarded when an earlier stage
+	// rejects.
+	stageSpan := func(st Stage) *telemetry.Span {
+		return root.StartSpan(telemetry.StageSpanName + st.MetricName())
+	}
 	var verifies []func() StageResult
 	if s.Distance != nil {
-		verifies = append(verifies, func() StageResult { return s.Distance.Verify(session.Gesture) })
+		verifies = append(verifies, func() StageResult {
+			sp := stageSpan(StageDistance)
+			res := s.Distance.VerifySpan(sp, session.Gesture)
+			endStageSpan(sp, res)
+			return res
+		})
 	}
 	if s.Field != nil {
-		verifies = append(verifies, func() StageResult { return s.Field.Verify(session.Field) })
+		verifies = append(verifies, func() StageResult {
+			sp := stageSpan(StageSoundField)
+			res := s.Field.VerifySpan(sp, session.Field)
+			endStageSpan(sp, res)
+			return res
+		})
 	}
 	if s.Speaker != nil {
-		verifies = append(verifies, func() StageResult { return s.Speaker.Verify(session.Gesture.Mag) })
+		verifies = append(verifies, func() StageResult {
+			sp := stageSpan(StageLoudspeaker)
+			res := s.Speaker.VerifySpan(sp, session.Gesture.Mag)
+			endStageSpan(sp, res)
+			return res
+		})
 	}
 	if s.Identity != nil {
 		verifies = append(verifies, func() StageResult {
-			return s.Identity.Verify(session.ClaimedUser, session.Voice)
+			sp := stageSpan(StageSpeakerID)
+			res := s.Identity.VerifySpan(sp, session.ClaimedUser, session.Voice)
+			endStageSpan(sp, res)
+			return res
 		})
 	}
 	results := make([]StageResult, len(verifies))
@@ -138,5 +171,18 @@ func (s *System) VerifyTraced(traceID string, session *SessionData) (Decision, e
 		}
 	}
 	d.Elapsed = time.Since(start)
+	verdict := telemetry.Verdict{Accepted: d.Accepted, Elapsed: d.Elapsed}
+	if !d.Accepted {
+		verdict.FailedStage = d.FailedStage.MetricName()
+	}
+	s.Tracer.Finish(root, verdict)
 	return d, nil
+}
+
+// endStageSpan stamps a stage's outcome onto its span and ends it.
+func endStageSpan(sp *telemetry.Span, res StageResult) {
+	sp.SetBool("pass", res.Pass)
+	sp.SetFloat("score", res.Score, "")
+	sp.SetString("detail", res.Detail)
+	sp.End()
 }

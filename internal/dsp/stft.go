@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"voiceguard/internal/parallel"
+	"voiceguard/internal/telemetry"
 )
 
 // Spectrogram is the output of a short-time Fourier transform: a sequence
@@ -66,6 +67,14 @@ var ErrShortSignal = errors.New("dsp: signal shorter than one analysis frame")
 // internal/parallel. Frame rows are written by index, so the output is
 // bit-identical whether the fan-out runs serial or parallel.
 func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
+	return STFTSpan(nil, x, cfg)
+}
+
+// STFTSpan is STFT recording its plan execution under span: the span (nil
+// disables tracing at zero cost) gains the transform geometry as
+// attributes and one "stft-block" child per parallel worker block. The
+// caller owns span's End; output is bit-identical to STFT.
+func STFTSpan(span *telemetry.Span, x []float64, cfg STFTConfig) (*Spectrogram, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
@@ -90,10 +99,15 @@ func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
 		sp.Frames[f] = backing[f*nBins : (f+1)*nBins : (f+1)*nBins]
 	}
 	plan := PlanFFT(cfg.FFTSize)
-	if plan.canPackReal() {
-		stftPacked(sp, x, cfg, plan, win)
+	packed := plan.canPackReal()
+	span.SetInt("frames", int64(nFrames))
+	span.SetInt("fft_size", int64(cfg.FFTSize))
+	span.SetInt("hop_size", int64(cfg.HopSize))
+	span.SetBool("packed_real", packed)
+	if packed {
+		stftPacked(span, sp, x, cfg, plan, win)
 	} else {
-		stftComplex(sp, x, cfg, plan, win)
+		stftComplex(span, sp, x, cfg, plan, win)
 	}
 	return sp, nil
 }
@@ -101,9 +115,9 @@ func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
 // stftPacked runs the even power-of-two fast path: each frame is packed
 // into a half-size complex buffer, transformed with the half-size plan,
 // and unpacked straight into magnitude bins.
-func stftPacked(sp *Spectrogram, x []float64, cfg STFTConfig, plan *FFTPlan, win []float64) {
+func stftPacked(span *telemetry.Span, sp *Spectrogram, x []float64, cfg STFTConfig, plan *FFTPlan, win []float64) {
 	m := cfg.FFTSize / 2
-	parallel.Range(len(sp.Frames), func(lo, hi int) {
+	parallel.SpanRange(span, "stft-block", len(sp.Frames), func(lo, hi int) {
 		zptr := plan.half.acquire()
 		z := *zptr
 		for f := lo; f < hi; f++ {
@@ -127,9 +141,9 @@ func stftPacked(sp *Spectrogram, x []float64, cfg STFTConfig, plan *FFTPlan, win
 
 // stftComplex is the generic path for odd or non-power-of-two FFT sizes:
 // a full complex transform per frame, still planned and pooled.
-func stftComplex(sp *Spectrogram, x []float64, cfg STFTConfig, plan *FFTPlan, win []float64) {
+func stftComplex(span *telemetry.Span, sp *Spectrogram, x []float64, cfg STFTConfig, plan *FFTPlan, win []float64) {
 	nBins := cfg.FFTSize/2 + 1
-	parallel.Range(len(sp.Frames), func(lo, hi int) {
+	parallel.SpanRange(span, "stft-block", len(sp.Frames), func(lo, hi int) {
 		bptr := plan.acquire()
 		buf := *bptr
 		for f := lo; f < hi; f++ {

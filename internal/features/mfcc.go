@@ -14,6 +14,7 @@ import (
 	"voiceguard/internal/dsp"
 	"voiceguard/internal/parallel"
 	"voiceguard/internal/stats"
+	"voiceguard/internal/telemetry"
 )
 
 // MFCCConfig configures the MFCC front-end. The zero value is not valid;
@@ -90,6 +91,14 @@ func InvMelScale(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1
 // internal/parallel. Rows are written by index, so output is
 // bit-identical to the serial loop.
 func Extract(s *audio.Signal, cfg MFCCConfig) ([][]float64, error) {
+	return ExtractSpan(nil, s, cfg)
+}
+
+// ExtractSpan is Extract recording its work under span: the span (nil
+// disables tracing at zero cost) gains the front-end geometry as
+// attributes and one "mfcc-block" child per parallel worker block. The
+// caller owns span's End; output is bit-identical to Extract.
+func ExtractSpan(span *telemetry.Span, s *audio.Signal, cfg MFCCConfig) ([][]float64, error) {
 	if err := cfg.validate(s.Rate); err != nil {
 		return nil, err
 	}
@@ -119,9 +128,13 @@ func Extract(s *audio.Signal, cfg MFCCConfig) ([][]float64, error) {
 	base := sliceRows(make([]float64, len(frames)*rowW), rowW)
 	plan := dsp.PlanFFT(fftSize)
 	nBins := fftSize/2 + 1
+	span.SetInt("frames", int64(len(frames)))
+	span.SetInt("fft_size", int64(fftSize))
+	span.SetInt("num_coeffs", int64(cfg.NumCoeffs))
+	span.SetInt("num_filters", int64(cfg.NumFilters))
 	var errMu sync.Mutex
 	var frameErr error
-	parallel.Range(len(frames), func(lo, hi int) {
+	parallel.SpanRange(span, "mfcc-block", len(frames), func(lo, hi int) {
 		// Per-block scratch: amortized across the block's frames, never
 		// retained past this callback.
 		xbuf := make([]float64, fftSize)

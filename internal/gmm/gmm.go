@@ -14,6 +14,7 @@ import (
 
 	"voiceguard/internal/parallel"
 	"voiceguard/internal/stats"
+	"voiceguard/internal/telemetry"
 )
 
 // GMM is a mixture of diagonal-covariance Gaussians.
@@ -335,13 +336,24 @@ func (g *GMM) ensureNorm() {
 // per-frame values are then summed serially in frame order, so the result
 // is bit-identical to the serial loop regardless of worker count.
 func (g *GMM) MeanLogLikelihood(frames [][]float64) float64 {
+	return g.MeanLogLikelihoodSpan(nil, frames)
+}
+
+// MeanLogLikelihoodSpan is MeanLogLikelihood recording its fan-out under
+// span: the span (nil disables tracing at zero cost) gains the scoring
+// shape as attributes and one "loglik-block" child per worker block. The
+// caller owns span's End; the result is bit-identical to
+// MeanLogLikelihood.
+func (g *GMM) MeanLogLikelihoodSpan(span *telemetry.Span, frames [][]float64) float64 {
 	if len(frames) == 0 {
 		return math.Inf(-1)
 	}
 	g.ensureNorm()
 	k := g.NumComponents()
+	span.SetInt("frames", int64(len(frames)))
+	span.SetInt("components", int64(k))
 	lls := make([]float64, len(frames))
-	parallel.Range(len(frames), func(lo, hi int) {
+	parallel.SpanRange(span, "loglik-block", len(frames), func(lo, hi int) {
 		scratch := make([]float64, k)
 		for i := lo; i < hi; i++ {
 			lls[i] = g.logLikelihoodInto(frames[i], scratch)

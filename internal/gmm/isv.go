@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"voiceguard/internal/stats"
+	"voiceguard/internal/telemetry"
 )
 
 // This file implements a simplified inter-session variability (ISV)
@@ -278,6 +279,14 @@ func (m *ISV) Enroll(enrollSessions [][][]float64) (*ISVSpeaker, error) {
 // offset is folded back into GMM means, and the utterance is scored by
 // the frame-averaged log-likelihood ratio against the UBM.
 func (s *ISVSpeaker) Score(frames [][]float64) (float64, error) {
+	return s.ScoreSpan(nil, frames)
+}
+
+// ScoreSpan is Score recording its two likelihood passes under span: the
+// span (nil disables tracing at zero cost) gains "model-loglik" and
+// "ubm-loglik" children plus the resulting llr attribute. The caller owns
+// span's End; the result is bit-identical to Score.
+func (s *ISVSpeaker) ScoreSpan(span *telemetry.Span, frames [][]float64) (float64, error) {
 	m := s.model
 	sv, err := supervector(m.ubm, frames, m.relevance)
 	if err != nil {
@@ -310,5 +319,13 @@ func (s *ISVSpeaker) Score(frames [][]float64) (float64, error) {
 		}
 	}
 	speaker.refreshNorm()
-	return speaker.MeanLogLikelihood(frames) - m.ubm.MeanLogLikelihood(frames), nil
+	ms := span.StartSpan("model-loglik")
+	model := speaker.MeanLogLikelihoodSpan(ms, frames)
+	ms.End()
+	us := span.StartSpan("ubm-loglik")
+	background := m.ubm.MeanLogLikelihoodSpan(us, frames)
+	us.End()
+	llr := model - background
+	span.SetFloat("llr", llr, "nat/frame")
+	return llr, nil
 }

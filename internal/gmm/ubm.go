@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"voiceguard/internal/stats"
+	"voiceguard/internal/telemetry"
 )
 
 // This file implements the GMM-UBM speaker-verification recipe: a
@@ -115,8 +116,24 @@ func NewVerifier(ubm *GMM, enrollFrames [][]float64, relevance float64) (*Verifi
 // Score returns the frame-averaged log-likelihood ratio of the test
 // frames. Empty input scores -Inf.
 func (v *Verifier) Score(frames [][]float64) float64 {
+	return v.ScoreSpan(nil, frames)
+}
+
+// ScoreSpan is Score recording its two likelihood passes under span: the
+// span (nil disables tracing at zero cost) gains "model-loglik" and
+// "ubm-loglik" children plus the resulting llr attribute. The caller owns
+// span's End; the result is bit-identical to Score.
+func (v *Verifier) ScoreSpan(span *telemetry.Span, frames [][]float64) float64 {
 	if len(frames) == 0 {
 		return math.Inf(-1)
 	}
-	return v.Speaker.MeanLogLikelihood(frames) - v.UBM.MeanLogLikelihood(frames)
+	ms := span.StartSpan("model-loglik")
+	model := v.Speaker.MeanLogLikelihoodSpan(ms, frames)
+	ms.End()
+	us := span.StartSpan("ubm-loglik")
+	background := v.UBM.MeanLogLikelihoodSpan(us, frames)
+	us.End()
+	llr := model - background
+	span.SetFloat("llr", llr, "nat/frame")
+	return llr
 }

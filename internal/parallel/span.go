@@ -1,0 +1,28 @@
+package parallel
+
+// Traced fan-out: the same deterministic block partition as Range, with
+// one child span recorded per worker block so a trace shows how the index
+// space actually split across cores — PR 3's speculative parallelism made
+// that invisible to timestamp-sorted flat traces. A nil parent span (the
+// common untraced case) falls straight through to Range, so the hot path
+// pays one pointer test.
+
+import "voiceguard/internal/telemetry"
+
+// SpanRange is Range with per-block child spans: each worker block opens
+// a span named name under parent carrying the block's [lo, hi) bounds,
+// runs fn, and ends the span when the block completes. Output placement
+// and determinism guarantees are identical to Range.
+func SpanRange(parent *telemetry.Span, name string, n int, fn func(lo, hi int)) {
+	if parent == nil {
+		Range(n, fn)
+		return
+	}
+	Range(n, func(lo, hi int) {
+		sp := parent.StartSpan(name)
+		sp.SetInt("block_lo", int64(lo))
+		sp.SetInt("block_hi", int64(hi))
+		fn(lo, hi)
+		sp.End()
+	})
+}

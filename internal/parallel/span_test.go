@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"voiceguard/internal/telemetry"
+)
+
+func TestSpanRangeNilParentCoversRange(t *testing.T) {
+	const n = 1000
+	var hits [n]atomic.Int32
+	SpanRange(nil, "block", n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestSpanRangeRecordsBlockPartition(t *testing.T) {
+	const n = 1000
+	tr := telemetry.NewTracer(telemetry.TracerConfig{})
+	root := tr.StartTrace("req", "verify")
+	var hits [n]atomic.Int32
+	SpanRange(root, "stft-block", n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	rec := tr.Finish(root, telemetry.Verdict{Accepted: true})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+
+	// Every block span hangs off the parent and together the recorded
+	// [lo, hi) bounds partition the index space exactly.
+	type block struct{ lo, hi int64 }
+	var blocks []block
+	for _, sp := range rec.Spans[1:] {
+		if sp.Name != "stft-block" {
+			t.Fatalf("unexpected span %q", sp.Name)
+		}
+		if sp.ParentID != rec.Spans[0].SpanID {
+			t.Fatalf("block span not a child of the parent: %+v", sp)
+		}
+		lo, ok := sp.Attr("block_lo")
+		if !ok {
+			t.Fatalf("block span missing block_lo: %+v", sp)
+		}
+		hi, ok := sp.Attr("block_hi")
+		if !ok {
+			t.Fatalf("block span missing block_hi: %+v", sp)
+		}
+		blocks = append(blocks, block{lo.Int, hi.Int})
+	}
+	if len(blocks) == 0 {
+		t.Fatal("no block spans recorded")
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].lo < blocks[j].lo })
+	next := int64(0)
+	for _, b := range blocks {
+		if b.lo != next || b.hi <= b.lo {
+			t.Fatalf("blocks do not partition [0,%d): %+v", n, blocks)
+		}
+		next = b.hi
+	}
+	if next != n {
+		t.Fatalf("blocks cover [0,%d), want [0,%d)", next, n)
+	}
+}

@@ -1,0 +1,359 @@
+package server
+
+// Prometheus text-format conformance: /metrics must stay scrapeable by a
+// strict parser, not just by the lenient splitter scrapeMetrics uses. The
+// in-test parser checks the exposition line by line — HELP/TYPE
+// discipline, contiguous family blocks, label syntax, no duplicate
+// series, histogram bucket invariants, and OpenMetrics exemplar syntax on
+// bucket lines.
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/client"
+	"voiceguard/internal/device"
+	"voiceguard/internal/speech"
+)
+
+var (
+	headerRe    = regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)(?: (.*))?$`)
+	seriesRe    = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)( # \{[^{}]*\} \S+ \S+)?$`)
+	labelPairRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+	exemplarRe  = regexp.MustCompile(`^ # \{trace_id="((?:[^"\\]|\\.)*)"\} (\S+) (\S+)$`)
+)
+
+// promSeries is one parsed sample line.
+type promSeries struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   string
+}
+
+// parseLabels splits a {k="v",...} block, enforcing pair syntax.
+func parseLabels(t *testing.T, block, line string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	if block == "" {
+		return out
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if body == "" {
+		t.Errorf("empty label block in %q", line)
+		return out
+	}
+	for _, pair := range strings.Split(body, ",") {
+		if !labelPairRe.MatchString(pair) {
+			t.Errorf("malformed label pair %q in %q", pair, line)
+			continue
+		}
+		eq := strings.IndexByte(pair, '=')
+		k := pair[:eq]
+		v, err := strconv.Unquote(pair[eq+1:])
+		if err != nil {
+			t.Errorf("unquoting label value in %q: %v", line, err)
+			continue
+		}
+		if _, dup := out[k]; dup {
+			t.Errorf("duplicate label %q in %q", k, line)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// baseFamily strips a histogram sample suffix.
+func baseFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// parseExposition runs the strict parser over one /metrics body and
+// returns every sample, failing the test on any conformance violation.
+func parseExposition(t *testing.T, body io.Reader) []promSeries {
+	t.Helper()
+	var (
+		series    []promSeries
+		seen      = map[string]bool{} // full series key → dup detection
+		typeOf    = map[string]string{}
+		helpSeen  = map[string]bool{}
+		closed    = map[string]bool{} // families whose block has ended
+		current   string
+		exemplars int
+	)
+	enter := func(family, line string) {
+		if family != current {
+			if closed[family] {
+				t.Errorf("family %s reopened by %q; blocks must be contiguous", family, line)
+			}
+			if current != "" {
+				closed[current] = true
+			}
+			current = family
+		}
+	}
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := headerRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("malformed comment line %q", line)
+				continue
+			}
+			kind, family := m[1], m[2]
+			enter(family, line)
+			switch kind {
+			case "HELP":
+				if helpSeen[family] {
+					t.Errorf("duplicate HELP for %s", family)
+				}
+				helpSeen[family] = true
+			case "TYPE":
+				if _, dup := typeOf[family]; dup {
+					t.Errorf("duplicate TYPE for %s", family)
+				}
+				switch m[3] {
+				case "counter", "gauge", "histogram":
+					typeOf[family] = m[3]
+				default:
+					t.Errorf("unknown TYPE %q for %s", m[3], family)
+				}
+			}
+			continue
+		}
+		m := seriesRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		name, labelBlock, valueStr, exemplar := m[1], m[2], m[3], m[4]
+		family := baseFamily(name)
+		if _, ok := typeOf[family]; !ok {
+			family = name // counters/gauges whose name happens to end in a suffix
+		}
+		kind, ok := typeOf[family]
+		if !ok {
+			t.Errorf("series %q precedes its TYPE line", line)
+			continue
+		}
+		enter(family, line)
+		if kind != "histogram" && name != family {
+			t.Errorf("series %q carries a histogram suffix but %s is a %s", line, family, kind)
+		}
+		v, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+			continue
+		}
+		key := name + labelBlock
+		if seen[key] {
+			t.Errorf("duplicate series %s", key)
+		}
+		seen[key] = true
+		labels := parseLabels(t, labelBlock, line)
+		if exemplar != "" {
+			if !strings.HasSuffix(name, "_bucket") {
+				t.Errorf("exemplar on non-bucket line %q", line)
+			}
+			em := exemplarRe.FindStringSubmatch(exemplar)
+			if em == nil {
+				t.Errorf("malformed exemplar in %q", line)
+			} else {
+				ev, err := strconv.ParseFloat(em[2], 64)
+				if err != nil {
+					t.Errorf("unparseable exemplar value in %q: %v", line, err)
+				}
+				if ts, err := strconv.ParseFloat(em[3], 64); err != nil || ts <= 0 {
+					t.Errorf("bad exemplar timestamp in %q: %v", line, err)
+				}
+				if le, err := strconv.ParseFloat(labels["le"], 64); err == nil && ev > le {
+					t.Errorf("exemplar value %g above bucket bound le=%g in %q", ev, le, line)
+				}
+				if em[1] == "" {
+					t.Errorf("empty exemplar trace_id in %q", line)
+				}
+				exemplars++
+			}
+		}
+		series = append(series, promSeries{name: name, labels: labels, value: v, line: line})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if exemplars == 0 {
+		t.Error("no exemplars in the exposition; traced traffic should have attached some")
+	}
+
+	// Histogram invariants per label set: buckets cumulative in le order,
+	// +Inf present and equal to _count, _sum present.
+	type hkey struct{ family, labels string }
+	buckets := map[hkey][]promSeries{}
+	counts := map[hkey]float64{}
+	sums := map[hkey]bool{}
+	labelsWithoutLe := func(s promSeries) string {
+		var parts []string
+		for k, v := range s.labels {
+			if k != "le" {
+				parts = append(parts, k+"="+strconv.Quote(v))
+			}
+		}
+		// Map iteration order is neutralized by sorting the pairs.
+		sortStrings(parts)
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	for _, s := range series {
+		fam := baseFamily(s.name)
+		if typeOf[fam] != "histogram" {
+			continue
+		}
+		k := hkey{fam, labelsWithoutLe(s)}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			buckets[k] = append(buckets[k], s)
+		case strings.HasSuffix(s.name, "_count"):
+			counts[k] = s.value
+		case strings.HasSuffix(s.name, "_sum"):
+			sums[k] = true
+		}
+	}
+	for k, bs := range buckets {
+		prev := math.Inf(-1)
+		prevCum := -1.0
+		sawInf := false
+		for _, b := range bs {
+			leStr := b.labels["le"]
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				var err error
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					t.Errorf("bad le %q in %q", leStr, b.line)
+					continue
+				}
+			} else {
+				sawInf = true
+			}
+			if le <= prev {
+				t.Errorf("%s%s buckets not in increasing le order", k.family, k.labels)
+			}
+			if b.value < prevCum {
+				t.Errorf("%s%s bucket counts not cumulative at le=%s", k.family, k.labels, leStr)
+			}
+			prev, prevCum = le, b.value
+		}
+		if !sawInf {
+			t.Errorf("%s%s missing le=\"+Inf\" bucket", k.family, k.labels)
+		}
+		if c, ok := counts[k]; !ok || c != prevCum {
+			t.Errorf("%s%s _count = %g, want +Inf bucket %g", k.family, k.labels, c, prevCum)
+		}
+		if !sums[k] {
+			t.Errorf("%s%s missing _sum", k.family, k.labels)
+		}
+	}
+	return series
+}
+
+// sortStrings is an insertion sort over a handful of label pairs.
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func TestMetricsPrometheusConformance(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Traffic: one accept, one reject, so counters, both latency
+	// histograms and their exemplars are all populated.
+	c := client.New(ts.URL)
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(31)))
+	genuine, err := attack.Genuine(victim, attack.Scenario{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Verify(genuine); err != nil {
+		t.Fatal(err)
+	}
+	recd, err := attack.Record(victim, "472913", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := attack.Replay(recd, device.Catalog()[0], attack.Scenario{Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Verify(replay); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	series := parseExposition(t, resp.Body)
+	if len(series) == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	// The exemplar on a pipeline-latency bucket must reference a trace the
+	// flight recorder can replay — that is the whole point of the link.
+	var traceID string
+	for _, s := range series {
+		if s.name == MetricPipelineLatency+"_count" && s.value < 2 {
+			t.Errorf("pipeline histogram count = %g, want ≥ 2", s.value)
+		}
+	}
+	r2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, MetricPipelineLatency+"_bucket") {
+			continue
+		}
+		if m := seriesRe.FindStringSubmatch(line); m != nil && m[4] != "" {
+			if em := exemplarRe.FindStringSubmatch(m[4]); em != nil {
+				traceID = em[1]
+				break
+			}
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no exemplar on any pipeline-latency bucket")
+	}
+	tr, err := http.Get(ts.URL + TraceRoute + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("exemplar trace %s not retrievable: status %d", traceID, tr.StatusCode)
+	}
+}

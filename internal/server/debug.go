@@ -1,0 +1,75 @@
+package server
+
+// Decision flight-recorder endpoints: /debug/decisions lists the retained
+// decision traces, /debug/decisions.jsonl exports them as JSONL for
+// cmd/voiceguard-trace, and /debug/trace/{id} returns one full
+// evidence-carrying span tree. All three read the lock-free ring without
+// blocking the serving path.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// TraceRoute is the URL prefix of the single-trace endpoint; the trace ID
+// follows it.
+const TraceRoute = "/debug/trace/"
+
+// DecisionsRoute lists retained decision summaries.
+const DecisionsRoute = "/debug/decisions"
+
+// DecisionsJSONLRoute exports retained decision traces as JSONL.
+const DecisionsJSONLRoute = "/debug/decisions.jsonl"
+
+// handleDecisions serves the retained decision summaries, newest first.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	records := s.recorder.Snapshot()
+	summaries := make([]any, 0, len(records))
+	for i := len(records) - 1; i >= 0; i-- {
+		summaries = append(summaries, records[i].Summary())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(summaries); err != nil {
+		s.logger.Error("encoding decision summaries", "err", err)
+	}
+}
+
+// handleDecisionsJSONL streams the retained traces oldest-first, one JSON
+// record per line.
+func (s *Server) handleDecisionsJSONL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := s.recorder.WriteJSONL(w); err != nil {
+		s.logger.Error("writing decision JSONL", "err", err)
+	}
+}
+
+// handleTrace serves one retained trace's full span tree by ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, TraceRoute)
+	if id == "" {
+		http.Error(w, "trace ID required", http.StatusBadRequest)
+		return
+	}
+	rec := s.recorder.Find(id)
+	if rec == nil {
+		http.Error(w, "trace not retained (evicted or never recorded)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(rec); err != nil {
+		s.logger.Error("encoding trace", "err", err, "trace_id", id)
+	}
+}

@@ -51,6 +51,7 @@ func (r *statusRecorder) WriteHeader(code int) {
 var knownRoutes = map[string]bool{
 	"/verify": true, "/voiceprint": true, "/enroll": true,
 	"/healthz": true, "/stats": true, "/metrics": true,
+	DecisionsRoute: true, DecisionsJSONLRoute: true,
 }
 
 func routeLabel(path string) string {
@@ -59,6 +60,9 @@ func routeLabel(path string) string {
 	}
 	if len(path) >= len("/debug/pprof/") && path[:len("/debug/pprof/")] == "/debug/pprof/" {
 		return "/debug/pprof/"
+	}
+	if len(path) >= len(TraceRoute) && path[:len(TraceRoute)] == TraceRoute {
+		return TraceRoute
 	}
 	return "other"
 }

@@ -56,6 +56,11 @@ func scrapeMetrics(t *testing.T, baseURL string) map[string]float64 {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		// Strip a trailing OpenMetrics exemplar (` # {...} value ts`) so
+		// the value parse below sees the series value.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
+		}
 		idx := strings.LastIndexByte(line, ' ')
 		if idx < 0 {
 			t.Fatalf("unparseable metrics line %q", line)

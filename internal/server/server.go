@@ -43,6 +43,13 @@ type Server struct {
 	pprof      bool
 	metricsOff bool
 
+	// Decision tracing: every sampled /verify request records an
+	// evidence-carrying span tree into the flight-recorder ring behind
+	// /debug/decisions and /debug/trace/{id}.
+	recorder    *telemetry.FlightRecorder
+	flightSize  int
+	sampleTrace func(string) bool
+
 	// Verify outcome counters. Total requests is their sum, so the
 	// Requests == Accepted+Rejected+Errors invariant holds by
 	// construction under any interleaving.
@@ -73,6 +80,21 @@ func WithRegistry(r *telemetry.Registry) Option {
 // the scrape surface goes away.
 func WithMetricsEndpoint(enabled bool) Option {
 	return func(s *Server) { s.metricsOff = !enabled }
+}
+
+// WithFlightRecorder sizes the decision flight-recorder ring (default
+// telemetry.DefFlightRecorderSize). The last n decision traces stay
+// queryable through /debug/decisions and /debug/trace/{id}.
+func WithFlightRecorder(n int) Option {
+	return func(s *Server) { s.flightSize = n }
+}
+
+// WithTraceSampling records span trees for approximately the given
+// fraction of requests, chosen deterministically per trace ID. The
+// default samples everything; 0 disables span recording while keeping
+// metrics intact.
+func WithTraceSampling(ratio float64) Option {
+	return func(s *Server) { s.sampleTrace = telemetry.SampleRatio(ratio) }
 }
 
 // Stats counts served /verify requests. Fields are int64 so counts
@@ -116,8 +138,22 @@ func New(system *core.System, logger *slog.Logger, opts ...Option) (*Server, err
 		s.stageHist[st] = r.Histogram(MetricStageLatency, nil, telemetry.Labels{"stage": st.MetricName()})
 	}
 	r.SetHelp(MetricStageLatency, "per-stage pipeline latency")
+	s.recorder = telemetry.NewFlightRecorder(s.flightSize)
+	// The pipeline records traces through the system's tracer; attach one
+	// wired to this server's ring unless the caller installed their own.
+	if system.Tracer == nil {
+		system.Tracer = telemetry.NewTracer(telemetry.TracerConfig{
+			Sample:   s.sampleTrace,
+			Recorder: s.recorder,
+		})
+	} else if rec := system.Tracer.Recorder(); rec != nil {
+		s.recorder = rec
+	}
 	return s, nil
 }
+
+// FlightRecorder returns the ring backing the /debug decision endpoints.
+func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.recorder }
 
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *telemetry.Registry { return s.registry }
@@ -131,6 +167,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/enroll", s.handleEnroll)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc(DecisionsRoute, s.handleDecisions)
+	mux.HandleFunc(DecisionsJSONLRoute, s.handleDecisionsJSONL)
+	mux.HandleFunc(TraceRoute, s.handleTrace)
 	if !s.metricsOff {
 		mux.HandleFunc("/metrics", s.handleMetrics)
 	}
@@ -324,7 +363,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.rejected.Inc()
 	}
-	s.pipelineHist.ObserveDuration(decision.Elapsed)
+	s.pipelineHist.ObserveDurationExemplar(decision.Elapsed, decision.TraceID)
 	stageAttrs := make([]any, 0, 2*len(decision.Stages)+8)
 	stageAttrs = append(stageAttrs,
 		"trace_id", decision.TraceID,
@@ -334,7 +373,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	)
 	for _, st := range decision.Stages {
 		if h, ok := s.stageHist[st.Stage]; ok {
-			h.ObserveDuration(st.Elapsed)
+			h.ObserveDurationExemplar(st.Elapsed, decision.TraceID)
 		}
 		stageAttrs = append(stageAttrs, "stage_"+st.Stage.MetricName(), st.Elapsed)
 	}

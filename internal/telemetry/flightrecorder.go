@@ -1,0 +1,244 @@
+package telemetry
+
+// The decision flight recorder: a lock-free ring of the last N finished
+// decision traces, complete with their evidence-carrying span trees. The
+// serving path only ever pays one atomic increment and one atomic pointer
+// store per decision; readers snapshot without blocking writers. The ring
+// backs the server's /debug/decisions and /debug/trace/{id} endpoints and
+// the JSONL export consumed by cmd/voiceguard-trace.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one frozen span of a finished trace. Parent links (not
+// nesting) encode the tree so the flat slice marshals naturally to JSON
+// and JSONL.
+type SpanRecord struct {
+	// SpanID is the span's 16-hex identifier.
+	SpanID string `json:"span_id"`
+	// ParentID is the parent span's ID ("" for the root).
+	ParentID string `json:"parent_id,omitempty"`
+	// Name is the operation name ("verify", "stage:distance", ...).
+	Name string `json:"name"`
+	// StartUS is the span start in microseconds after the trace start.
+	StartUS int64 `json:"start_us"`
+	// DurUS is the span duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// Attrs are the typed attributes attached while the span ran.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the attribute with the given key and whether it exists.
+func (s SpanRecord) Attr(key string) (Attr, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// TraceRecord is one finished decision trace.
+type TraceRecord struct {
+	// TraceID is the request ID the attempt ran under.
+	TraceID string `json:"trace_id"`
+	// Seq is the recorder's global sequence number, stamped by Record;
+	// ordering snapshots oldest-first.
+	Seq uint64 `json:"seq"`
+	// Start is the wall-clock trace start.
+	Start time.Time `json:"start"`
+	// Accepted is the cascade verdict.
+	Accepted bool `json:"accepted"`
+	// FailedStage is the metric name of the first failing stage ("" when
+	// accepted).
+	FailedStage string `json:"failed_stage,omitempty"`
+	// ElapsedUS is the total pipeline latency in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Dropped counts spans discarded past the per-trace budget.
+	Dropped int `json:"dropped_spans,omitempty"`
+	// Spans is the span tree in start order, root first.
+	Spans []SpanRecord `json:"spans"`
+}
+
+// StageSpanName is the span-name prefix of pipeline-stage spans; the
+// stage's metric name follows it.
+const StageSpanName = "stage:"
+
+// StageSpan returns the record's span for the named stage (metric name)
+// and whether it exists.
+func (r *TraceRecord) StageSpan(stage string) (SpanRecord, bool) {
+	for _, sp := range r.Spans {
+		if sp.Name == StageSpanName+stage {
+			return sp, true
+		}
+	}
+	return SpanRecord{}, false
+}
+
+// TraceSummary is the one-line digest of a TraceRecord served by
+// /debug/decisions.
+type TraceSummary struct {
+	// TraceID identifies the attempt.
+	TraceID string `json:"trace_id"`
+	// Start is the wall-clock trace start.
+	Start time.Time `json:"start"`
+	// Accepted is the verdict.
+	Accepted bool `json:"accepted"`
+	// FailedStage is the first failing stage ("" when accepted).
+	FailedStage string `json:"failed_stage,omitempty"`
+	// ElapsedUS is the total pipeline latency in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Spans is the recorded span count.
+	Spans int `json:"spans"`
+	// Evidence holds the failing stage's numeric attributes (evidence
+	// values and the thresholds they violated); empty when accepted.
+	Evidence map[string]float64 `json:"evidence,omitempty"`
+}
+
+// Summary digests the record for list displays.
+func (r *TraceRecord) Summary() TraceSummary {
+	s := TraceSummary{
+		TraceID:     r.TraceID,
+		Start:       r.Start,
+		Accepted:    r.Accepted,
+		FailedStage: r.FailedStage,
+		ElapsedUS:   r.ElapsedUS,
+		Spans:       len(r.Spans),
+	}
+	if r.FailedStage == "" {
+		return s
+	}
+	if sp, ok := r.StageSpan(r.FailedStage); ok {
+		s.Evidence = make(map[string]float64, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			if v, ok := a.Number(); ok {
+				s.Evidence[a.Key] = v
+			}
+		}
+	}
+	return s
+}
+
+// DefFlightRecorderSize is the default ring capacity: enough recent
+// decisions for on-call forensics, small enough (~a few hundred KB) to
+// forget about.
+const DefFlightRecorderSize = 128
+
+// FlightRecorder retains the last N finished decision traces in a
+// lock-free ring. Record is wait-free (one atomic add, one atomic
+// store); Snapshot and Find read the slots without blocking writers.
+type FlightRecorder struct {
+	slots []atomic.Pointer[TraceRecord]
+	seq   atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder keeping the last n traces
+// (DefFlightRecorderSize when n ≤ 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefFlightRecorderSize
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[TraceRecord], n)}
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Record stores a finished trace, evicting the oldest once the ring is
+// full. The record's Seq field is stamped here; callers hand ownership
+// over and must not mutate the record afterwards. Nil recorder or record
+// is a no-op.
+func (f *FlightRecorder) Record(r *TraceRecord) {
+	if f == nil || r == nil {
+		return
+	}
+	seq := f.seq.Add(1) - 1
+	r.Seq = seq
+	f.slots[int(seq%uint64(len(f.slots)))].Store(r)
+}
+
+// Snapshot returns the retained traces oldest-first. The returned records
+// are shared; treat them as read-only.
+func (f *FlightRecorder) Snapshot() []*TraceRecord {
+	if f == nil {
+		return nil
+	}
+	out := make([]*TraceRecord, 0, len(f.slots))
+	for i := range f.slots {
+		if r := f.slots[i].Load(); r != nil {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Find returns the retained trace with the given ID, preferring the most
+// recent when a client reused an ID, or nil when it has been evicted.
+func (f *FlightRecorder) Find(traceID string) *TraceRecord {
+	var best *TraceRecord
+	for _, r := range f.Snapshot() {
+		if r.TraceID == traceID {
+			best = r
+		}
+	}
+	return best
+}
+
+// WriteJSONL streams the retained traces oldest-first, one JSON record
+// per line — the export cmd/voiceguard-trace consumes offline.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, f.Snapshot())
+}
+
+// WriteJSONL writes trace records one JSON object per line.
+func WriteJSONL(w io.Writer, records []*TraceRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range records {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("telemetry: encoding trace %s: %w", r.TraceID, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("telemetry: flushing JSONL: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL trace dump back into records, preserving file
+// order. Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]*TraceRecord, error) {
+	var out []*TraceRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		rec := &TraceRecord{}
+		if err := json.Unmarshal(b, rec); err != nil {
+			return nil, fmt.Errorf("telemetry: JSONL line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading JSONL: %w", err)
+	}
+	return out, nil
+}

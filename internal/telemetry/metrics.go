@@ -73,12 +73,26 @@ var DefLatencyBuckets = []float64{
 
 // Histogram is a fixed-bucket distribution with atomic observation. The
 // bucket slice holds cumulative-format upper bounds; an implicit +Inf
-// bucket catches the overflow.
+// bucket catches the overflow. Each bucket additionally retains one
+// exemplar — the most recent traced observation that landed in it — so
+// /metrics latency buckets link back to a replayable trace in the flight
+// recorder (OpenMetrics exemplar syntax).
 type Histogram struct {
-	bounds  []float64
-	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 sum, CAS-updated
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1, last is +Inf
+	count     atomic.Int64
+	sumBits   atomic.Uint64              // float64 sum, CAS-updated
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, last is +Inf
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	// Value is the observed sample.
+	Value float64 // unit: same as the histogram's samples
+	// TraceID identifies the trace behind the sample.
+	TraceID string
+	// Unix is the observation time in seconds since the epoch.
+	Unix float64 // unit: s
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -88,16 +102,26 @@ func newHistogram(bounds []float64) *Histogram {
 			panic("telemetry: histogram buckets not strictly increasing")
 		}
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+// bucketIndex returns the index of the bucket v falls into (the +Inf
+// bucket being len(bounds)).
+func (h *Histogram) bucketIndex(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
+	return i
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -108,8 +132,34 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// replaces the sample's bucket exemplar so the exposition links the
+// bucket to a recent trace.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID != "" {
+		i := h.bucketIndex(v)
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Unix: float64(time.Now().UnixMicro()) / 1e6})
+	}
+	h.Observe(v)
+}
+
 // ObserveDuration records a latency sample in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurationExemplar records a latency sample in seconds with a
+// trace-ID exemplar.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	h.ObserveExemplar(d.Seconds(), traceID)
+}
+
+// BucketExemplar returns bucket i's exemplar (i counting finite bounds
+// first, len(bounds) being +Inf) or nil when none was recorded.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -165,13 +215,14 @@ func (h *Histogram) write(w io.Writer, name, labels string) error {
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			name, mergeLabel(labels, "le", formatFloat(bound)), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			name, mergeLabel(labels, "le", formatFloat(bound)), cum, h.exemplarSuffix(i)); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(labels, "le", "+Inf"), cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, mergeLabel(labels, "le", "+Inf"),
+		cum, h.exemplarSuffix(len(h.bounds))); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum())); err != nil {
@@ -179,6 +230,17 @@ func (h *Histogram) write(w io.Writer, name, labels string) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
 	return err
+}
+
+// exemplarSuffix renders bucket i's exemplar in the OpenMetrics layout
+// (` # {trace_id="..."} value timestamp`), or "" when the bucket has
+// none.
+func (h *Histogram) exemplarSuffix(i int) string {
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %s", ex.TraceID, formatFloat(ex.Value), formatFloat(ex.Unix))
 }
 
 // mergeLabel splices an extra label pair into a serialized label set.
