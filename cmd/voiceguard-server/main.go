@@ -1,15 +1,16 @@
 // Command voiceguard-server runs the verification backend: it trains the
 // anti-spoofing pipeline (and optionally an ASV back-end over a synthetic
 // background population), then serves /verify, /voiceprint, /healthz,
-// /stats, /metrics and the decision flight-recorder endpoints
-// (/debug/decisions, /debug/decisions.jsonl, /debug/trace/{id}) over
-// HTTP. SIGINT/SIGTERM drain in-flight verifications before exit.
+// /stats and /metrics over HTTP. The decision flight-recorder endpoints
+// (/debug/decisions, /debug/decisions.jsonl, /debug/trace/{id}) expose
+// verification verdicts and evidence, so they are opt-in via -decisions,
+// like -pprof. SIGINT/SIGTERM drain in-flight verifications before exit.
 //
 // Usage:
 //
 //	voiceguard-server -addr :8443
 //	voiceguard-server -addr :8443 -asv -enroll victim:seed=17
-//	voiceguard-server -addr :8443 -pprof -metrics=false
+//	voiceguard-server -addr :8443 -pprof -decisions -metrics=false
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 	enroll := flag.String("enroll", "", "comma-separated user:seed=N pairs to enroll synthetic users")
 	metrics := flag.Bool("metrics", true, "expose the GET /metrics Prometheus endpoint")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	decisions := flag.Bool("decisions", false, "mount the decision flight-recorder endpoints under /debug/ (they expose verdicts and evidence)")
 	flight := flag.Int("flight", 0, "decision flight-recorder capacity (0 = default)")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of requests recording span traces [0, 1]")
 	flag.Parse()
@@ -47,14 +49,14 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *asv, *enroll, *metrics, *withPprof, *flight, *traceSample, logger); err != nil {
+	if err := run(ctx, *addr, *seed, *asv, *enroll, *metrics, *withPprof, *decisions, *flight, *traceSample, logger); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, addr string, seed int64, withASV bool, enrollSpec string,
-	metrics, withPprof bool, flight int, traceSample float64, logger *slog.Logger) error {
+	metrics, withPprof, decisions bool, flight int, traceSample float64, logger *slog.Logger) error {
 	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: seed})
 	if err != nil {
 		return fmt.Errorf("building pipeline: %w", err)
@@ -80,13 +82,17 @@ func run(ctx context.Context, addr string, seed int64, withASV bool, enrollSpec 
 	if withPprof {
 		opts = append(opts, server.WithPprof())
 	}
+	if decisions {
+		opts = append(opts, server.WithDecisionEndpoints())
+	}
 	srv, err := server.New(sys, logger, opts...)
 	if err != nil {
 		return err
 	}
 	ready := make(chan string, 1)
 	go func() {
-		logger.Info("listening", "addr", <-ready, "metrics", metrics, "pprof", withPprof)
+		logger.Info("listening", "addr", <-ready, "metrics", metrics,
+			"pprof", withPprof, "decisions", decisions)
 	}()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(addr, ready) }()

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"voiceguard/internal/audio"
@@ -170,9 +171,11 @@ func (c *Client) RecentDecisions() ([]telemetry.TraceSummary, error) {
 	return out, nil
 }
 
-// Trace fetches one decision's full span tree by trace ID.
+// Trace fetches one decision's full span tree by trace ID. The ID is
+// path-escaped: request IDs are client-chosen strings, and one holding
+// '/', '?', '#' or spaces must not reshape the URL.
 func (c *Client) Trace(traceID string) (*telemetry.TraceRecord, error) {
-	resp, err := c.get("/debug/trace/" + traceID)
+	resp, err := c.get("/debug/trace/" + url.PathEscape(traceID))
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,11 @@ package server
 // strict parser, not just by the lenient splitter scrapeMetrics uses. The
 // in-test parser checks the exposition line by line — HELP/TYPE
 // discipline, contiguous family blocks, label syntax, no duplicate
-// series, histogram bucket invariants, and OpenMetrics exemplar syntax on
-// bucket lines.
+// series, histogram bucket invariants — in both negotiated formats: the
+// classic text exposition must be exemplar-free (the standard Prometheus
+// text parser errors on a trailing `#`), while the OpenMetrics exposition
+// (Accept: application/openmetrics-text) must carry bucket exemplars and
+// the `# EOF` terminator.
 
 import (
 	"bufio"
@@ -83,7 +86,9 @@ func baseFamily(name string) string {
 
 // parseExposition runs the strict parser over one /metrics body and
 // returns every sample, failing the test on any conformance violation.
-func parseExposition(t *testing.T, body io.Reader) []promSeries {
+// openMetrics selects the format contract: exemplars and the `# EOF`
+// terminator are required there and forbidden in the classic text format.
+func parseExposition(t *testing.T, body io.Reader, openMetrics bool) []promSeries {
 	t.Helper()
 	var (
 		series    []promSeries
@@ -93,6 +98,7 @@ func parseExposition(t *testing.T, body io.Reader) []promSeries {
 		closed    = map[string]bool{} // families whose block has ended
 		current   string
 		exemplars int
+		sawEOF    bool
 	)
 	enter := func(family, line string) {
 		if family != current {
@@ -110,6 +116,17 @@ func parseExposition(t *testing.T, body io.Reader) []promSeries {
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" {
+			continue
+		}
+		if sawEOF {
+			t.Errorf("content after # EOF terminator: %q", line)
+			continue
+		}
+		if line == "# EOF" {
+			if !openMetrics {
+				t.Error("# EOF terminator in classic text exposition")
+			}
+			sawEOF = true
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -149,13 +166,21 @@ func parseExposition(t *testing.T, body io.Reader) []promSeries {
 		if _, ok := typeOf[family]; !ok {
 			family = name // counters/gauges whose name happens to end in a suffix
 		}
+		if _, ok := typeOf[family]; !ok && openMetrics {
+			// OpenMetrics counter families drop the _total sample suffix
+			// on their metadata lines.
+			if trimmed := strings.TrimSuffix(name, "_total"); trimmed != name && typeOf[trimmed] == "counter" {
+				family = trimmed
+			}
+		}
 		kind, ok := typeOf[family]
 		if !ok {
 			t.Errorf("series %q precedes its TYPE line", line)
 			continue
 		}
 		enter(family, line)
-		if kind != "histogram" && name != family {
+		if kind != "histogram" && name != family &&
+			!(openMetrics && kind == "counter" && name == family+"_total") {
 			t.Errorf("series %q carries a histogram suffix but %s is a %s", line, family, kind)
 		}
 		v, err := strconv.ParseFloat(valueStr, 64)
@@ -170,6 +195,9 @@ func parseExposition(t *testing.T, body io.Reader) []promSeries {
 		seen[key] = true
 		labels := parseLabels(t, labelBlock, line)
 		if exemplar != "" {
+			if !openMetrics {
+				t.Errorf("exemplar in classic text exposition breaks standard scrapers: %q", line)
+			}
 			if !strings.HasSuffix(name, "_bucket") {
 				t.Errorf("exemplar on non-bucket line %q", line)
 			}
@@ -198,8 +226,13 @@ func parseExposition(t *testing.T, body io.Reader) []promSeries {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if exemplars == 0 {
-		t.Error("no exemplars in the exposition; traced traffic should have attached some")
+	if openMetrics {
+		if exemplars == 0 {
+			t.Error("no exemplars in the OpenMetrics exposition; traced traffic should have attached some")
+		}
+		if !sawEOF {
+			t.Error("OpenMetrics exposition missing the # EOF terminator")
+		}
 	}
 
 	// Histogram invariants per label set: buckets cumulative in le order,
@@ -307,33 +340,50 @@ func TestMetricsPrometheusConformance(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Classic exposition: the default-Accept scrape every stock Prometheus
+	// parser must be able to swallow — strictly exemplar-free.
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	series := parseExposition(t, resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("classic scrape content-type = %q", ct)
+	}
+	series := parseExposition(t, resp.Body, false)
+	resp.Body.Close()
 	if len(series) == 0 {
 		t.Fatal("empty exposition")
 	}
-
-	// The exemplar on a pipeline-latency bucket must reference a trace the
-	// flight recorder can replay — that is the whole point of the link.
-	var traceID string
 	for _, s := range series {
 		if s.name == MetricPipelineLatency+"_count" && s.value < 2 {
 			t.Errorf("pipeline histogram count = %g, want ≥ 2", s.value)
 		}
 	}
-	r2, err := http.Get(ts.URL + "/metrics")
+
+	// OpenMetrics exposition, negotiated via Accept: same series plus
+	// bucket exemplars and the # EOF terminator.
+	omReq, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := io.ReadAll(r2.Body)
-	r2.Body.Close()
+	omReq.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	omResp, err := http.DefaultClient.Do(omReq)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if ct := omResp.Header.Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics scrape content-type = %q", ct)
+	}
+	raw, err := io.ReadAll(omResp.Body)
+	omResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseExposition(t, strings.NewReader(string(raw)), true)
+
+	// The exemplar on a pipeline-latency bucket must reference a trace the
+	// flight recorder can replay — that is the whole point of the link.
+	var traceID string
 	for _, line := range strings.Split(string(raw), "\n") {
 		if !strings.HasPrefix(line, MetricPipelineLatency+"_bucket") {
 			continue

@@ -44,7 +44,7 @@ func TestDebugEndpointsServeRejectionForensics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(sys, nil, WithFlightRecorder(8))
+	srv, err := New(sys, nil, WithFlightRecorder(8), WithDecisionEndpoints())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestTraceSamplingDisablesRecording(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(sys, nil, WithFlightRecorder(4), WithTraceSampling(0))
+	srv, err := New(sys, nil, WithFlightRecorder(4), WithTraceSampling(0), WithDecisionEndpoints())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,5 +192,65 @@ func TestTraceSamplingDisablesRecording(t *testing.T) {
 	}
 	if len(sums) != 0 {
 		t.Fatalf("sampling off still recorded %d decisions", len(sums))
+	}
+}
+
+// TestDecisionEndpointsOptIn pins the security default: without
+// WithDecisionEndpoints the flight-recorder routes are not mounted, so
+// verdicts and evidence are unreachable over HTTP.
+func TestDecisionEndpointsOptIn(t *testing.T) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 54, DisableField: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for _, path := range []string{DecisionsRoute, DecisionsJSONLRoute, TraceRoute + "some-id"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without opt-in = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestCustomTracerWithoutRecorderGetsServerRing: a caller-installed
+// tracer with no flight recorder must still feed the server's ring, or
+// the decision endpoints would silently serve empty results forever.
+func TestCustomTracerWithoutRecorderGetsServerRing(t *testing.T) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Tracer = telemetry.NewTracer(telemetry.TracerConfig{}) // no Recorder
+	srv, err := New(sys, nil, WithDecisionEndpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(55)))
+	genuine, err := attack.Genuine(victim, attack.Scenario{Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(ts.URL)
+	if _, err := c.Verify(genuine); err != nil {
+		t.Fatal(err)
+	}
+	sums, err := c.RecentDecisions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 {
+		t.Fatalf("custom recorder-less tracer recorded %d decisions, want 1", len(sums))
 	}
 }

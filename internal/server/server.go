@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,11 +38,12 @@ const (
 
 // Server wraps the pipeline behind HTTP.
 type Server struct {
-	system     *core.System
-	logger     *slog.Logger
-	registry   *telemetry.Registry
-	pprof      bool
-	metricsOff bool
+	system         *core.System
+	logger         *slog.Logger
+	registry       *telemetry.Registry
+	pprof          bool
+	metricsOff     bool
+	decisionsDebug bool
 
 	// Decision tracing: every sampled /verify request records an
 	// evidence-carrying span tree into the flight-recorder ring behind
@@ -84,9 +86,21 @@ func WithMetricsEndpoint(enabled bool) Option {
 
 // WithFlightRecorder sizes the decision flight-recorder ring (default
 // telemetry.DefFlightRecorderSize). The last n decision traces stay
-// queryable through /debug/decisions and /debug/trace/{id}.
+// queryable through FlightRecorder and — when WithDecisionEndpoints is
+// also set — /debug/decisions and /debug/trace/{id}.
 func WithFlightRecorder(n int) Option {
 	return func(s *Server) { s.flightSize = n }
+}
+
+// WithDecisionEndpoints mounts the flight-recorder debug endpoints
+// (/debug/decisions, /debug/decisions.jsonl, /debug/trace/{id}). Off by
+// default, like WithPprof: the retained traces carry biometric
+// verification verdicts and per-stage evidence, which must not be
+// reachable by anyone who can hit the serving listener unless the
+// operator opted in. Decisions are still recorded when unset; only the
+// HTTP surface goes away (read the ring via FlightRecorder).
+func WithDecisionEndpoints() Option {
+	return func(s *Server) { s.decisionsDebug = true }
 }
 
 // WithTraceSampling records span trees for approximately the given
@@ -148,6 +162,11 @@ func New(system *core.System, logger *slog.Logger, opts ...Option) (*Server, err
 		})
 	} else if rec := system.Tracer.Recorder(); rec != nil {
 		s.recorder = rec
+	} else {
+		// A caller-installed tracer without a recorder would leave the
+		// debug endpoints permanently empty; give it the server's ring so
+		// finished traces land where /debug/decisions reads them.
+		system.Tracer.AttachRecorder(s.recorder)
 	}
 	return s, nil
 }
@@ -167,9 +186,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/enroll", s.handleEnroll)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc(DecisionsRoute, s.handleDecisions)
-	mux.HandleFunc(DecisionsJSONLRoute, s.handleDecisionsJSONL)
-	mux.HandleFunc(TraceRoute, s.handleTrace)
+	if s.decisionsDebug {
+		mux.HandleFunc(DecisionsRoute, s.handleDecisions)
+		mux.HandleFunc(DecisionsJSONLRoute, s.handleDecisionsJSONL)
+		mux.HandleFunc(TraceRoute, s.handleTrace)
+	}
 	if !s.metricsOff {
 		mux.HandleFunc("/metrics", s.handleMetrics)
 	}
@@ -313,13 +334,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// wantsOpenMetrics reports whether the scraper's Accept header
+// negotiates the OpenMetrics exposition — the only format in which
+// histogram exemplars are legal. Anything else (including no header)
+// gets the classic exemplar-free text format, which every Prometheus
+// parser accepts.
+func wantsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mediaType) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.registry.Expose(w); err != nil {
+	var err error
+	if wantsOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", telemetry.OpenMetricsContentType)
+		err = s.registry.ExposeOpenMetrics(w)
+	} else {
+		w.Header().Set("Content-Type", telemetry.TextContentType)
+		err = s.registry.Expose(w)
+	}
+	if err != nil {
 		s.logger.Error("writing metrics", "err", err)
 	}
 }

@@ -23,7 +23,8 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(sys, nil)
+	// Decision endpoints are opt-in in production; tests exercise them.
+	srv, err := New(sys, nil, WithDecisionEndpoints())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,9 @@ package telemetry
 
 // The decision flight recorder: a lock-free ring of the last N finished
 // decision traces, complete with their evidence-carrying span trees. The
-// serving path only ever pays one atomic increment and one atomic pointer
-// store per decision; readers snapshot without blocking writers. The ring
+// serving path pays one atomic increment and one pointer CAS per decision
+// (retrying only when writers race on a wrapped slot); readers snapshot
+// without blocking writers. The ring
 // backs the server's /debug/decisions and /debug/trace/{id} endpoints and
 // the JSONL export consumed by cmd/voiceguard-trace.
 
@@ -132,8 +133,9 @@ func (r *TraceRecord) Summary() TraceSummary {
 const DefFlightRecorderSize = 128
 
 // FlightRecorder retains the last N finished decision traces in a
-// lock-free ring. Record is wait-free (one atomic add, one atomic
-// store); Snapshot and Find read the slots without blocking writers.
+// lock-free ring. Record is one atomic add plus a CAS that only retries
+// under slot contention; Snapshot and Find read the slots without
+// blocking writers.
 type FlightRecorder struct {
 	slots []atomic.Pointer[TraceRecord]
 	seq   atomic.Uint64
@@ -160,13 +162,26 @@ func (f *FlightRecorder) Cap() int {
 // full. The record's Seq field is stamped here; callers hand ownership
 // over and must not mutate the record afterwards. Nil recorder or record
 // is a no-op.
+//
+// Once the ring wraps, two concurrent Records with sequence numbers a
+// whole capacity apart target the same slot; the CAS loop keeps the
+// higher-Seq record so a slow old writer can never evict a newer trace.
 func (f *FlightRecorder) Record(r *TraceRecord) {
 	if f == nil || r == nil {
 		return
 	}
 	seq := f.seq.Add(1) - 1
 	r.Seq = seq
-	f.slots[int(seq%uint64(len(f.slots)))].Store(r)
+	slot := &f.slots[int(seq%uint64(len(f.slots)))]
+	for {
+		old := slot.Load()
+		if old != nil && old.Seq > seq {
+			return // slot already holds a newer wrap of this position
+		}
+		if slot.CompareAndSwap(old, r) {
+			return
+		}
+	}
 }
 
 // Snapshot returns the retained traces oldest-first. The returned records

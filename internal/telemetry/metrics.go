@@ -30,7 +30,7 @@ func (c *Counter) Add(n int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-func (c *Counter) write(w io.Writer, name, labels string) error {
+func (c *Counter) write(w io.Writer, name, labels string, _ bool) error {
 	_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
 	return err
 }
@@ -57,7 +57,7 @@ func (g *Gauge) Add(delta float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-func (g *Gauge) write(w io.Writer, name, labels string) error {
+func (g *Gauge) write(w io.Writer, name, labels string, _ bool) error {
 	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
 	return err
 }
@@ -211,18 +211,27 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-func (h *Histogram) write(w io.Writer, name, labels string) error {
+// write emits the histogram series. Exemplar suffixes are only legal in
+// the OpenMetrics exposition — the classic Prometheus text parser errors
+// on the trailing `#` — so they are gated on openMetrics.
+func (h *Histogram) write(w io.Writer, name, labels string, openMetrics bool) error {
+	suffix := func(i int) string {
+		if !openMetrics {
+			return ""
+		}
+		return h.exemplarSuffix(i)
+	}
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
-			name, mergeLabel(labels, "le", formatFloat(bound)), cum, h.exemplarSuffix(i)); err != nil {
+			name, mergeLabel(labels, "le", formatFloat(bound)), cum, suffix(i)); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
 	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, mergeLabel(labels, "le", "+Inf"),
-		cum, h.exemplarSuffix(len(h.bounds))); err != nil {
+		cum, suffix(len(h.bounds))); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum())); err != nil {

@@ -54,8 +54,10 @@ type family struct {
 // metric is one labeled series.
 type metric interface {
 	// write emits the series in Prometheus text format. name is the
-	// family name and labels the serialized label set ("" when unlabeled).
-	write(w io.Writer, name, labels string) error
+	// family name and labels the serialized label set ("" when
+	// unlabeled). openMetrics selects the OpenMetrics exposition, the
+	// only format in which exemplar suffixes are legal.
+	write(w io.Writer, name, labels string, openMetrics bool) error
 }
 
 // Registry is a set of named metric families. The zero value is not
@@ -204,20 +206,53 @@ func (r *Registry) snapshot() []familySnapshot {
 	return out
 }
 
-// Expose writes every registered series in the Prometheus text
+// TextContentType is the Content-Type of the classic Prometheus text
+// exposition served by Expose.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// OpenMetricsContentType is the Content-Type of the OpenMetrics
+// exposition served by ExposeOpenMetrics; scrapers negotiate it via the
+// Accept header.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Expose writes every registered series in the classic Prometheus text
 // exposition format (version 0.0.4), families in registration order.
+// The classic format has no exemplar syntax, so histogram exemplars are
+// omitted here; scrapers that want them negotiate ExposeOpenMetrics.
 func (r *Registry) Expose(w io.Writer) error {
+	return r.expose(w, false)
+}
+
+// ExposeOpenMetrics writes every registered series in the OpenMetrics
+// text exposition: counter families drop their `_total` suffix on
+// HELP/TYPE lines (samples keep it), histogram buckets carry their
+// exemplars, and the body ends with the mandatory `# EOF` terminator.
+func (r *Registry) ExposeOpenMetrics(w io.Writer) error {
+	if err := r.expose(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) expose(w io.Writer, openMetrics bool) error {
 	for _, f := range r.snapshot() {
+		famName := f.name
+		if openMetrics && f.kind == kindCounter {
+			// OpenMetrics names the counter family without the _total
+			// sample suffix.
+			famName = strings.TrimSuffix(famName, "_total")
+		}
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", famName, f.help); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", famName, f.kind); err != nil {
 			return err
 		}
 		for _, s := range f.series {
-			if err := s.m.write(w, f.name, s.labels); err != nil {
+			if err := s.m.write(w, f.name, s.labels, openMetrics); err != nil {
 				return err
 			}
 		}

@@ -424,6 +424,17 @@ func (t *Tracer) Recorder() *FlightRecorder {
 	return t.recorder
 }
 
+// AttachRecorder installs f as the tracer's flight recorder when it has
+// none, so finished traces become queryable after the fact; a recorder
+// the tracer was built with is kept. Call before the tracer serves
+// traffic — the field is read without synchronization by Finish.
+func (t *Tracer) AttachRecorder(f *FlightRecorder) {
+	if t == nil || t.recorder != nil {
+		return
+	}
+	t.recorder = f
+}
+
 // StartTrace opens a trace under the given request ID and returns its
 // root span, or nil when the tracer is nil or the sampler declines.
 func (t *Tracer) StartTrace(traceID, rootName string) *Span {

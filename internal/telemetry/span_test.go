@@ -305,8 +305,18 @@ func TestFlightRecorderConcurrentRecordSnapshot(t *testing.T) {
 	if got := rec.seq.Load(); got != writers*each {
 		t.Fatalf("sequence counter = %d, want %d", got, writers*each)
 	}
-	if len(rec.Snapshot()) != rec.Cap() {
+	final := rec.Snapshot()
+	if len(final) != rec.Cap() {
 		t.Fatalf("ring not full after %d records", writers*each)
+	}
+	// Retain-newest under wrap races: once every writer has returned, a
+	// slot must hold the highest-Seq record that targeted it, so nothing
+	// older than the last Cap() sequence numbers may survive.
+	for _, r := range final {
+		if r.Seq < uint64(writers*each-rec.Cap()) {
+			t.Errorf("stale record seq %d survived; retain-newest requires ≥ %d",
+				r.Seq, writers*each-rec.Cap())
+		}
 	}
 }
 

@@ -150,6 +150,53 @@ func TestExposeFormat(t *testing.T) {
 	}
 }
 
+// TestExposeFormatsSplitOnExemplars pins the format contract the /metrics
+// content negotiation relies on: the classic text exposition stays
+// exemplar-free (a standard Prometheus text parser errors on the trailing
+// `#`), while ExposeOpenMetrics carries the exemplars, strips counter
+// `_total` suffixes on metadata lines, and terminates with `# EOF`.
+func TestExposeFormatsSplitOnExemplars(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("vg_requests_total", Labels{"route": "/verify"})
+	c.Add(2)
+	r.SetHelp("vg_requests_total", "requests by route")
+	h := r.Histogram("vg_latency_seconds", []float64{0.1, 1}, nil)
+	h.ObserveExemplar(0.05, "trace-1")
+
+	var classic strings.Builder
+	if err := r.Expose(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(classic.String(), " # {") {
+		t.Errorf("classic exposition carries exemplar syntax:\n%s", classic.String())
+	}
+	if strings.Contains(classic.String(), "# EOF") {
+		t.Errorf("classic exposition carries the OpenMetrics terminator:\n%s", classic.String())
+	}
+	if !strings.Contains(classic.String(), "# TYPE vg_requests_total counter\n") {
+		t.Errorf("classic exposition renamed the counter family:\n%s", classic.String())
+	}
+
+	var om strings.Builder
+	if err := r.ExposeOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	for _, want := range []string{
+		"# HELP vg_requests requests by route\n",
+		"# TYPE vg_requests counter\n",
+		`vg_requests_total{route="/verify"} 2` + "\n",
+		`# {trace_id="trace-1"} 0.05`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics exposition missing %q\ngot:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition not terminated by # EOF:\n%s", out)
+	}
+}
+
 func TestConcurrentObservation(t *testing.T) {
 	r := NewRegistry()
 	const workers, per = 16, 1000
