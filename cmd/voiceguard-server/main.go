@@ -11,6 +11,7 @@
 //	voiceguard-server -addr :8443
 //	voiceguard-server -addr :8443 -asv -enroll victim:seed=17
 //	voiceguard-server -addr :8443 -pprof -decisions -metrics=false
+//	voiceguard-server -addr :8443 -verify-timeout 2s -max-inflight 16
 package main
 
 import (
@@ -34,40 +35,57 @@ import (
 	"voiceguard/internal/speech"
 )
 
+// config carries the parsed command line into run.
+type config struct {
+	addr          string
+	seed          int64
+	withASV       bool
+	enrollSpec    string
+	metrics       bool
+	withPprof     bool
+	decisions     bool
+	flight        int
+	traceSample   float64
+	verifyTimeout time.Duration
+	maxInflight   int
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8443", "listen address")
-	seed := flag.Int64("seed", 1, "training seed")
-	asv := flag.Bool("asv", false, "train and attach the ASV (speaker-identity) stage")
-	enroll := flag.String("enroll", "", "comma-separated user:seed=N pairs to enroll synthetic users")
-	metrics := flag.Bool("metrics", true, "expose the GET /metrics Prometheus endpoint")
-	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-	decisions := flag.Bool("decisions", false, "mount the decision flight-recorder endpoints under /debug/ (they expose verdicts and evidence)")
-	flight := flag.Int("flight", 0, "decision flight-recorder capacity (0 = default)")
-	traceSample := flag.Float64("trace-sample", 1, "fraction of requests recording span traces [0, 1]")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8443", "listen address")
+	flag.Int64Var(&cfg.seed, "seed", 1, "training seed")
+	flag.BoolVar(&cfg.withASV, "asv", false, "train and attach the ASV (speaker-identity) stage")
+	flag.StringVar(&cfg.enrollSpec, "enroll", "", "comma-separated user:seed=N pairs to enroll synthetic users")
+	flag.BoolVar(&cfg.metrics, "metrics", true, "expose the GET /metrics Prometheus endpoint")
+	flag.BoolVar(&cfg.withPprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.BoolVar(&cfg.decisions, "decisions", false, "mount the decision flight-recorder endpoints under /debug/ (they expose verdicts and evidence)")
+	flag.IntVar(&cfg.flight, "flight", 0, "decision flight-recorder capacity (0 = default)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 1, "fraction of requests recording span traces [0, 1]")
+	flag.DurationVar(&cfg.verifyTimeout, "verify-timeout", 0, "per-request verification deadline; exceeded attempts answer 503 (0 = unbounded)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "concurrent verification cap; excess requests are shed with 429 (0 = unbounded)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *asv, *enroll, *metrics, *withPprof, *decisions, *flight, *traceSample, logger); err != nil {
+	if err := run(ctx, cfg, logger); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, seed int64, withASV bool, enrollSpec string,
-	metrics, withPprof, decisions bool, flight int, traceSample float64, logger *slog.Logger) error {
-	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: seed})
+func run(ctx context.Context, cfg config, logger *slog.Logger) error {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: cfg.seed})
 	if err != nil {
 		return fmt.Errorf("building pipeline: %w", err)
 	}
-	if withASV {
-		verifier, err := trainASV(seed)
+	if cfg.withASV {
+		verifier, err := trainASV(cfg.seed)
 		if err != nil {
 			return fmt.Errorf("training ASV: %w", err)
 		}
-		if enrollSpec != "" {
-			if err := enrollUsers(verifier, enrollSpec); err != nil {
+		if cfg.enrollSpec != "" {
+			if err := enrollUsers(verifier, cfg.enrollSpec); err != nil {
 				return fmt.Errorf("enrolling users: %w", err)
 			}
 		}
@@ -75,15 +93,21 @@ func run(ctx context.Context, addr string, seed int64, withASV bool, enrollSpec 
 		logger.Info("ASV stage attached", "backend", verifier.Backend())
 	}
 	opts := []server.Option{
-		server.WithMetricsEndpoint(metrics),
-		server.WithFlightRecorder(flight),
-		server.WithTraceSampling(traceSample),
+		server.WithMetricsEndpoint(cfg.metrics),
+		server.WithFlightRecorder(cfg.flight),
+		server.WithTraceSampling(cfg.traceSample),
 	}
-	if withPprof {
+	if cfg.withPprof {
 		opts = append(opts, server.WithPprof())
 	}
-	if decisions {
+	if cfg.decisions {
 		opts = append(opts, server.WithDecisionEndpoints())
+	}
+	if cfg.verifyTimeout > 0 {
+		opts = append(opts, server.WithVerifyTimeout(cfg.verifyTimeout))
+	}
+	if cfg.maxInflight > 0 {
+		opts = append(opts, server.WithMaxInflightVerifies(cfg.maxInflight))
 	}
 	srv, err := server.New(sys, logger, opts...)
 	if err != nil {
@@ -91,11 +115,12 @@ func run(ctx context.Context, addr string, seed int64, withASV bool, enrollSpec 
 	}
 	ready := make(chan string, 1)
 	go func() {
-		logger.Info("listening", "addr", <-ready, "metrics", metrics,
-			"pprof", withPprof, "decisions", decisions)
+		logger.Info("listening", "addr", <-ready, "metrics", cfg.metrics,
+			"pprof", cfg.withPprof, "decisions", cfg.decisions,
+			"verify_timeout", cfg.verifyTimeout, "max_inflight", cfg.maxInflight)
 	}()
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe(addr, ready) }()
+	go func() { errCh <- srv.ListenAndServe(cfg.addr, ready) }()
 	select {
 	case err := <-errCh:
 		return err
@@ -111,7 +136,8 @@ func run(ctx context.Context, addr string, seed int64, withASV bool, enrollSpec 
 		}
 		st := srv.Stats()
 		logger.Info("stopped", "requests", st.Requests, "accepted", st.Accepted,
-			"rejected", st.Rejected, "errors", st.Errors)
+			"rejected", st.Rejected, "errors", st.Errors,
+			"deadline_exceeded", st.DeadlineExceeded, "shed", st.Shed)
 		return nil
 	}
 }

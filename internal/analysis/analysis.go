@@ -23,7 +23,12 @@
 //     reliably catches;
 //   - spanclose: telemetry spans from StartSpan/StartTrace must reach an
 //     End or be handed onward — a forgotten span corrupts the duration
-//     evidence the flight recorder retains for threshold calibration.
+//     evidence the flight recorder retains for threshold calibration;
+//   - ctxfirst: exported functions taking a context.Context must take it
+//     first, and library packages must not mint fresh roots with
+//     context.Background()/TODO() — a fresh root on the serving path
+//     detaches the cascade from the request deadline that load shedding
+//     depends on.
 //
 // A finding is suppressed by a pragma comment on the same line or on the
 // line directly above:
@@ -104,6 +109,7 @@ func All() []*Analyzer {
 		UnitSuffixAnalyzer,
 		PoolEscapeAnalyzer,
 		SpanCloseAnalyzer,
+		CtxFirstAnalyzer,
 	}
 }
 

@@ -14,6 +14,7 @@ func TestStageInstrumentFixture(t *testing.T) {
 func TestUnitSuffixFixture(t *testing.T) { checkFixture(t, UnitSuffixAnalyzer, "unitsuffix") }
 func TestPoolEscapeFixture(t *testing.T) { checkFixture(t, PoolEscapeAnalyzer, "poolescape") }
 func TestSpanCloseFixture(t *testing.T)  { checkFixture(t, SpanCloseAnalyzer, "spanclose") }
+func TestCtxFirstFixture(t *testing.T)   { checkFixture(t, CtxFirstAnalyzer, "ctxfirst") }
 
 // TestLoadAndRunRepoPackage drives the production loader end to end over
 // a real repo package and checks the tree it guards stays clean — the

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirstAnalyzer enforces the repo's context-propagation discipline,
+// introduced when deadlines were threaded through the verification
+// cascade. Two rules:
+//
+//  1. An exported function or method taking a context.Context must take
+//     it as its first parameter — the stdlib convention that lets every
+//     call site thread cancellation without reading the signature twice.
+//
+//  2. Library packages must not mint fresh root contexts with
+//     context.Background() or context.TODO(): on the serving path a
+//     fresh root silently detaches the work from the request's deadline,
+//     which is exactly the bug class the cascade's load-shedding relies
+//     on not having. Roots belong in package main (and in tests, which
+//     the linter does not load). Deliberate compatibility wrappers
+//     document themselves with //lint:allow ctxfirst.
+var CtxFirstAnalyzer = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter of exported functions; no context.Background()/TODO() outside main",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Name.IsExported() {
+				checkCtxPosition(pass, fd)
+			}
+			if fd.Body != nil && pass.Pkg.Name() != "main" {
+				checkNoFreshRoots(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCtxPosition flags an exported function whose context.Context
+// parameter is not the first.
+func checkCtxPosition(pass *Pass, fd *ast.FuncDecl) {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 1; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			pass.Reportf(fd.Name.Pos(),
+				"%s takes context.Context as parameter %d; context must come first",
+				fd.Name.Name, i+1)
+			return
+		}
+	}
+}
+
+// checkNoFreshRoots flags context.Background() and context.TODO() calls
+// inside a library function body.
+func checkNoFreshRoots(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() mints a fresh root in library code; thread the caller's context instead",
+			sel.Sel.Name)
+		return true
+	})
+}
+
+// isContextType reports whether t is (an alias of) context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

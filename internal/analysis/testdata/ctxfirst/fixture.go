@@ -1,0 +1,48 @@
+// Package fixture exercises the ctxfirst analyzer: exported functions
+// must take context.Context first, and library code must not mint fresh
+// roots with context.Background()/TODO().
+package fixture
+
+import "context"
+
+// VerifyFirst is conventional: context first, everything else after.
+func VerifyFirst(ctx context.Context, user string) error {
+	return ctx.Err()
+}
+
+// VerifyBuried takes its context second.
+func VerifyBuried(user string, ctx context.Context) error { // want `VerifyBuried takes context.Context as parameter 2; context must come first`
+	return ctx.Err()
+}
+
+type handler struct{}
+
+// Handle buries the context behind two other parameters.
+func (handler) Handle(name string, n int, ctx context.Context) error { // want `Handle takes context.Context as parameter 3; context must come first`
+	return ctx.Err()
+}
+
+// unexportedBuried is internal plumbing; position is not enforced, only
+// fresh roots are.
+func unexportedBuried(user string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// NoContext takes no context at all and is fine.
+func NoContext(user string) string { return user }
+
+func freshRoot() context.Context {
+	return context.Background() // want `context.Background\(\) mints a fresh root in library code; thread the caller's context instead`
+}
+
+func freshTODO() error {
+	ctx := context.TODO() // want `context.TODO\(\) mints a fresh root in library code; thread the caller's context instead`
+	return ctx.Err()
+}
+
+// CompatWrapper is the sanctioned escape hatch: a deliberate
+// compatibility entry point documents itself with a pragma.
+func CompatWrapper(user string) error {
+	//lint:allow ctxfirst seed-compatible wrapper; callers with deadlines use VerifyFirst
+	return VerifyFirst(context.Background(), user)
+}

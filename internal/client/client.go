@@ -3,15 +3,30 @@
 // with the wire protocol, uploads it to the verification server and
 // reports the decision with timing — the measurements behind the paper's
 // Fig. 15 authentication-time comparison.
+//
+// Every upload has a context-accepting variant (VerifyContext,
+// VerifyVoiceprintContext, EnrollContext) so callers can bound an
+// authentication attempt end to end; the context-free methods are
+// compatibility wrappers that never time out client-side. A Client with
+// a RetryPolicy transparently retries transport failures and the
+// server's overload answers (429, 503) with jittered exponential
+// backoff, reusing one trace ID across attempts so the server's flight
+// recorder shows the retries as a single logical attempt.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"mime"
 	"net/http"
 	"net/url"
+	"strconv"
+	"strings"
 	"time"
 
 	"voiceguard/internal/audio"
@@ -31,6 +46,11 @@ type Client struct {
 	BaseURL string
 	// HTTP is the transport; nil uses a default with a sane timeout.
 	HTTP *http.Client
+	// Retry, when non-nil, retries transport errors and the server's
+	// overload answers (429 Too Many Requests, 503 Service Unavailable)
+	// with jittered exponential backoff. Nil preserves the seed behavior:
+	// one attempt, every failure surfaced.
+	Retry *RetryPolicy
 }
 
 // New returns a client for the given server.
@@ -41,15 +61,109 @@ func New(baseURL string) *Client {
 	}
 }
 
+// ServerError is a non-2xx reply from the verification server. When the
+// server answered with its JSON error envelope, Message carries the
+// envelope's error field and TraceID the ID the attempt ran under;
+// otherwise (a proxy's HTML 502, a load balancer's plain-text 504)
+// Message holds a truncated snippet of the raw body, so the caller sees
+// what the wire actually said instead of a JSON decoding error.
+type ServerError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error text or a body snippet.
+	Message string
+	// TraceID is the request ID the failed exchange ran under.
+	TraceID string
+	// RetryAfter is the server's Retry-After hint (0 when absent).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
+}
+
+// Temporary reports whether the failure is worth retrying: the server
+// shed load (429) or abandoned the attempt at its deadline (503). All
+// other statuses describe this request, which a resend would not fix.
+func (e *ServerError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// RetryPolicy configures automatic retry of verification uploads.
+// Retries fire only on transport errors and ServerError.Temporary()
+// replies; decisions (accept or reject), 4xx request errors and context
+// cancellation are never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first included (values
+	// below 1 mean 1 — no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles each
+	// further retry. 0 uses 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 uses 2s.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is a sane interactive-authentication policy: three
+// tries over roughly a third of a second.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// backoff returns the jittered delay before retry number retry (1-based),
+// honoring the server's Retry-After hint when it is longer.
+func (p *RetryPolicy) backoff(retry int, last error) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	d := base << (retry - 1)
+	if d > maxDelay || d <= 0 {
+		d = maxDelay
+	}
+	// Full jitter in [d/2, d): desynchronizes a fleet of clients that were
+	// all shed by the same overloaded server at the same instant.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	var se *ServerError
+	if errors.As(last, &se) && se.RetryAfter > d {
+		d = se.RetryAfter
+	}
+	return d
+}
+
+// retryable reports whether err is worth another attempt: a transport
+// failure (the request may never have reached the server) or a temporary
+// server answer. Context cancellation is the caller's deadline, not a
+// server fault — it always stops the loop.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	// Anything else from http.Client.Do is a transport error.
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
 // Result is the outcome of one authentication attempt.
 type Result struct {
 	// Response is the server's decision.
 	Response *protocol.VerifyResponse
 	// TraceID is the request ID the attempt ran under: generated
-	// client-side, sent as X-Request-ID, echoed by the server, stamped
-	// on the decision and the server's log line.
+	// client-side, sent as X-Request-ID (identically on every retry of
+	// the same logical attempt), echoed by the server, stamped on the
+	// decision and the server's log line.
 	TraceID string
-	// Elapsed is the end-to-end time: encode + upload + verify + reply.
+	// Elapsed is the end-to-end time: encode + upload + verify + reply,
+	// including any retries.
 	Elapsed time.Duration
 	// ServerElapsed is the pipeline time the server reported, so callers
 	// can split transport from processing (the paper's Fig. 15 only had
@@ -57,35 +171,124 @@ type Result struct {
 	ServerElapsed time.Duration
 	// PayloadBytes is the compressed upload size.
 	PayloadBytes int
+	// Attempts is how many uploads the attempt took (1 without retries).
+	Attempts int
 }
 
-// post uploads a gzip payload under a fresh trace ID and returns the
-// response plus the ID the exchange ran under (the server's echo wins
-// when present, so a proxy-assigned ID is surfaced faithfully).
-func (c *Client) post(path string, payload []byte) (*http.Response, string, error) {
-	httpClient := c.HTTP
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
+// httpClient returns the configured transport or the default.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
 	}
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// maxErrorBodyBytes bounds how much of a non-JSON error reply is kept as
+// the error snippet.
+const maxErrorBodyBytes = 256
+
+// isJSONResponse reports whether the reply declares a JSON body.
+func isJSONResponse(resp *http.Response) bool {
+	mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	return err == nil && (mt == "application/json" || strings.HasSuffix(mt, "+json"))
+}
+
+// errorFromResponse converts a non-2xx reply into a *ServerError,
+// consuming the body. The server's JSON envelope is decoded for its
+// error field; anything else (a proxy's HTML error page) becomes a
+// truncated snippet so the failure stays legible.
+func errorFromResponse(resp *http.Response, traceID string) *ServerError {
+	se := &ServerError{Status: resp.StatusCode, TraceID: traceID}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+		se.RetryAfter = time.Duration(ra) * time.Second
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBodyBytes))
+	if isJSONResponse(resp) {
+		var envelope struct {
+			Error   string `json:"error"`
+			TraceID string `json:"trace_id"`
+		}
+		if err := json.Unmarshal(body, &envelope); err == nil && envelope.Error != "" {
+			se.Message = envelope.Error
+			if envelope.TraceID != "" {
+				se.TraceID = envelope.TraceID
+			}
+			return se
+		}
+	}
+	snippet := strings.TrimSpace(string(body))
+	if snippet == "" {
+		snippet = "(empty body)"
+	}
+	se.Message = fmt.Sprintf("non-JSON reply: %q", snippet)
+	return se
+}
+
+// postOnce uploads a gzip payload under the given trace ID and decodes
+// the JSON reply into out. Non-2xx statuses return a *ServerError; the
+// body is never parsed as a success document without checking the status
+// first.
+func (c *Client) postOnce(ctx context.Context, path, traceID string, payload []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
 	if err != nil {
-		return nil, "", fmt.Errorf("client: building request: %w", err)
+		return fmt.Errorf("client: building request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/gzip")
-	traceID := telemetry.NewTraceID()
 	req.Header.Set(requestIDHeader, traceID)
-	resp, err := httpClient.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, "", fmt.Errorf("client: uploading to %s: %w", path, err)
+		return fmt.Errorf("client: uploading to %s: %w", path, err)
 	}
-	if echoed := resp.Header.Get(requestIDHeader); echoed != "" {
-		traceID = echoed
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("client: %s failed: %w", path, errorFromResponse(resp, traceID))
 	}
-	return resp, traceID, nil
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
 }
 
-// Verify uploads a session and waits for the decision.
+// postRetry runs postOnce under the client's retry policy, reusing one
+// trace ID across every attempt so the server sees the retries as a
+// single logical attempt. It returns the trace ID, the attempt count and
+// the last error.
+func (c *Client) postRetry(ctx context.Context, path string, payload []byte, out any) (string, int, error) {
+	traceID := telemetry.NewTraceID()
+	attempts := 1
+	if c.Retry != nil && c.Retry.MaxAttempts > 1 {
+		attempts = c.Retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			select {
+			case <-time.After(c.Retry.backoff(attempt-1, lastErr)):
+			case <-ctx.Done():
+				return traceID, attempt - 1, fmt.Errorf("client: retry abandoned: %w", ctx.Err())
+			}
+		}
+		lastErr = c.postOnce(ctx, path, traceID, payload, out)
+		if lastErr == nil {
+			return traceID, attempt, nil
+		}
+		if !retryable(lastErr) {
+			return traceID, attempt, lastErr
+		}
+	}
+	return traceID, attempts, fmt.Errorf("client: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// Verify uploads a session and waits for the decision. It is the
+// no-deadline compatibility form of VerifyContext.
 func (c *Client) Verify(session *core.SessionData) (*Result, error) {
+	//lint:allow ctxfirst seed-compatible entry point; deadline-aware callers use VerifyContext
+	return c.VerifyContext(context.Background(), session)
+}
+
+// VerifyContext uploads a session under ctx and waits for the decision.
+// The context bounds the whole attempt including retries.
+func (c *Client) VerifyContext(ctx context.Context, session *core.SessionData) (*Result, error) {
 	req, err := protocol.FromSession(session, ranging.DefaultPilotHz)
 	if err != nil {
 		return nil, fmt.Errorf("client: packaging session: %w", err)
@@ -95,14 +298,10 @@ func (c *Client) Verify(session *core.SessionData) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	resp, traceID, err := c.post("/verify", payload)
+	var vr protocol.VerifyResponse
+	traceID, attempts, err := c.postRetry(ctx, "/verify", payload, &vr)
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	var vr protocol.VerifyResponse
-	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
-		return nil, fmt.Errorf("client: decoding response: %w", err)
 	}
 	return &Result{
 		Response:      &vr,
@@ -110,12 +309,20 @@ func (c *Client) Verify(session *core.SessionData) (*Result, error) {
 		Elapsed:       time.Since(start),
 		ServerElapsed: time.Duration(vr.ElapsedUS) * time.Microsecond,
 		PayloadBytes:  len(payload),
+		Attempts:      attempts,
 	}, nil
 }
 
 // Enroll registers a user with the server's ASV stage from recorded
-// enrollment sessions.
+// enrollment sessions. It is the no-deadline compatibility form of
+// EnrollContext.
 func (c *Client) Enroll(user string, sessions [][]*audio.Signal) error {
+	//lint:allow ctxfirst seed-compatible entry point; deadline-aware callers use EnrollContext
+	return c.EnrollContext(context.Background(), user, sessions)
+}
+
+// EnrollContext registers a user under ctx.
+func (c *Client) EnrollContext(ctx context.Context, user string, sessions [][]*audio.Signal) error {
 	req, err := protocol.EnrollFromAudio(user, sessions)
 	if err != nil {
 		return fmt.Errorf("client: packaging enrollment: %w", err)
@@ -124,14 +331,9 @@ func (c *Client) Enroll(user string, sessions [][]*audio.Signal) error {
 	if err != nil {
 		return fmt.Errorf("client: encoding enrollment: %w", err)
 	}
-	resp, _, err := c.post("/enroll", payload)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
 	var er protocol.EnrollResponse
-	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
-		return fmt.Errorf("client: decoding enrollment response: %w", err)
+	if _, _, err := c.postRetry(ctx, "/enroll", payload, &er); err != nil {
+		return err
 	}
 	if !er.OK {
 		return fmt.Errorf("client: enrollment rejected: %s", er.Error)
@@ -139,13 +341,43 @@ func (c *Client) Enroll(user string, sessions [][]*audio.Signal) error {
 	return nil
 }
 
+// VerifyVoiceprint uploads a voice-only attempt to the baseline endpoint
+// (the Fig. 15 WeChat-style comparison scheme). It is the no-deadline
+// compatibility form of VerifyVoiceprintContext.
+func (c *Client) VerifyVoiceprint(user string, voice *audio.Signal) (*Result, error) {
+	//lint:allow ctxfirst seed-compatible entry point; deadline-aware callers use VerifyVoiceprintContext
+	return c.VerifyVoiceprintContext(context.Background(), user, voice)
+}
+
+// VerifyVoiceprintContext uploads a voice-only attempt under ctx.
+func (c *Client) VerifyVoiceprintContext(ctx context.Context, user string, voice *audio.Signal) (*Result, error) {
+	req, err := protocol.VoiceprintFromAudio(user, voice)
+	if err != nil {
+		return nil, fmt.Errorf("client: packaging voiceprint: %w", err)
+	}
+	start := time.Now()
+	payload, err := protocol.EncodeVoiceprint(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding voiceprint: %w", err)
+	}
+	var vr protocol.VerifyResponse
+	traceID, attempts, err := c.postRetry(ctx, "/voiceprint", payload, &vr)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Response:      &vr,
+		TraceID:       traceID,
+		Elapsed:       time.Since(start),
+		ServerElapsed: time.Duration(vr.ElapsedUS) * time.Microsecond,
+		PayloadBytes:  len(payload),
+		Attempts:      attempts,
+	}, nil
+}
+
 // get issues a GET to a server debug endpoint and fails on non-200.
 func (c *Client) get(path string) (*http.Response, error) {
-	httpClient := c.HTTP
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
-	}
-	resp, err := httpClient.Get(c.BaseURL + path)
+	resp, err := c.httpClient().Get(c.BaseURL + path)
 	if err != nil {
 		return nil, fmt.Errorf("client: fetching %s: %w", path, err)
 	}
@@ -199,34 +431,4 @@ func (c *Client) DumpDecisionsJSONL(w io.Writer) error {
 		return fmt.Errorf("client: streaming decision JSONL: %w", err)
 	}
 	return nil
-}
-
-// VerifyVoiceprint uploads a voice-only attempt to the baseline endpoint
-// (the Fig. 15 WeChat-style comparison scheme).
-func (c *Client) VerifyVoiceprint(user string, voice *audio.Signal) (*Result, error) {
-	req, err := protocol.VoiceprintFromAudio(user, voice)
-	if err != nil {
-		return nil, fmt.Errorf("client: packaging voiceprint: %w", err)
-	}
-	start := time.Now()
-	payload, err := protocol.EncodeVoiceprint(req)
-	if err != nil {
-		return nil, fmt.Errorf("client: encoding voiceprint: %w", err)
-	}
-	resp, traceID, err := c.post("/voiceprint", payload)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var vr protocol.VerifyResponse
-	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
-		return nil, fmt.Errorf("client: decoding voiceprint response: %w", err)
-	}
-	return &Result{
-		Response:      &vr,
-		TraceID:       traceID,
-		Elapsed:       time.Since(start),
-		ServerElapsed: time.Duration(vr.ElapsedUS) * time.Microsecond,
-		PayloadBytes:  len(payload),
-	}, nil
 }

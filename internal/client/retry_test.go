@@ -1,0 +1,309 @@
+package client
+
+// Fault-injection tests for the client's honest error surfacing and
+// retry loop: a flaky transport that drops the first attempts, a proxy
+// answering with an HTML error page, and the server's structured 429/503
+// envelopes.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/core"
+	"voiceguard/internal/speech"
+)
+
+// genuineSession builds an uploadable genuine session for test seed.
+func genuineSession(t *testing.T, seed int64) *core.SessionData {
+	t.Helper()
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(seed)))
+	session, err := attack.Genuine(victim, attack.Scenario{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return session
+}
+
+// flakyTransport fails the first failures requests with a transport
+// error, then forwards to the real transport. It also records every
+// trace ID it saw, so tests can prove retries reuse one ID.
+type flakyTransport struct {
+	failures int32
+	seen     []string
+	mu       chan struct{} // 1-token semaphore guarding seen
+}
+
+func newFlakyTransport(failures int32) *flakyTransport {
+	ft := &flakyTransport{failures: failures, mu: make(chan struct{}, 1)}
+	ft.mu <- struct{}{}
+	return ft
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	<-f.mu
+	f.seen = append(f.seen, req.Header.Get(requestIDHeader))
+	f.mu <- struct{}{}
+	if atomic.AddInt32(&f.failures, -1) >= 0 {
+		return nil, errors.New("injected: connection reset by peer")
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func (f *flakyTransport) traceIDs() []string {
+	<-f.mu
+	defer func() { f.mu <- struct{}{} }()
+	return append([]string(nil), f.seen...)
+}
+
+func fastRetry(attempts int) *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// TestRetrySucceedsAfterTransportFaults drives a verify through a
+// transport that drops the first two attempts: the third succeeds, the
+// result reports three attempts, and every attempt carried the same
+// trace ID.
+func TestRetrySucceedsAfterTransportFaults(t *testing.T) {
+	url := testServerURL(t)
+	ft := newFlakyTransport(2)
+	c := New(url)
+	c.HTTP = &http.Client{Transport: ft, Timeout: 30 * time.Second}
+	c.Retry = fastRetry(3)
+
+	res, err := c.Verify(genuineSession(t, 31))
+	if err != nil {
+		t.Fatalf("verify with retry: %v", err)
+	}
+	if !res.Response.Accepted {
+		t.Errorf("genuine rejected: %+v", res.Response)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", res.Attempts)
+	}
+	ids := ft.traceIDs()
+	if len(ids) != 3 {
+		t.Fatalf("transport saw %d requests, want 3", len(ids))
+	}
+	for i, id := range ids {
+		if id == "" || id != ids[0] {
+			t.Errorf("attempt %d trace ID %q; all attempts must reuse %q", i+1, id, ids[0])
+		}
+	}
+	if res.TraceID != ids[0] {
+		t.Errorf("Result.TraceID = %q, transport saw %q", res.TraceID, ids[0])
+	}
+}
+
+// TestRetryGivesUpAfterMaxAttempts checks that a persistently dead
+// transport exhausts the policy and the final error says how many tries
+// were made.
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	ft := newFlakyTransport(100)
+	c := New("http://127.0.0.1:1")
+	c.HTTP = &http.Client{Transport: ft, Timeout: time.Second}
+	c.Retry = fastRetry(3)
+
+	_, err := c.Verify(genuineSession(t, 32))
+	if err == nil {
+		t.Fatal("expected failure through dead transport")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Errorf("err = %v, want attempt count surfaced", err)
+	}
+	if got := len(ft.traceIDs()); got != 3 {
+		t.Errorf("transport saw %d attempts, want 3", got)
+	}
+}
+
+// TestNoRetryWithoutPolicy pins the seed behavior: a nil Retry means one
+// attempt, full stop.
+func TestNoRetryWithoutPolicy(t *testing.T) {
+	ft := newFlakyTransport(1)
+	c := New("http://127.0.0.1:1")
+	c.HTTP = &http.Client{Transport: ft, Timeout: time.Second}
+
+	if _, err := c.Verify(genuineSession(t, 33)); err == nil {
+		t.Fatal("expected transport error")
+	}
+	if got := len(ft.traceIDs()); got != 1 {
+		t.Errorf("transport saw %d attempts, want exactly 1", got)
+	}
+}
+
+// TestNonJSONErrorSurfacedAsSnippet: a proxy's HTML 502 must surface as
+// a readable ServerError with a body snippet, not as a JSON syntax error
+// like "invalid character '<' looking for beginning of value".
+func TestNonJSONErrorSurfacedAsSnippet(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		w.WriteHeader(http.StatusBadGateway)
+		if _, err := w.Write([]byte("<html><body><h1>502 Bad Gateway</h1></body></html>")); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	_, err := New(ts.URL).Verify(genuineSession(t, 34))
+	if err == nil {
+		t.Fatal("expected error from 502")
+	}
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *ServerError", err, err)
+	}
+	if se.Status != http.StatusBadGateway {
+		t.Errorf("Status = %d", se.Status)
+	}
+	if !strings.Contains(se.Message, "502 Bad Gateway") {
+		t.Errorf("Message = %q, want body snippet surfaced", se.Message)
+	}
+	if strings.Contains(err.Error(), "invalid character") {
+		t.Errorf("err = %v leaks a JSON decoding failure", err)
+	}
+}
+
+// TestServerEnvelopeSurfaced: the server's own JSON error envelope must
+// come through verbatim with its trace ID and Retry-After hint.
+func TestServerEnvelopeSurfaced(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		if _, err := w.Write([]byte(`{"error":"overloaded: 16 verifications already in flight","trace_id":"srv-trace-9"}`)); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	_, err := New(ts.URL).Verify(genuineSession(t, 35))
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ServerError", err)
+	}
+	if se.Status != http.StatusTooManyRequests || !se.Temporary() {
+		t.Errorf("Status = %d, Temporary = %v", se.Status, se.Temporary())
+	}
+	if se.Message != "overloaded: 16 verifications already in flight" {
+		t.Errorf("Message = %q", se.Message)
+	}
+	if se.TraceID != "srv-trace-9" {
+		t.Errorf("TraceID = %q, want the server's envelope ID", se.TraceID)
+	}
+	if se.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v", se.RetryAfter)
+	}
+}
+
+// TestRetryOn503ThenSuccess: the server sheds the first attempt with a
+// structured 503; the retry succeeds. Decisions are never retried.
+func TestRetryOn503ThenSuccess(t *testing.T) {
+	url := testServerURL(t)
+	var rejected atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rejected.Add(1) == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if _, err := w.Write([]byte(`{"error":"verification abandoned: deadline exceeded","trace_id":"x"}`)); err != nil {
+				t.Error(err)
+			}
+			return
+		}
+		// Forward to the real server once the fault window passes.
+		proxyReq, err := http.NewRequest(r.Method, url+r.URL.Path, r.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		proxyReq.Header = r.Header
+		resp, err := http.DefaultTransport.RoundTrip(proxyReq)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL)
+	c.Retry = fastRetry(3)
+	res, err := c.Verify(genuineSession(t, 36))
+	if err != nil {
+		t.Fatalf("verify through flaky proxy: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (one 503, one success)", res.Attempts)
+	}
+	if !res.Response.Accepted {
+		t.Errorf("genuine rejected: %+v", res.Response)
+	}
+}
+
+// TestNo422Retry: a 422 REJECT-shaped failure is about this request, not
+// the server's health — it must not be retried.
+func TestNo422Retry(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		if _, err := w.Write([]byte(`{"error":"rebuilding session: bad sweep"}`)); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL)
+	c.Retry = fastRetry(5)
+	_, err := c.Verify(genuineSession(t, 37))
+	var se *ServerError
+	if !errors.As(err, &se) || se.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("err = %v, want 422 ServerError", err)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server hit %d times; 422 must not be retried", hits.Load())
+	}
+}
+
+// TestVerifyContextCancellationStopsRetry: the caller's context beats the
+// retry loop — cancellation mid-backoff returns promptly and is never
+// itself retried.
+func TestVerifyContextCancellationStopsRetry(t *testing.T) {
+	ft := newFlakyTransport(100)
+	c := New("http://127.0.0.1:1")
+	c.HTTP = &http.Client{Transport: ft, Timeout: time.Second}
+	c.Retry = &RetryPolicy{MaxAttempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	session := genuineSession(t, 38)
+	go func() {
+		_, err := c.VerifyContext(ctx, session)
+		done <- err
+	}()
+	// First attempt fails fast; the loop then parks in an hour-long
+	// backoff, which cancellation must cut short.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt the retry backoff")
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"voiceguard/internal/parallel"
@@ -26,6 +28,13 @@ type System struct {
 	// and worker-block children below. Nil disables tracing at the cost
 	// of one pointer test per call.
 	Tracer *telemetry.Tracer
+	// StageHook, when set, runs at the start of every stage verification
+	// with the request context and the stage about to execute. It is the
+	// fault-injection seam the deadline and load-shedding tests use to
+	// make a stage artificially slow or hung (a hook that selects on
+	// ctx.Done simulates a stalled sensor back-end); production
+	// deployments leave it nil.
+	StageHook func(ctx context.Context, st Stage)
 }
 
 // SystemConfig assembles a System with defaults.
@@ -88,10 +97,35 @@ func (s *System) Verify(session *SessionData) (Decision, error) {
 
 // VerifyTraced runs the cascade under a caller-supplied trace ID (the
 // server passes the request's X-Request-ID so decision, response and log
-// line all correlate). Each executed stage is individually timed and the
-// decision carries the total pipeline latency — the per-stage breakdown
-// behind the paper's §V end-to-end response-time result.
+// line all correlate). It is the no-deadline compatibility form of
+// VerifyContext: the background context can never cancel, so the call
+// behaves exactly like the pre-context cascade at the cost of one nil
+// channel test.
 func (s *System) VerifyTraced(traceID string, session *SessionData) (Decision, error) {
+	//lint:allow ctxfirst seed-compatible entry point; deadline-aware callers use VerifyContext
+	return s.VerifyContext(context.Background(), traceID, session)
+}
+
+// VerifyContext runs the cascade under a request context and a
+// caller-supplied trace ID. Each executed stage is individually timed and
+// the decision carries the total pipeline latency — the per-stage
+// breakdown behind the paper's §V end-to-end response-time result.
+//
+// The context bounds the verification: it is checked on entry, again at
+// the start of every stage (a speculative stage that has not begun work
+// when the deadline passes is abandoned before touching the session),
+// and the parallel fan-out itself stops waiting the moment ctx dies.
+// On cancellation the returned error wraps ctx.Err() — test it with
+// errors.Is(err, context.DeadlineExceeded) — and the Decision carries
+// only the trace ID: stages still running have detached and their
+// results are unreadable by construction. The root span records an
+// "outcome" = "deadline_exceeded" attribute so abandoned attempts are
+// distinguishable in the flight recorder.
+func (s *System) VerifyContext(ctx context.Context, traceID string, session *SessionData) (Decision, error) {
+	if ctx == nil {
+		//lint:allow ctxfirst a nil context means "no deadline", the documented compatibility behavior
+		ctx = context.Background()
+	}
 	// The trace ID is assigned before validation so even an errored
 	// attempt returns a Decision that correlates with the request's logs
 	// and metrics exemplars.
@@ -103,6 +137,9 @@ func (s *System) VerifyTraced(traceID string, session *SessionData) (Decision, e
 	}
 	if s.Distance == nil && s.Field == nil && s.Speaker == nil && s.Identity == nil {
 		return Decision{TraceID: traceID}, ErrIncompleteSystem
+	}
+	if err := ctx.Err(); err != nil {
+		return Decision{TraceID: traceID}, fmt.Errorf("core: verification admitted past its deadline: %w", err)
 	}
 	d := Decision{TraceID: traceID}
 	start := time.Now()
@@ -119,40 +156,51 @@ func (s *System) VerifyTraced(traceID string, session *SessionData) (Decision, e
 	// indistinguishable from the serial cascade — a later stage's
 	// speculative result is simply discarded when an earlier stage
 	// rejects.
-	stageSpan := func(st Stage) *telemetry.Span {
-		return root.StartSpan(telemetry.StageSpanName + st.MetricName())
+	var abandoned atomic.Bool
+	runStage := func(st Stage, verify func(sp *telemetry.Span) StageResult) StageResult {
+		// The per-stage deadline check: a stage whose context is already
+		// dead is abandoned before it does any work. With the speculative
+		// fan-out this is the "between stages" check of a serial cascade —
+		// it runs at every stage's admission point.
+		if err := ctx.Err(); err != nil {
+			abandoned.Store(true)
+			return StageResult{Stage: st, Detail: "abandoned: " + err.Error()}
+		}
+		if s.StageHook != nil {
+			s.StageHook(ctx, st)
+		}
+		sp := root.StartSpan(telemetry.StageSpanName + st.MetricName())
+		res := verify(sp)
+		endStageSpan(sp, res)
+		return res
 	}
 	var verifies []func() StageResult
 	if s.Distance != nil {
 		verifies = append(verifies, func() StageResult {
-			sp := stageSpan(StageDistance)
-			res := s.Distance.VerifySpan(sp, session.Gesture)
-			endStageSpan(sp, res)
-			return res
+			return runStage(StageDistance, func(sp *telemetry.Span) StageResult {
+				return s.Distance.VerifySpan(sp, session.Gesture)
+			})
 		})
 	}
 	if s.Field != nil {
 		verifies = append(verifies, func() StageResult {
-			sp := stageSpan(StageSoundField)
-			res := s.Field.VerifySpan(sp, session.Field)
-			endStageSpan(sp, res)
-			return res
+			return runStage(StageSoundField, func(sp *telemetry.Span) StageResult {
+				return s.Field.VerifySpan(sp, session.Field)
+			})
 		})
 	}
 	if s.Speaker != nil {
 		verifies = append(verifies, func() StageResult {
-			sp := stageSpan(StageLoudspeaker)
-			res := s.Speaker.VerifySpan(sp, session.Gesture.Mag)
-			endStageSpan(sp, res)
-			return res
+			return runStage(StageLoudspeaker, func(sp *telemetry.Span) StageResult {
+				return s.Speaker.VerifySpan(sp, session.Gesture.Mag)
+			})
 		})
 	}
 	if s.Identity != nil {
 		verifies = append(verifies, func() StageResult {
-			sp := stageSpan(StageSpeakerID)
-			res := s.Identity.VerifySpan(sp, session.ClaimedUser, session.Voice)
-			endStageSpan(sp, res)
-			return res
+			return runStage(StageSpeakerID, func(sp *telemetry.Span) StageResult {
+				return s.Identity.VerifySpan(sp, session.ClaimedUser, session.Voice)
+			})
 		})
 	}
 	results := make([]StageResult, len(verifies))
@@ -160,7 +208,27 @@ func (s *System) VerifyTraced(traceID string, session *SessionData) (Decision, e
 	for i, verify := range verifies {
 		tasks[i] = func() { results[i] = verify() }
 	}
-	parallel.Do(tasks...)
+	expired := func(cause error) (Decision, error) {
+		d.Elapsed = time.Since(start)
+		root.SetString("outcome", "deadline_exceeded")
+		s.Tracer.Finish(root, telemetry.Verdict{Accepted: false, Elapsed: d.Elapsed})
+		return d, fmt.Errorf("core: verification abandoned after %v: %w", d.Elapsed, cause)
+	}
+	if err := parallel.DoContext(ctx, tasks...); err != nil {
+		// The fan-out was abandoned mid-flight: unfinished stages keep
+		// running detached and own their result slots, so the decision
+		// carries only the trace ID and the elapsed time — reading the
+		// results here would race with the detached writers.
+		return expired(err)
+	}
+	if abandoned.Load() {
+		// Every task finished (the results are safe to read), but the
+		// context died during the fan-out and at least one stage was
+		// abandoned at its admission check. Its zero verdict is a timeout
+		// artifact, not evidence — surface the deadline, never a
+		// fabricated biometric rejection.
+		return expired(ctx.Err())
+	}
 	d.Accepted = true
 	for _, r := range results {
 		d.Stages = append(d.Stages, r)

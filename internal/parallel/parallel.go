@@ -14,9 +14,16 @@
 //   - No retained state. The package keeps no worker pool alive between
 //     calls; a fork-join burst is cheap (one WaitGroup, W-1 goroutines)
 //     and keeps the package trivially correct under concurrent use.
+//
+// DoContext is the deadline-aware sibling of Do for the serving path: it
+// stops waiting when the request context dies so a hung pipeline stage
+// cannot hold its connection forever. Cancellation only abandons the
+// wait — tasks already running detach and finish in the background — so
+// determinism of completed work is unchanged.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -100,6 +107,58 @@ func Do(fns ...func()) {
 	}
 	fns[0]()
 	wg.Wait()
+}
+
+// DoContext runs the given functions concurrently like Do, but stops
+// waiting when ctx is cancelled: it returns ctx.Err() as soon as the
+// context dies, even if some functions are still running. Goroutines
+// cannot be killed, so an unfinished function detaches and runs to
+// completion in the background — after a non-nil return the caller must
+// not read the result locations of tasks it cannot prove finished, and
+// each fn should observe ctx itself to stop early. A context that cannot
+// be cancelled (ctx.Done() == nil, e.g. context.Background()) delegates
+// to Do — the zero-overhead fast path the untimed serving path and the
+// benchmarks take. Unlike Do, a cancellable context launches every fn on
+// its own goroutine (including the first) so the caller stays free to
+// return at cancellation.
+func DoContext(ctx context.Context, fns ...func()) error {
+	if ctx == nil || ctx.Done() == nil {
+		Do(fns...)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(fns) == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// The tasks may have completed in the same instant the context
+		// died; a finished batch is a success regardless of which channel
+		// the select drew first.
+		select {
+		case <-done:
+			return nil
+		default:
+			return ctx.Err()
+		}
+	}
 }
 
 // Map applies fn to every element of in and returns the results in input

@@ -169,6 +169,9 @@ type EnrollResponse struct {
 	OK bool `json:"ok"`
 	// Error carries the failure reason.
 	Error string `json:"error,omitempty"`
+	// TraceID correlates the response with the server's log line and the
+	// X-Request-ID header of the request that produced it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // EnrollFromAudio packages utterances into an enrollment request.

@@ -28,12 +28,14 @@ import (
 
 // Metric names exported on /metrics.
 const (
-	MetricStageLatency    = "voiceguard_stage_latency_seconds"
-	MetricPipelineLatency = "voiceguard_pipeline_latency_seconds"
-	MetricVerifyTotal     = "voiceguard_verify_total"
-	MetricHTTPRequests    = "voiceguard_http_requests_total"
-	MetricHTTPDuration    = "voiceguard_http_request_duration_seconds"
-	MetricHTTPInflight    = "voiceguard_http_inflight_requests"
+	MetricStageLatency     = "voiceguard_stage_latency_seconds"
+	MetricPipelineLatency  = "voiceguard_pipeline_latency_seconds"
+	MetricVerifyTotal      = "voiceguard_verify_total"
+	MetricVerifyInflight   = "voiceguard_verify_inflight"
+	MetricVoiceprintErrors = "voiceguard_voiceprint_errors_total"
+	MetricHTTPRequests     = "voiceguard_http_requests_total"
+	MetricHTTPDuration     = "voiceguard_http_request_duration_seconds"
+	MetricHTTPInflight     = "voiceguard_http_inflight_requests"
 )
 
 // Server wraps the pipeline behind HTTP.
@@ -52,15 +54,26 @@ type Server struct {
 	flightSize  int
 	sampleTrace func(string) bool
 
+	// Load management: verifyTimeout bounds each /verify pipeline run (0
+	// = unbounded, the seed behavior); sem admission-controls concurrent
+	// verifies (nil = unbounded).
+	verifyTimeout time.Duration
+	maxInflight   int
+	sem           chan struct{}
+
 	// Verify outcome counters. Total requests is their sum, so the
-	// Requests == Accepted+Rejected+Errors invariant holds by
-	// construction under any interleaving.
+	// Requests == Accepted+Rejected+Errors+DeadlineExceeded+Shed
+	// invariant holds by construction under any interleaving.
 	accepted, rejected, errored *telemetry.Counter
+	deadlined, shed             *telemetry.Counter
+	vpErrDecode, vpErrVoice     *telemetry.Counter
+	verifyInflight              *telemetry.Gauge
 	pipelineHist                *telemetry.Histogram
 	stageHist                   map[core.Stage]*telemetry.Histogram
 
 	mu      sync.Mutex
 	httpSrv *http.Server
+	addr    string
 }
 
 // Option configures optional server behavior.
@@ -103,6 +116,27 @@ func WithDecisionEndpoints() Option {
 	return func(s *Server) { s.decisionsDebug = true }
 }
 
+// WithVerifyTimeout bounds each /verify pipeline run: a verification
+// that has not produced a decision within d is abandoned and answered
+// with a 503 JSON error carrying the trace ID, and the deadline_exceeded
+// outcome counter increments. 0 (the default) preserves the seed
+// behavior — a verify may run as long as it needs. A stalled stage's
+// goroutines detach and finish in the background; the connection is
+// released at the deadline either way.
+func WithVerifyTimeout(d time.Duration) Option {
+	return func(s *Server) { s.verifyTimeout = d }
+}
+
+// WithMaxInflightVerifies admission-controls /verify: at most n
+// verifications run concurrently, and request n+1 is shed immediately
+// with 429 + Retry-After instead of queueing unboundedly behind a
+// saturated pipeline (each verify fans out across every core, so
+// admitting more than a handful multiplies nothing but memory and tail
+// latency). 0 (the default) preserves the seed behavior — no limit.
+func WithMaxInflightVerifies(n int) Option {
+	return func(s *Server) { s.maxInflight = n }
+}
+
 // WithTraceSampling records span trees for approximately the given
 // fraction of requests, chosen deterministically per trace ID. The
 // default samples everything; 0 disables span recording while keeping
@@ -120,6 +154,11 @@ type Stats struct {
 	Accepted, Rejected int64
 	// Errors counts malformed or failed requests.
 	Errors int64
+	// DeadlineExceeded counts verifications abandoned at the server's
+	// per-request deadline (HTTP 503).
+	DeadlineExceeded int64
+	// Shed counts requests refused by admission control (HTTP 429).
+	Shed int64
 }
 
 // New builds a server around a pipeline. logger may be nil to disable
@@ -142,7 +181,17 @@ func New(system *core.System, logger *slog.Logger, opts ...Option) (*Server, err
 	s.accepted = r.Counter(MetricVerifyTotal, telemetry.Labels{"outcome": "accepted"})
 	s.rejected = r.Counter(MetricVerifyTotal, telemetry.Labels{"outcome": "rejected"})
 	s.errored = r.Counter(MetricVerifyTotal, telemetry.Labels{"outcome": "error"})
+	s.deadlined = r.Counter(MetricVerifyTotal, telemetry.Labels{"outcome": "deadline_exceeded"})
+	s.shed = r.Counter(MetricVerifyTotal, telemetry.Labels{"outcome": "shed"})
 	r.SetHelp(MetricVerifyTotal, "verification attempts by outcome")
+	s.verifyInflight = r.Gauge(MetricVerifyInflight, nil)
+	r.SetHelp(MetricVerifyInflight, "verifications currently executing the pipeline")
+	s.vpErrDecode = r.Counter(MetricVoiceprintErrors, telemetry.Labels{"reason": "decode"})
+	s.vpErrVoice = r.Counter(MetricVoiceprintErrors, telemetry.Labels{"reason": "bad_voice"})
+	r.SetHelp(MetricVoiceprintErrors, "voiceprint baseline failures by reason")
+	if s.maxInflight > 0 {
+		s.sem = make(chan struct{}, s.maxInflight)
+	}
 	s.pipelineHist = r.Histogram(MetricPipelineLatency, nil, nil)
 	r.SetHelp(MetricPipelineLatency, "total pipeline latency per verification")
 	s.stageHist = make(map[core.Stage]*telemetry.Histogram)
@@ -207,16 +256,18 @@ func (s *Server) Handler() http.Handler {
 // handleEnroll registers a user with the ASV stage. It requires the
 // server to have an identity back-end attached.
 func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
+	traceID := RequestID(r.Context())
 	respond := func(status int, resp *protocol.EnrollResponse) {
+		resp.TraceID = traceID
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			s.logger.Error("encoding enroll response", "err", err, "trace_id", RequestID(r.Context()))
+			s.logger.Error("encoding enroll response", "err", err, "trace_id", traceID)
 		}
+	}
+	if r.Method != http.MethodPost {
+		respond(http.StatusMethodNotAllowed, &protocol.EnrollResponse{Error: "POST required"})
+		return
 	}
 	if s.system.Identity == nil {
 		respond(http.StatusNotImplemented, &protocol.EnrollResponse{Error: "no ASV stage attached"})
@@ -245,20 +296,26 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 // runs only the ASV stage when one is attached, and accepts otherwise
 // (transport-path measurement).
 func (s *Server) handleVoiceprint(w http.ResponseWriter, r *http.Request) {
+	traceID := RequestID(r.Context())
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		s.writeJSONError(w, traceID, http.StatusMethodNotAllowed, "POST required")
 		return
+	}
+	fail := func(status int, counter *telemetry.Counter, msg string) {
+		counter.Inc()
+		s.logger.Warn("voiceprint failed", "trace_id", traceID, "status", status, "err", msg)
+		s.writeJSONError(w, traceID, status, msg)
 	}
 	req, err := protocol.DecodeVoiceprint(r.Body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, s.vpErrDecode, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
-	resp := &protocol.VerifyResponse{Accepted: true, TraceID: RequestID(r.Context())}
+	resp := &protocol.VerifyResponse{Accepted: true, TraceID: traceID}
 	if s.system.Identity != nil {
 		voice, err := protocol.VoiceFromRequest(req)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			fail(http.StatusBadRequest, s.vpErrVoice, fmt.Sprintf("rebuilding voice: %v", err))
 			return
 		}
 		start := time.Now()
@@ -287,11 +344,13 @@ func (s *Server) handleVoiceprint(w http.ResponseWriter, r *http.Request) {
 // updates.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Accepted: s.accepted.Value(),
-		Rejected: s.rejected.Value(),
-		Errors:   s.errored.Value(),
+		Accepted:         s.accepted.Value(),
+		Rejected:         s.rejected.Value(),
+		Errors:           s.errored.Value(),
+		DeadlineExceeded: s.deadlined.Value(),
+		Shed:             s.shed.Value(),
 	}
-	st.Requests = st.Accepted + st.Rejected + st.Errors
+	st.Requests = st.Accepted + st.Rejected + st.Errors + st.DeadlineExceeded + st.Shed
 	return st
 }
 
@@ -367,24 +426,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// writeJSONError answers a failed POST request with the JSON error
+// envelope every /verify-family failure uses — the error text plus the
+// trace ID, so even a refused request correlates with the server's logs.
+func (s *Server) writeJSONError(w http.ResponseWriter, traceID string, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	resp := &protocol.VerifyResponse{Error: msg, TraceID: traceID}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.logger.Error("encoding error response", "err", err, "trace_id", traceID)
+	}
+}
+
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	traceID := RequestID(r.Context())
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		s.writeJSONError(w, traceID, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	start := time.Now()
-	traceID := RequestID(r.Context())
 
 	fail := func(status int, msg string) {
 		s.errored.Inc()
 		s.logger.Warn("verify failed", "trace_id", traceID, "status", status, "err", msg)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		resp := &protocol.VerifyResponse{Error: msg, TraceID: traceID}
-		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			s.logger.Error("encoding error response", "err", err, "trace_id", traceID)
+		s.writeJSONError(w, traceID, status, msg)
+	}
+
+	// Admission control runs before the expensive body decode: a shed
+	// request costs the server nothing but this reply, which is the whole
+	// point of shedding.
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.shed.Inc()
+			s.logger.Warn("verify shed", "trace_id", traceID, "max_inflight", s.maxInflight)
+			w.Header().Set("Retry-After", "1")
+			s.writeJSONError(w, traceID, http.StatusTooManyRequests,
+				fmt.Sprintf("overloaded: %d verifications already in flight", s.maxInflight))
+			return
 		}
 	}
+	s.verifyInflight.Add(1)
+	defer s.verifyInflight.Add(-1)
 
 	req, err := protocol.DecodeRequest(r.Body)
 	if err != nil {
@@ -396,8 +481,28 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, fmt.Sprintf("rebuilding session: %v", err))
 		return
 	}
-	decision, err := s.system.VerifyTraced(traceID, session)
+	// The pipeline runs under the request's context — cancelled when the
+	// client disconnects — optionally tightened by the configured
+	// per-request deadline.
+	ctx := r.Context()
+	if s.verifyTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.verifyTimeout)
+		defer cancel()
+	}
+	decision, err := s.system.VerifyContext(ctx, traceID, session)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// An honest timeout, not a verdict: 503 with the trace ID so
+			// the client can retry and the operator can pull the abandoned
+			// trace from the flight recorder.
+			s.deadlined.Inc()
+			s.logger.Warn("verify deadline exceeded", "trace_id", traceID,
+				"timeout", s.verifyTimeout, "err", err)
+			s.writeJSONError(w, traceID, http.StatusServiceUnavailable,
+				fmt.Sprintf("verification abandoned: %v", err))
+			return
+		}
 		fail(http.StatusUnprocessableEntity, fmt.Sprintf("verifying: %v", err))
 		return
 	}
@@ -452,16 +557,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return srv.Shutdown(ctx)
 }
 
+// Addr returns the address ListenAndServe bound, or "" before the
+// listener exists — the poll-friendly alternative to the ready channel.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
 // ListenAndServe starts the server on addr and blocks until Shutdown or
-// listener failure. It returns the bound address through the ready
-// channel (useful for tests binding port 0).
+// listener failure. It reports the bound address through the ready
+// channel (useful for tests binding port 0) with a non-blocking send: a
+// caller that abandoned the channel forfeits the notification, it does
+// not deadlock the serving goroutine before Serve ever runs. Callers
+// that might miss the send poll Addr instead.
 func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("server: listening on %s: %w", addr, err)
 	}
+	bound := ln.Addr().String()
+	s.mu.Lock()
+	s.addr = bound
+	s.mu.Unlock()
 	if ready != nil {
-		ready <- ln.Addr().String()
+		select {
+		case ready <- bound:
+		default:
+		}
 	}
 	return s.Serve(ln)
 }
