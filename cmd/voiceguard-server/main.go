@@ -4,7 +4,14 @@
 // /stats and /metrics over HTTP. The decision flight-recorder endpoints
 // (/debug/decisions, /debug/decisions.jsonl, /debug/trace/{id}) expose
 // verification verdicts and evidence, so they are opt-in via -decisions,
-// like -pprof. SIGINT/SIGTERM drain in-flight verifications before exit.
+// like -pprof; -evidence mounts the per-decision evidence-pack download
+// and -evidence-dir spools packs for rejected decisions to disk.
+// SIGINT/SIGTERM drain in-flight verifications before exit.
+//
+// The pipeline is constructed through rebuild.System from an explicit
+// evidence.Provenance recipe, which is embedded in every exported pack —
+// `voiceguard-trace pack replay` rebuilds the exact serving system from a
+// pack alone and reproduces its verdicts bit-for-bit.
 //
 // Usage:
 //
@@ -12,6 +19,7 @@
 //	voiceguard-server -addr :8443 -asv -enroll victim:seed=17
 //	voiceguard-server -addr :8443 -pprof -decisions -metrics=false
 //	voiceguard-server -addr :8443 -verify-timeout 2s -max-inflight 16
+//	voiceguard-server -addr :8443 -decisions -evidence -evidence-dir /var/spool/voiceguard
 package main
 
 import (
@@ -20,7 +28,6 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
-	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,10 +36,9 @@ import (
 	"syscall"
 	"time"
 
-	"voiceguard/internal/audio"
-	"voiceguard/internal/core"
+	"voiceguard/internal/evidence"
+	"voiceguard/internal/evidence/rebuild"
 	"voiceguard/internal/server"
-	"voiceguard/internal/speech"
 )
 
 // config carries the parsed command line into run.
@@ -48,6 +54,9 @@ type config struct {
 	traceSample   float64
 	verifyTimeout time.Duration
 	maxInflight   int
+	evidenceOn    bool
+	evidenceDir   string
+	evidenceKeep  int
 }
 
 func main() {
@@ -63,6 +72,9 @@ func main() {
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 1, "fraction of requests recording span traces [0, 1]")
 	flag.DurationVar(&cfg.verifyTimeout, "verify-timeout", 0, "per-request verification deadline; exceeded attempts answer 503 (0 = unbounded)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "concurrent verification cap; excess requests are shed with 429 (0 = unbounded)")
+	flag.BoolVar(&cfg.evidenceOn, "evidence", false, "mount GET /debug/evidence/{trace_id} serving per-decision evidence packs (they embed session audio unless ?redact=digests)")
+	flag.StringVar(&cfg.evidenceDir, "evidence-dir", "", "spool an evidence pack into this directory for every rejected decision")
+	flag.IntVar(&cfg.evidenceKeep, "evidence-retention", 0, "evidence session retention ring capacity (0 = default)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -75,27 +87,22 @@ func main() {
 }
 
 func run(ctx context.Context, cfg config, logger *slog.Logger) error {
-	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: cfg.seed})
+	prov, err := provenance(cfg)
+	if err != nil {
+		return err
+	}
+	sys, err := rebuild.System(prov)
 	if err != nil {
 		return fmt.Errorf("building pipeline: %w", err)
 	}
 	if cfg.withASV {
-		verifier, err := trainASV(cfg.seed)
-		if err != nil {
-			return fmt.Errorf("training ASV: %w", err)
-		}
-		if cfg.enrollSpec != "" {
-			if err := enrollUsers(verifier, cfg.enrollSpec); err != nil {
-				return fmt.Errorf("enrolling users: %w", err)
-			}
-		}
-		sys.AttachIdentity(verifier)
-		logger.Info("ASV stage attached", "backend", verifier.Backend())
+		logger.Info("ASV stage attached", "backend", sys.Identity.Backend())
 	}
 	opts := []server.Option{
 		server.WithMetricsEndpoint(cfg.metrics),
 		server.WithFlightRecorder(cfg.flight),
 		server.WithTraceSampling(cfg.traceSample),
+		server.WithEvidenceProvenance(prov),
 	}
 	if cfg.withPprof {
 		opts = append(opts, server.WithPprof())
@@ -109,6 +116,15 @@ func run(ctx context.Context, cfg config, logger *slog.Logger) error {
 	if cfg.maxInflight > 0 {
 		opts = append(opts, server.WithMaxInflightVerifies(cfg.maxInflight))
 	}
+	if cfg.evidenceOn {
+		opts = append(opts, server.WithEvidenceEndpoint())
+	}
+	if cfg.evidenceDir != "" {
+		opts = append(opts, server.WithEvidenceDir(cfg.evidenceDir))
+	}
+	if cfg.evidenceKeep > 0 {
+		opts = append(opts, server.WithEvidenceRetention(cfg.evidenceKeep))
+	}
 	srv, err := server.New(sys, logger, opts...)
 	if err != nil {
 		return err
@@ -117,6 +133,7 @@ func run(ctx context.Context, cfg config, logger *slog.Logger) error {
 	go func() {
 		logger.Info("listening", "addr", <-ready, "metrics", cfg.metrics,
 			"pprof", cfg.withPprof, "decisions", cfg.decisions,
+			"evidence", cfg.evidenceOn, "evidence_dir", cfg.evidenceDir,
 			"verify_timeout", cfg.verifyTimeout, "max_inflight", cfg.maxInflight)
 	}()
 	errCh := make(chan error, 1)
@@ -142,68 +159,36 @@ func run(ctx context.Context, cfg config, logger *slog.Logger) error {
 	}
 }
 
-// trainASV trains the identity back-end on a synthetic background
-// population.
-func trainASV(seed int64) (*core.SpeakerVerifier, error) {
-	roster := speech.NewRoster(8, seed+100)
-	utts, err := roster.Generate(speech.CorpusConfig{
-		Sessions: 2, UtterancesPerSession: 2, Digits: 6,
-	})
-	if err != nil {
-		return nil, err
-	}
-	background := make(map[string][][]*audio.Signal)
-	for spk, us := range speech.BySpeaker(utts) {
-		perSession := map[int][]*audio.Signal{}
-		maxSess := 0
-		for _, u := range us {
-			perSession[u.Session] = append(perSession[u.Session], u.Audio)
-			if u.Session > maxSess {
-				maxSess = u.Session
-			}
+// provenance derives the system construction recipe from the command
+// line. The recipe both drives rebuild.System and is embedded in every
+// exported evidence pack, so a pack records exactly what this process
+// served with.
+func provenance(cfg config) (evidence.Provenance, error) {
+	p := evidence.Provenance{Generator: "server", FieldSeed: cfg.seed}
+	if !cfg.withASV {
+		if cfg.enrollSpec != "" {
+			return p, fmt.Errorf("-enroll requires -asv")
 		}
-		for s := 0; s <= maxSess; s++ {
-			background[spk] = append(background[spk], perSession[s])
-		}
+		return p, nil
 	}
-	return core.TrainSpeakerVerifier(background, core.SpeakerVerifierConfig{Seed: seed})
-}
-
-// newDeterministicRand returns a seeded source (kept as a helper so tests
-// reproduce the enrollment voices).
-func newDeterministicRand(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed))
-}
-
-// enrollUsers parses "alice:seed=3,bob:seed=9" and enrolls synthetic
-// voices for each.
-func enrollUsers(v *core.SpeakerVerifier, spec string) error {
-	for _, entry := range strings.Split(spec, ",") {
+	p.ASV = &evidence.ASVProvenance{
+		Seed: cfg.seed, Roster: 8, Sessions: 2, Utterances: 2, Digits: 6,
+	}
+	if cfg.enrollSpec == "" {
+		return p, nil
+	}
+	for _, entry := range strings.Split(cfg.enrollSpec, ",") {
 		name, seedPart, ok := strings.Cut(entry, ":seed=")
 		if !ok {
-			return fmt.Errorf("bad enroll entry %q (want user:seed=N)", entry)
+			return p, fmt.Errorf("bad enroll entry %q (want user:seed=N)", entry)
 		}
 		s, err := strconv.ParseInt(seedPart, 10, 64)
 		if err != nil {
-			return fmt.Errorf("bad seed in %q: %w", entry, err)
+			return p, fmt.Errorf("bad seed in %q: %w", entry, err)
 		}
-		rng := newDeterministicRand(s)
-		profile := speech.RandomProfile(name, rng)
-		synth, err := speech.NewSynthesizer(profile, rng)
-		if err != nil {
-			return err
-		}
-		var session []*audio.Signal
-		for k := 0; k < 4; k++ {
-			utt, err := synth.SayDigits("472913")
-			if err != nil {
-				return err
-			}
-			session = append(session, utt)
-		}
-		if err := v.Enroll(name, [][]*audio.Signal{session}); err != nil {
-			return err
-		}
+		p.ASV.Enroll = append(p.ASV.Enroll, evidence.EnrollProvenance{
+			User: name, Seed: s, Passphrase: "472913", Utterances: 4,
+		})
 	}
-	return nil
+	return p, nil
 }

@@ -1,13 +1,23 @@
 package main
 
 import (
+	"math/rand"
+	"strings"
 	"testing"
 
+	"voiceguard/internal/evidence/rebuild"
 	"voiceguard/internal/speech"
 )
 
-func TestTrainASV(t *testing.T) {
-	v, err := trainASV(1)
+func TestProvenanceTrainsASV(t *testing.T) {
+	p, err := provenance(config{seed: 1, withASV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ASV == nil || p.ASV.Roster != 8 {
+		t.Fatalf("ASV recipe = %+v", p.ASV)
+	}
+	v, err := rebuild.TrainASV(p.ASV)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,20 +26,25 @@ func TestTrainASV(t *testing.T) {
 	}
 }
 
-func TestEnrollUsersSpec(t *testing.T) {
-	v, err := trainASV(2)
+func TestProvenanceEnrollSpec(t *testing.T) {
+	p, err := provenance(config{seed: 2, withASV: true, enrollSpec: "alice:seed=3,bob:seed=9"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := enrollUsers(v, "alice:seed=3,bob:seed=9"); err != nil {
+	if len(p.ASV.Enroll) != 2 {
+		t.Fatalf("enroll entries = %+v", p.ASV.Enroll)
+	}
+	v, err := rebuild.TrainASV(p.ASV)
+	if err != nil {
 		t.Fatal(err)
 	}
-	// Enrolled users score their own voices.
+	// Enrolled users score their own voices: regenerate each enrollment
+	// voice with the same one-source draw rebuild.Enroll used.
 	for _, tc := range []struct {
 		name string
 		seed int64
 	}{{"alice", 3}, {"bob", 9}} {
-		rng := newDeterministicRand(tc.seed)
+		rng := rand.New(rand.NewSource(tc.seed))
 		profile := speech.RandomProfile(tc.name, rng)
 		synth, err := speech.NewSynthesizer(profile, rng)
 		if err != nil {
@@ -45,14 +60,14 @@ func TestEnrollUsersSpec(t *testing.T) {
 	}
 }
 
-func TestEnrollUsersBadSpec(t *testing.T) {
-	v, err := trainASV(4)
-	if err != nil {
-		t.Fatal(err)
-	}
+func TestProvenanceBadSpec(t *testing.T) {
 	for _, spec := range []string{"missingseed", "x:seed=abc"} {
-		if err := enrollUsers(v, spec); err == nil {
+		if _, err := provenance(config{withASV: true, enrollSpec: spec}); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}
+	}
+	if _, err := provenance(config{enrollSpec: "alice:seed=3"}); err == nil ||
+		!strings.Contains(err.Error(), "-asv") {
+		t.Errorf("-enroll without -asv accepted: %v", err)
 	}
 }

@@ -4,24 +4,79 @@ package main
 // and a handful of machine attacks through it, and writes the resulting
 // flight-recorder contents as JSONL. CI uses it to produce a sample trace
 // dump artifact; the README's example tree comes from the same output.
+//
+// The pipeline is constructed through rebuild.System from an explicit
+// evidence.Provenance recipe — the same recipe `pack build -demo` embeds
+// in its packs — so a demo pack's provenance is exactly what this
+// generator ran, not a parallel construction that could drift.
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
 	"voiceguard/internal/attack"
-	"voiceguard/internal/audio"
 	"voiceguard/internal/core"
 	"voiceguard/internal/device"
-	"voiceguard/internal/speech"
+	"voiceguard/internal/evidence"
+	"voiceguard/internal/evidence/rebuild"
 	"voiceguard/internal/telemetry"
 )
 
 // demoPassphrase is the digit passphrase all demo sessions speak.
 const demoPassphrase = "472913"
+
+// demoProvenance is the construction recipe of the demo pipeline: the
+// field seed plus, when the identity stage is on, a small background
+// roster with the victim enrolled from the same seed.
+func demoProvenance(seed int64, withASV bool) evidence.Provenance {
+	p := evidence.Provenance{Generator: "demo", FieldSeed: seed}
+	if withASV {
+		p.ASV = &evidence.ASVProvenance{
+			Seed: seed, Roster: 6, Sessions: 2, Utterances: 2, Digits: 6,
+			Enroll: []evidence.EnrollProvenance{
+				{User: "victim", Seed: seed, Passphrase: demoPassphrase, Utterances: 4},
+			},
+		}
+	}
+	return p
+}
+
+// demoSession is one generated demo attempt with its deterministic trace
+// ID.
+type demoSession struct {
+	traceID string
+	session *core.SessionData
+}
+
+// demoSessions builds the demo's attempt list: one genuine session plus n
+// replay attacks through loudspeakers drawn from the device catalog.
+func demoSessions(n int, seed int64) ([]demoSession, error) {
+	victim := rebuild.Profile("victim", seed)
+	sc := attack.Scenario{Distance: 0.06, ClaimedUser: "victim", Seed: seed}
+	genuine, err := attack.Genuine(victim, sc)
+	if err != nil {
+		return nil, fmt.Errorf("building genuine session: %w", err)
+	}
+	out := []demoSession{{traceID: "demo-genuine", session: genuine}}
+	recording, err := attack.Record(victim, demoPassphrase, seed)
+	if err != nil {
+		return nil, fmt.Errorf("recording victim: %w", err)
+	}
+	cat := device.Catalog()
+	for i := 0; i < n; i++ {
+		spk := cat[(i*5)%len(cat)]
+		replaySc := sc
+		replaySc.Seed = seed + int64(i) + 1
+		session, err := attack.Replay(recording, spk, replaySc)
+		if err != nil {
+			return nil, fmt.Errorf("building replay session %d (%s %s): %w", i, spk.Maker, spk.Model, err)
+		}
+		out = append(out, demoSession{traceID: fmt.Sprintf("demo-replay-%d", i), session: session})
+	}
+	return out, nil
+}
 
 // runDemo implements the demo subcommand.
 func runDemo(args []string) error {
@@ -57,95 +112,19 @@ func runDemo(args []string) error {
 // generateDemo runs 1 genuine + n replay sessions through a traced
 // pipeline, filling recorder. It returns the session count.
 func generateDemo(recorder *telemetry.FlightRecorder, n int, seed int64, withASV bool) (int, error) {
-	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: seed})
+	sys, err := rebuild.System(demoProvenance(seed, withASV))
 	if err != nil {
-		return 0, fmt.Errorf("building pipeline: %w", err)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	victim := speech.RandomProfile("victim", rng)
-	if withASV {
-		verifier, err := demoASV(victim, seed)
-		if err != nil {
-			return 0, fmt.Errorf("training ASV: %w", err)
-		}
-		sys.AttachIdentity(verifier)
+		return 0, err
 	}
 	sys.Tracer = telemetry.NewTracer(telemetry.TracerConfig{Recorder: recorder})
-
-	sc := attack.Scenario{Distance: 0.06, ClaimedUser: "victim", Seed: seed}
-	sessions := 0
-	genuine, err := attack.Genuine(victim, sc)
+	sessions, err := demoSessions(n, seed)
 	if err != nil {
-		return sessions, fmt.Errorf("building genuine session: %w", err)
+		return 0, err
 	}
-	if _, err := sys.Verify(genuine); err != nil {
-		return sessions, fmt.Errorf("verifying genuine session: %w", err)
-	}
-	sessions++
-
-	recording, err := attack.Record(victim, demoPassphrase, seed)
-	if err != nil {
-		return sessions, fmt.Errorf("recording victim: %w", err)
-	}
-	cat := device.Catalog()
-	for i := 0; i < n; i++ {
-		spk := cat[(i*5)%len(cat)]
-		replaySc := sc
-		replaySc.Seed = seed + int64(i) + 1
-		session, err := attack.Replay(recording, spk, replaySc)
-		if err != nil {
-			return sessions, fmt.Errorf("building replay session %d (%s %s): %w", i, spk.Maker, spk.Model, err)
-		}
-		if _, err := sys.Verify(session); err != nil {
-			return sessions, fmt.Errorf("verifying replay session %d: %w", i, err)
-		}
-		sessions++
-	}
-	return sessions, nil
-}
-
-// demoASV trains a small identity back-end and enrolls the victim, enough
-// for the demo traces to include the mfcc-extract/gmm-score sub-tree.
-func demoASV(victim speech.Profile, seed int64) (*core.SpeakerVerifier, error) {
-	roster := speech.NewRoster(6, seed+100)
-	utts, err := roster.Generate(speech.CorpusConfig{
-		Sessions: 2, UtterancesPerSession: 2, Digits: 6,
-	})
-	if err != nil {
-		return nil, err
-	}
-	background := make(map[string][][]*audio.Signal)
-	for spk, us := range speech.BySpeaker(utts) {
-		perSession := map[int][]*audio.Signal{}
-		maxSess := 0
-		for _, u := range us {
-			perSession[u.Session] = append(perSession[u.Session], u.Audio)
-			if u.Session > maxSess {
-				maxSess = u.Session
-			}
-		}
-		for s := 0; s <= maxSess; s++ {
-			background[spk] = append(background[spk], perSession[s])
+	for i, ds := range sessions {
+		if _, err := sys.VerifyTraced(ds.traceID, ds.session); err != nil {
+			return i, fmt.Errorf("verifying session %s: %w", ds.traceID, err)
 		}
 	}
-	verifier, err := core.TrainSpeakerVerifier(background, core.SpeakerVerifierConfig{Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	synth, err := speech.NewSynthesizer(victim, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, err
-	}
-	var session []*audio.Signal
-	for k := 0; k < 4; k++ {
-		utt, err := synth.SayDigits(demoPassphrase)
-		if err != nil {
-			return nil, err
-		}
-		session = append(session, utt)
-	}
-	if err := verifier.Enroll("victim", [][]*audio.Signal{session}); err != nil {
-		return nil, err
-	}
-	return verifier, nil
+	return len(sessions), nil
 }

@@ -11,6 +11,9 @@
 //	voiceguard-trace diff traces.jsonl <id-a> <id-b>
 //	voiceguard-trace stats traces.jsonl           # evidence p50/p95 per stage
 //	voiceguard-trace demo -o traces.jsonl         # generate a sample dump
+//	voiceguard-trace pack build -demo -o pack.zip # assemble an evidence pack
+//	voiceguard-trace pack verify pack.zip         # digest-chain + consistency
+//	voiceguard-trace pack replay pack.zip         # reproduce verdicts offline
 //
 // A file argument of "-" reads stdin.
 package main
@@ -35,6 +38,8 @@ func main() {
 		err = runStats(os.Args[2:])
 	case "demo":
 		err = runDemo(os.Args[2:])
+	case "pack":
+		err = runPack(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -54,5 +59,6 @@ func usage() {
   voiceguard-trace diff  <file.jsonl> <id-a> <id-b> compare two traces
   voiceguard-trace stats <file.jsonl>              per-stage evidence p50/p95
   voiceguard-trace demo  [-o out.jsonl] [-n N]     generate a sample dump
+  voiceguard-trace pack  build|verify|inspect|diff|replay   evidence packs
 a file of "-" reads stdin`)
 }

@@ -28,7 +28,11 @@
 //     first, and library packages must not mint fresh roots with
 //     context.Background()/TODO() — a fresh root on the serving path
 //     detaches the cascade from the request deadline that load shedding
-//     depends on.
+//     depends on;
+//   - digesthex: cryptographic hash sums must not be rendered as raw hex
+//     outside internal/evidence — canonical content digests carry the
+//     "sha256:" prefix evidence.Digest produces, and a bare hex digest
+//     breaks evidence-pack comparison under algorithm migration.
 //
 // A finding is suppressed by a pragma comment on the same line or on the
 // line directly above:
@@ -110,6 +114,7 @@ func All() []*Analyzer {
 		PoolEscapeAnalyzer,
 		SpanCloseAnalyzer,
 		CtxFirstAnalyzer,
+		DigestHexAnalyzer,
 	}
 }
 

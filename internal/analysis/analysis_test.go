@@ -15,6 +15,7 @@ func TestUnitSuffixFixture(t *testing.T) { checkFixture(t, UnitSuffixAnalyzer, "
 func TestPoolEscapeFixture(t *testing.T) { checkFixture(t, PoolEscapeAnalyzer, "poolescape") }
 func TestSpanCloseFixture(t *testing.T)  { checkFixture(t, SpanCloseAnalyzer, "spanclose") }
 func TestCtxFirstFixture(t *testing.T)   { checkFixture(t, CtxFirstAnalyzer, "ctxfirst") }
+func TestDigestHexFixture(t *testing.T)  { checkFixture(t, DigestHexAnalyzer, "digesthex") }
 
 // TestLoadAndRunRepoPackage drives the production loader end to end over
 // a real repo package and checks the tree it guards stays clean — the

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// DigestHexAnalyzer flags cryptographic hash sums rendered as raw hex —
+// hex.EncodeToString on a sum, or an fmt verb like %x fed one — anywhere
+// outside internal/evidence. The evidence-pack integrity contract is that
+// every content digest in the tree is the canonical "sha256:"-prefixed
+// form produced by evidence.Digest: a bare hex digest cannot be
+// distinguished from a digest under a future algorithm migration, and
+// ad-hoc formatting is how two members of the same pack end up
+// incomparable. Non-cryptographic hex (span IDs from crypto/rand, FNV
+// checksums) is not a content digest and is not flagged.
+//
+// Taint is tracked per function declaration, syntactically: a value from
+// a crypto/* Sum function (sha256.Sum256, ...), or from the Sum method of
+// a hasher constructed by a crypto/* New function, is a hash sum — through
+// re-slice, paren, copy or address-of — and so is any variable later
+// derived from one the same way.
+var DigestHexAnalyzer = &Analyzer{
+	Name: "digesthex",
+	Doc:  "flags raw hex rendering of crypto hash sums outside internal/evidence",
+	Run:  runDigestHex,
+}
+
+// digestHexExemptPkg is the one package allowed to hex-format hash sums:
+// it owns the canonical digest encoding everything else must call.
+const digestHexExemptPkg = "voiceguard/internal/evidence"
+
+// hexVerbRE matches an fmt %x / %X verb with any flags or width.
+var hexVerbRE = regexp.MustCompile(`%[-+ #0-9.*\[\]]*[xX]`)
+
+func runDigestHex(pass *Pass) error {
+	if pass.Pkg.Path() == digestHexExemptPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDigestHex(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkDigestHex walks one function body in source order, growing the
+// sets of sum-tainted and hasher-tainted variables and reporting hex
+// sinks fed a sum.
+func checkDigestHex(pass *Pass, body *ast.BlockStmt) {
+	sums := make(map[types.Object]bool)
+	hashers := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				lhs, ok := s.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[lhs]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[lhs]
+				}
+				if obj == nil {
+					continue
+				}
+				switch {
+				case sumDerived(pass, sums, hashers, rhs):
+					sums[obj] = true
+				case hasherDerived(pass, hashers, rhs):
+					hashers[obj] = true
+				default:
+					// Reassignment to a fresh value clears the taint.
+					delete(sums, obj)
+					delete(hashers, obj)
+				}
+			}
+		case *ast.CallExpr:
+			reportDigestHexSink(pass, sums, hashers, s)
+		}
+		return true
+	})
+}
+
+// reportDigestHexSink flags a hex-rendering call fed a hash sum: any
+// encoding/hex encoder, or an fmt formatting call whose format literal
+// carries a %x verb.
+func reportDigestHexSink(pass *Pass, sums, hashers map[types.Object]bool, call *ast.CallExpr) {
+	pkg, name := calleePkgFunc(pass, call)
+	tainted := func() bool {
+		for _, arg := range call.Args {
+			if sumDerived(pass, sums, hashers, arg) {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case pkg == "encoding/hex" && strings.Contains(name, "Encode"):
+		if tainted() {
+			pass.Reportf(call.Pos(), "raw hex of a hash sum via hex.%s; use evidence.Digest for the canonical sha256:-prefixed form", name)
+		}
+	case pkg == "fmt" && fmtFormatsHex(call):
+		if tainted() {
+			pass.Reportf(call.Pos(), "raw hex of a hash sum via fmt.%s %%x; use evidence.Digest for the canonical sha256:-prefixed form", name)
+		}
+	}
+}
+
+// fmtFormatsHex reports whether an fmt call's first string literal
+// argument (the format) contains a hex verb.
+func fmtFormatsHex(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			continue
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return false
+		}
+		return hexVerbRE.MatchString(format)
+	}
+	return false
+}
+
+// sumDerived reports whether e is a cryptographic hash sum: a crypto/*
+// Sum function result, the Sum method of a tainted hasher, or a value
+// derived from a tainted variable through paren, slice, dereference or
+// address-of.
+func sumDerived(pass *Pass, sums, hashers map[types.Object]bool, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		return obj != nil && sums[obj]
+	case *ast.ParenExpr:
+		return sumDerived(pass, sums, hashers, x.X)
+	case *ast.SliceExpr:
+		return sumDerived(pass, sums, hashers, x.X)
+	case *ast.StarExpr:
+		return sumDerived(pass, sums, hashers, x.X)
+	case *ast.UnaryExpr:
+		return sumDerived(pass, sums, hashers, x.X)
+	case *ast.CallExpr:
+		if pkg, name := calleePkgFunc(pass, x); strings.HasPrefix(pkg, "crypto/") && strings.HasPrefix(name, "Sum") {
+			return true
+		}
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sum" {
+			return hasherDerived(pass, hashers, sel.X)
+		}
+	}
+	return false
+}
+
+// hasherDerived reports whether e is a hasher built by a crypto/* New
+// constructor, directly or through a tainted variable.
+func hasherDerived(pass *Pass, hashers map[types.Object]bool, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		return obj != nil && hashers[obj]
+	case *ast.ParenExpr:
+		return hasherDerived(pass, hashers, x.X)
+	case *ast.CallExpr:
+		pkg, name := calleePkgFunc(pass, x)
+		return strings.HasPrefix(pkg, "crypto/") && strings.HasPrefix(name, "New")
+	}
+	return false
+}
+
+// calleePkgFunc resolves a call of the pkg.Func form to its package path
+// and function name ("", "" for method calls and locals).
+func calleePkgFunc(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

@@ -1,0 +1,61 @@
+// Package digesthex is the fixture for the digesthex analyzer: hash sums
+// must be rendered through evidence.Digest, never as ad-hoc hex.
+package digesthex
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+)
+
+func rawSprintf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum) // want `raw hex of a hash sum`
+}
+
+func rawEncodeToString(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]) // want `raw hex of a hash sum`
+}
+
+func rawStreamingSum(data []byte) string {
+	h := sha256.New()
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)) // want `raw hex of a hash sum`
+}
+
+func rawDirect(data []byte) string {
+	return fmt.Sprintf("%x", sha256.Sum256(data)) // want `raw hex of a hash sum`
+}
+
+func rawWidthVerb(data []byte) string {
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("digest=%064x", sum) // want `raw hex of a hash sum`
+}
+
+// okAllowed documents an intentional raw rendering with the pragma.
+func okAllowed(data []byte) string {
+	sum := sha256.Sum256(data)
+	//lint:allow digesthex test fixture exercising suppression
+	return hex.EncodeToString(sum[:])
+}
+
+// okNonCrypto hex-encodes an FNV checksum: not a content digest, exactly
+// the telemetry span-ID pattern the analyzer must leave alone.
+func okNonCrypto(data []byte) string {
+	h := fnv.New64a()
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// okNonHexFormat formats a sum without a hex verb.
+func okNonHexFormat(data []byte) string {
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%d bytes", len(sum))
+}
+
+// okPlainHex hex-encodes non-digest bytes.
+func okPlainHex(data []byte) string {
+	return hex.EncodeToString(data)
+}

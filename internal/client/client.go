@@ -419,6 +419,31 @@ func (c *Client) Trace(traceID string) (*telemetry.TraceRecord, error) {
 	return rec, nil
 }
 
+// EvidencePack downloads one decision's evidence pack — the
+// self-contained digest-chained zip served by the server's opt-in
+// /debug/evidence/{trace_id} endpoint — as raw bytes, ready for
+// evidence.ReadBytes or a `voiceguard-trace pack verify` run.
+func (c *Client) EvidencePack(ctx context.Context, traceID string) ([]byte, error) {
+	path := "/debug/evidence/" + url.PathEscape(traceID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: fetching %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: %s returned status %d", path, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading evidence pack %s: %w", traceID, err)
+	}
+	return data, nil
+}
+
 // DumpDecisionsJSONL streams the server's retained traces as JSONL into
 // w — the offline input format of cmd/voiceguard-trace.
 func (c *Client) DumpDecisionsJSONL(w io.Writer) error {

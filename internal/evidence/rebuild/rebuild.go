@@ -1,0 +1,276 @@
+// Package rebuild reconstructs a verification pipeline from an evidence
+// pack's provenance and replays the pack's sessions through it. Every
+// training and enrollment path in the tree is seed-deterministic and the
+// cascade's parallel fan-out is bit-identical at any worker count, so a
+// system rebuilt from the same recipe digests to the same models and
+// reproduces the same verdicts bit-for-bit — which is exactly what
+// Replay asserts, turning an exported production incident into an
+// offline regression test.
+//
+// The same construction path is shared by cmd/voiceguard-server,
+// cmd/voiceguard-trace's demo/pack subcommands and the e2e tests, so a
+// pack's provenance is the recipe the producer actually ran, not a
+// parallel reimplementation that could drift.
+package rebuild
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/core"
+	"voiceguard/internal/evidence"
+	"voiceguard/internal/protocol"
+	"voiceguard/internal/speech"
+)
+
+// Profile derives a user's synthetic voice profile from an enrollment
+// seed: the first draws of a fresh seeded source, matching Synthesizer's
+// consumption of the same source during enrollment.
+func Profile(user string, seed int64) speech.Profile {
+	return speech.RandomProfile(user, rand.New(rand.NewSource(seed)))
+}
+
+// TrainASV trains the speaker-verification back-end from its provenance
+// recipe and enrolls every listed user. A nil recipe returns nil (the
+// identity stage was disabled).
+func TrainASV(p *evidence.ASVProvenance) (*core.SpeakerVerifier, error) {
+	if p == nil {
+		return nil, nil
+	}
+	roster := speech.NewRoster(p.Roster, p.Seed+100)
+	utts, err := roster.Generate(speech.CorpusConfig{
+		Sessions:             p.Sessions,
+		UtterancesPerSession: p.Utterances,
+		Digits:               p.Digits,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rebuild: generating background corpus: %w", err)
+	}
+	background := make(map[string][][]*audio.Signal)
+	for spk, us := range speech.BySpeaker(utts) {
+		perSession := map[int][]*audio.Signal{}
+		maxSess := 0
+		for _, u := range us {
+			perSession[u.Session] = append(perSession[u.Session], u.Audio)
+			if u.Session > maxSess {
+				maxSess = u.Session
+			}
+		}
+		for s := 0; s <= maxSess; s++ {
+			background[spk] = append(background[spk], perSession[s])
+		}
+	}
+	verifier, err := core.TrainSpeakerVerifier(background, core.SpeakerVerifierConfig{Seed: p.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("rebuild: training ASV: %w", err)
+	}
+	for _, e := range p.Enroll {
+		if err := Enroll(verifier, e); err != nil {
+			return nil, err
+		}
+	}
+	return verifier, nil
+}
+
+// Enroll registers one user from an enrollment recipe. One seeded source
+// drives both the profile draw and the synthesizer, so the recipe alone
+// pins the enrollment audio bit-for-bit.
+func Enroll(v *core.SpeakerVerifier, e evidence.EnrollProvenance) error {
+	if e.Utterances <= 0 {
+		return fmt.Errorf("rebuild: enroll recipe for %q has no utterances", e.User)
+	}
+	rng := rand.New(rand.NewSource(e.Seed))
+	profile := speech.RandomProfile(e.User, rng)
+	synth, err := speech.NewSynthesizer(profile, rng)
+	if err != nil {
+		return fmt.Errorf("rebuild: building synthesizer for %q: %w", e.User, err)
+	}
+	var session []*audio.Signal
+	for k := 0; k < e.Utterances; k++ {
+		utt, err := synth.SayDigits(e.Passphrase)
+		if err != nil {
+			return fmt.Errorf("rebuild: synthesizing enrollment for %q: %w", e.User, err)
+		}
+		session = append(session, utt)
+	}
+	if err := v.Enroll(e.User, [][]*audio.Signal{session}); err != nil {
+		return fmt.Errorf("rebuild: enrolling %q: %w", e.User, err)
+	}
+	return nil
+}
+
+// System constructs the full pipeline a provenance recipe describes:
+// the anti-spoofing stages from the field seed, plus the trained and
+// enrolled identity stage when the recipe carries one.
+func System(p evidence.Provenance) (*core.System, error) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: p.FieldSeed})
+	if err != nil {
+		return nil, fmt.Errorf("rebuild: building pipeline: %w", err)
+	}
+	verifier, err := TrainASV(p.ASV)
+	if err != nil {
+		return nil, err
+	}
+	if verifier != nil {
+		sys.AttachIdentity(verifier)
+	}
+	return sys, nil
+}
+
+// ErrNoProvenance is returned when a pack carries no construction recipe.
+var ErrNoProvenance = errors.New("rebuild: pack carries no provenance; cannot reconstruct the system")
+
+// SystemFromPack rebuilds the producing system from a pack's embedded
+// provenance.
+func SystemFromPack(p *evidence.Pack) (*core.System, error) {
+	if p.Models.Provenance == nil {
+		return nil, ErrNoProvenance
+	}
+	return System(*p.Models.Provenance)
+}
+
+// CheckModels asserts a rebuilt system's model digests exactly match the
+// pack's models.json — the gate replay runs before trusting any
+// reproduced verdict. A mismatch means the rebuilt models are not the
+// ones the original verdict consulted, and replay divergence would be
+// meaningless.
+func CheckModels(p *evidence.Pack, sys *core.System) error {
+	got, err := sys.ModelDigests()
+	if err != nil {
+		return fmt.Errorf("rebuild: digesting rebuilt models: %w", err)
+	}
+	var diffs []string
+	keys := make([]string, 0, len(p.Models.Digests))
+	for k := range p.Models.Digests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		gd, ok := got[k]
+		switch {
+		case !ok:
+			diffs = append(diffs, fmt.Sprintf("%s: in pack but not in rebuilt system", k))
+		case gd != p.Models.Digests[k]:
+			diffs = append(diffs, fmt.Sprintf("%s: pack %s, rebuilt %s", k, p.Models.Digests[k], gd))
+		}
+	}
+	for k := range got {
+		if _, ok := p.Models.Digests[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: in rebuilt system but not in pack", k))
+		}
+	}
+	if len(diffs) > 0 {
+		return fmt.Errorf("rebuild: model digests diverge:\n  %s", joinLines(diffs))
+	}
+	return nil
+}
+
+// ReplayResult is one session's replay outcome.
+type ReplayResult struct {
+	// TraceID is the original decision's trace ID.
+	TraceID string
+	// Match reports whether the replayed decision is bit-identical to
+	// the packed one (verdict, failed stage, per-stage pass bits and
+	// score bits).
+	Match bool
+	// Diffs lists every divergence when Match is false.
+	Diffs []string
+	// Replayed is the reproduced decision in pack record form.
+	Replayed evidence.DecisionRecord
+}
+
+// Replay feeds every replayable session in the pack back through sys and
+// compares each reproduced decision bit-for-bit against the packed one.
+// It errors on structural problems (redacted sessions, missing
+// decisions, undecodable requests); verdict divergence is reported in
+// the results, not as an error.
+func Replay(p *evidence.Pack, sys *core.System) ([]ReplayResult, error) {
+	if len(p.Sessions.Sessions) == 0 {
+		return nil, errors.New("rebuild: pack carries no sessions to replay")
+	}
+	var out []ReplayResult
+	for _, env := range p.Sessions.Sessions {
+		want, ok := p.Decision(env.TraceID)
+		if !ok {
+			return nil, fmt.Errorf("rebuild: session %s has no packed decision", env.TraceID)
+		}
+		req, err := protocol.RequestFromEnvelope(env)
+		if err != nil {
+			return nil, fmt.Errorf("rebuild: unwrapping session %s: %w", env.TraceID, err)
+		}
+		session, err := protocol.ToSession(req)
+		if err != nil {
+			return nil, fmt.Errorf("rebuild: rebuilding session %s: %w", env.TraceID, err)
+		}
+		res := ReplayResult{TraceID: env.TraceID}
+		if env.SessionDigest != "" {
+			if got := core.SessionDigest(session); got != env.SessionDigest {
+				return nil, fmt.Errorf("rebuild: session %s digest mismatch: envelope %s, rebuilt %s",
+					env.TraceID, env.SessionDigest, got)
+			}
+		}
+		decision, err := sys.Verify(session)
+		if err != nil {
+			return nil, fmt.Errorf("rebuild: replaying session %s: %w", env.TraceID, err)
+		}
+		res.Replayed = core.DecisionEvidence(decision)
+		res.Diffs = compareDecisions(want, res.Replayed)
+		res.Match = len(res.Diffs) == 0
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// compareDecisions lists the bit-level divergences between the packed
+// and replayed forms of one decision. Trace IDs and elapsed times are
+// expected to differ and are not compared.
+func compareDecisions(want, got evidence.DecisionRecord) []string {
+	var diffs []string
+	if want.Accepted != got.Accepted {
+		diffs = append(diffs, fmt.Sprintf("verdict: pack accepted=%v, replay accepted=%v",
+			want.Accepted, got.Accepted))
+	}
+	if want.FailedStage != got.FailedStage {
+		diffs = append(diffs, fmt.Sprintf("failed stage: pack %q, replay %q",
+			want.FailedStage, got.FailedStage))
+	}
+	if len(want.Stages) != len(got.Stages) {
+		diffs = append(diffs, fmt.Sprintf("stage count: pack %d, replay %d",
+			len(want.Stages), len(got.Stages)))
+	}
+	n := len(want.Stages)
+	if len(got.Stages) < n {
+		n = len(got.Stages)
+	}
+	for i := 0; i < n; i++ {
+		ws, gs := want.Stages[i], got.Stages[i]
+		if ws.Stage != gs.Stage {
+			diffs = append(diffs, fmt.Sprintf("stage %d: pack %q, replay %q", i+1, ws.Stage, gs.Stage))
+			continue
+		}
+		if ws.Pass != gs.Pass {
+			diffs = append(diffs, fmt.Sprintf("stage %s: pack pass=%v, replay pass=%v",
+				ws.Stage, ws.Pass, gs.Pass))
+		}
+		if ws.ScoreBits != gs.ScoreBits {
+			diffs = append(diffs, fmt.Sprintf("stage %s: pack score %v (bits %s), replay score %v (bits %s)",
+				ws.Stage, ws.Score, ws.ScoreBits, gs.Score, gs.ScoreBits))
+		}
+	}
+	return diffs
+}
+
+// joinLines joins diff lines with the indentation Replay's error uses.
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

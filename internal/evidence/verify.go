@@ -1,0 +1,267 @@
+package evidence
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"voiceguard/internal/telemetry"
+)
+
+// Problem is one verification failure, locating the member and record it
+// concerns.
+type Problem struct {
+	// Member is the pack member the problem lives in ("" for pack-level
+	// problems).
+	Member string
+	// TraceID is the decision the problem concerns ("" for member-level
+	// problems).
+	TraceID string
+	// Msg describes what failed.
+	Msg string
+}
+
+// String renders the problem one-line, member and trace first.
+func (p Problem) String() string {
+	var b strings.Builder
+	if p.Member != "" {
+		b.WriteString(p.Member)
+		b.WriteString(": ")
+	}
+	if p.TraceID != "" {
+		b.WriteString("trace ")
+		b.WriteString(p.TraceID)
+		b.WriteString(": ")
+	}
+	b.WriteString(p.Msg)
+	return b.String()
+}
+
+// skippedDetailPrefix marks a stage result the cascade recorded without
+// running the stage (speculative work abandoned after an earlier
+// failure); such stages legitimately carry no span evidence.
+const skippedDetailPrefix = "abandoned: "
+
+// Verify checks a pack's integrity and internal consistency offline:
+//
+//   - every member's bytes re-hash to its manifest digest, the digest
+//     chain recomputes to the manifest root, and no member is missing or
+//     unlisted;
+//   - every decision's span tree is present and agrees with it — verdict,
+//     failed stage, and for every non-skipped stage a stage span whose
+//     pass bit matches and whose score attribute is bit-identical to the
+//     decision's ScoreBits, carrying at least one threshold_* attribute
+//     (the evidence the verdict rests on);
+//   - session envelopes reference packed decisions, declare a known
+//     redaction mode, and redacted envelopes carry audio digests;
+//   - model digests are well-formed.
+//
+// The returned problems are empty iff the pack verifies.
+func Verify(p *Pack) []Problem {
+	var probs []Problem
+	probs = append(probs, verifyManifest(p)...)
+	probs = append(probs, verifyDecisions(p)...)
+	probs = append(probs, verifySessions(p)...)
+	probs = append(probs, verifyModels(p)...)
+	return probs
+}
+
+// verifyManifest re-hashes every member and recomputes the digest chain.
+func verifyManifest(p *Pack) []Problem {
+	var probs []Problem
+	m := p.Manifest
+	if m.SchemaVersion != SchemaVersion {
+		probs = append(probs, Problem{Member: ManifestMember,
+			Msg: fmt.Sprintf("schema version %d, this build reads %d", m.SchemaVersion, SchemaVersion)})
+	}
+
+	listed := make(map[string]Member, len(m.Members))
+	names := make([]string, 0, len(m.Members))
+	for _, mem := range m.Members {
+		if _, dup := listed[mem.Name]; dup {
+			probs = append(probs, Problem{Member: ManifestMember,
+				Msg: fmt.Sprintf("member %s listed twice", mem.Name)})
+			continue
+		}
+		listed[mem.Name] = mem
+		names = append(names, mem.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		probs = append(probs, Problem{Member: ManifestMember, Msg: "members not sorted by name"})
+		sort.Strings(names)
+	}
+
+	for _, name := range names {
+		mem := listed[name]
+		data, ok := p.Raw[name]
+		if !ok {
+			probs = append(probs, Problem{Member: name, Msg: "listed in manifest but missing from pack"})
+			continue
+		}
+		if int64(len(data)) != mem.Size {
+			probs = append(probs, Problem{Member: name,
+				Msg: fmt.Sprintf("size %d, manifest says %d", len(data), mem.Size)})
+		}
+		if got := Digest(data); got != mem.Digest {
+			probs = append(probs, Problem{Member: name,
+				Msg: fmt.Sprintf("digest mismatch: member hashes to %s, manifest says %s", got, mem.Digest)})
+		}
+	}
+	for name := range p.Raw {
+		if name == ManifestMember {
+			continue
+		}
+		if _, ok := listed[name]; !ok {
+			probs = append(probs, Problem{Member: name, Msg: "present in pack but not listed in manifest"})
+		}
+	}
+
+	chain := ChainSeed()
+	for _, name := range names {
+		chain = ChainDigest(chain, name, listed[name].Digest)
+	}
+	if chain != m.RootDigest {
+		probs = append(probs, Problem{Member: ManifestMember,
+			Msg: fmt.Sprintf("root digest mismatch: chain recomputes to %s, manifest says %s", chain, m.RootDigest)})
+	}
+	return probs
+}
+
+// verifyDecisions cross-checks every decision against its span tree.
+func verifyDecisions(p *Pack) []Problem {
+	var probs []Problem
+	for _, d := range p.Decisions {
+		bad := func(msg string) {
+			probs = append(probs, Problem{Member: DecisionsMember, TraceID: d.TraceID, Msg: msg})
+		}
+		tr := p.Trace(d.TraceID)
+		if tr == nil {
+			bad("no span tree in " + SpansMember)
+			continue
+		}
+		if tr.Accepted != d.Accepted {
+			bad(fmt.Sprintf("verdict disagrees with span tree: decision accepted=%v, trace accepted=%v",
+				d.Accepted, tr.Accepted))
+		}
+		if tr.FailedStage != d.FailedStage {
+			bad(fmt.Sprintf("failed stage disagrees with span tree: decision %q, trace %q",
+				d.FailedStage, tr.FailedStage))
+		}
+		if d.Accepted && d.FailedStage != "" {
+			bad(fmt.Sprintf("accepted decision names failed stage %q", d.FailedStage))
+		}
+		if !d.Accepted && d.FailedStage == "" {
+			bad("rejected decision names no failed stage")
+		}
+		if !d.Accepted && len(d.Stages) > 0 {
+			last := d.Stages[len(d.Stages)-1]
+			if last.Stage != d.FailedStage {
+				bad(fmt.Sprintf("last stage %q is not the failed stage %q", last.Stage, d.FailedStage))
+			}
+		}
+
+		for _, st := range d.Stages {
+			badStage := func(msg string) {
+				probs = append(probs, Problem{Member: DecisionsMember, TraceID: d.TraceID,
+					Msg: "stage " + st.Stage + ": " + msg})
+			}
+			wantBits := FloatBits(st.Score)
+			if st.ScoreBits != wantBits {
+				badStage(fmt.Sprintf("score %v has bits %s but score_bits says %s",
+					st.Score, wantBits, st.ScoreBits))
+			}
+			if strings.HasPrefix(st.Detail, skippedDetailPrefix) {
+				continue // skipped stage: no span evidence expected
+			}
+			sp, ok := tr.StageSpan(st.Stage)
+			if !ok {
+				badStage("no stage span in trace")
+				continue
+			}
+			if a, ok := sp.Attr("pass"); !ok {
+				badStage("stage span has no pass attribute")
+			} else if a.Bool != st.Pass {
+				badStage(fmt.Sprintf("span pass=%v, decision pass=%v", a.Bool, st.Pass))
+			}
+			if a, ok := sp.Attr("score"); !ok {
+				badStage("stage span has no score attribute")
+			} else if math.Float64bits(a.Float) != math.Float64bits(st.Score) {
+				badStage(fmt.Sprintf("span score bits %s, decision score bits %s",
+					FloatBits(a.Float), st.ScoreBits))
+			}
+			if !hasThresholdAttr(sp.Attrs) {
+				badStage("stage span carries no threshold_* evidence attribute")
+			}
+		}
+	}
+	return probs
+}
+
+// hasThresholdAttr reports whether any attribute documents the threshold
+// the stage compared against.
+func hasThresholdAttr(attrs []telemetry.Attr) bool {
+	for _, a := range attrs {
+		if strings.HasPrefix(a.Key, "threshold_") {
+			return true
+		}
+	}
+	return false
+}
+
+// verifySessions checks envelope keying and redaction declarations.
+func verifySessions(p *Pack) []Problem {
+	var probs []Problem
+	for _, env := range p.Sessions.Sessions {
+		bad := func(msg string) {
+			probs = append(probs, Problem{Member: SessionMember, TraceID: env.TraceID, Msg: msg})
+		}
+		if _, ok := p.Decision(env.TraceID); !ok {
+			bad("session envelope for a trace with no packed decision")
+		}
+		switch env.Redaction {
+		case RedactNone:
+		case RedactDigests:
+			if len(env.Audio) == 0 {
+				bad("redacted envelope carries no audio digests")
+			}
+			for _, ad := range env.Audio {
+				if !ValidDigest(ad.Digest) {
+					bad(fmt.Sprintf("audio channel %s: malformed digest %q", ad.Channel, ad.Digest))
+				}
+				for i, fd := range ad.FrameDigests {
+					if !ValidDigest(fd) {
+						bad(fmt.Sprintf("audio channel %s: malformed frame digest %d", ad.Channel, i))
+						break
+					}
+				}
+			}
+		default:
+			bad(fmt.Sprintf("unknown redaction mode %q", env.Redaction))
+		}
+		if env.SessionDigest != "" && !ValidDigest(env.SessionDigest) {
+			bad(fmt.Sprintf("malformed session digest %q", env.SessionDigest))
+		}
+		if len(env.Request) == 0 {
+			bad("envelope carries no request")
+		}
+	}
+	return probs
+}
+
+// verifyModels checks digest well-formedness.
+func verifyModels(p *Pack) []Problem {
+	var probs []Problem
+	keys := make([]string, 0, len(p.Models.Digests))
+	for k := range p.Models.Digests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !ValidDigest(p.Models.Digests[k]) {
+			probs = append(probs, Problem{Member: ModelsMember,
+				Msg: fmt.Sprintf("model %s: malformed digest %q", k, p.Models.Digests[k])})
+		}
+	}
+	return probs
+}

@@ -8,8 +8,12 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"voiceguard/internal/telemetry"
 )
 
 // TraceRoute is the URL prefix of the single-trace endpoint; the trace ID
@@ -22,13 +26,35 @@ const DecisionsRoute = "/debug/decisions"
 // DecisionsJSONLRoute exports retained decision traces as JSONL.
 const DecisionsJSONLRoute = "/debug/decisions.jsonl"
 
+// parseLimit reads the optional ?limit=N query parameter bounding how
+// many of the newest retained traces a listing returns. Absent or
+// empty means unbounded (0); anything non-numeric or negative is a
+// client error.
+func parseLimit(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("server: bad limit %q: want a non-negative integer", raw)
+	}
+	return n, nil
+}
+
 // handleDecisions serves the retained decision summaries, newest first.
+// ?limit=N keeps only the newest N.
 func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	records := s.recorder.Snapshot()
+	limit, err := parseLimit(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	records := s.recorder.SnapshotRecent(limit)
 	summaries := make([]any, 0, len(records))
 	for i := len(records) - 1; i >= 0; i-- {
 		summaries = append(summaries, records[i].Summary())
@@ -39,15 +65,22 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleDecisionsJSONL streams the retained traces oldest-first, one JSON
-// record per line.
+// handleDecisionsJSONL streams retained traces oldest-first, one JSON
+// record per line. ?limit=N keeps only the newest N (still emitted
+// oldest-first, so the dump stays chronologically ordered for
+// voiceguard-trace).
 func (s *Server) handleDecisionsJSONL(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
+	limit, err := parseLimit(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	w.Header().Set("Content-Type", "application/jsonl")
-	if err := s.recorder.WriteJSONL(w); err != nil {
+	if err := telemetry.WriteJSONL(w, s.recorder.SnapshotRecent(limit)); err != nil {
 		s.logger.Error("writing decision JSONL", "err", err)
 	}
 }

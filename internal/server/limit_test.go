@@ -1,0 +1,137 @@
+package server
+
+// Pagination tests for the flight-recorder endpoints: ?limit=N must keep
+// the newest N traces while preserving each form's documented ordering
+// (JSON newest-first, JSONL oldest-first).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"voiceguard/internal/core"
+	"voiceguard/internal/telemetry"
+)
+
+func TestSnapshotRecent(t *testing.T) {
+	rec := telemetry.NewFlightRecorder(8)
+	for i := 0; i < 5; i++ {
+		rec.Record(&telemetry.TraceRecord{TraceID: fmt.Sprintf("t-%d", i)})
+	}
+	ids := func(rs []*telemetry.TraceRecord) []string {
+		var out []string
+		for _, r := range rs {
+			out = append(out, r.TraceID)
+		}
+		return out
+	}
+	got := ids(rec.SnapshotRecent(2))
+	if len(got) != 2 || got[0] != "t-3" || got[1] != "t-4" {
+		t.Fatalf("SnapshotRecent(2) = %v, want newest two oldest-first [t-3 t-4]", got)
+	}
+	for _, n := range []int{0, -1, 5, 100} {
+		if got := ids(rec.SnapshotRecent(n)); len(got) != 5 {
+			t.Fatalf("SnapshotRecent(%d) = %v, want all 5", n, got)
+		}
+	}
+}
+
+// fillRecorder seeds the server's ring with n synthetic traces whose IDs
+// encode their recording order.
+func fillRecorder(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		srv.FlightRecorder().Record(&telemetry.TraceRecord{
+			TraceID:  fmt.Sprintf("t-%d", i),
+			Start:    time.Unix(int64(1700000000+i), 0).UTC(),
+			Accepted: true,
+		})
+	}
+}
+
+func TestDecisionsLimitNewestFirst(t *testing.T) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 1, DisableField: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, nil, WithFlightRecorder(16), WithDecisionEndpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRecorder(t, srv, 6)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	get := func(url string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// JSON form: newest first, limit keeps the newest N.
+	resp, body := get(ts.URL + DecisionsRoute + "?limit=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var summaries []telemetry.TraceSummary
+	if err := json.Unmarshal(body, &summaries); err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 3 {
+		t.Fatalf("limit=3 returned %d summaries", len(summaries))
+	}
+	for i, want := range []string{"t-5", "t-4", "t-3"} {
+		if summaries[i].TraceID != want {
+			t.Fatalf("summaries[%d] = %s, want %s (newest first)", i, summaries[i].TraceID, want)
+		}
+	}
+
+	// JSONL form: newest N, still oldest-first.
+	resp, body = get(ts.URL + DecisionsJSONLRoute + "?limit=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	records, err := telemetry.ReadJSONL(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || records[0].TraceID != "t-4" || records[1].TraceID != "t-5" {
+		got := make([]string, len(records))
+		for i, r := range records {
+			got[i] = r.TraceID
+		}
+		t.Fatalf("JSONL limit=2 = %v, want [t-4 t-5] (newest two, oldest first)", got)
+	}
+
+	// No limit: everything.
+	_, body = get(ts.URL + DecisionsRoute)
+	if err := json.Unmarshal(body, &summaries); err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 6 {
+		t.Fatalf("unbounded listing returned %d summaries, want 6", len(summaries))
+	}
+
+	// Malformed limits are client errors on both forms.
+	for _, bad := range []string{"?limit=abc", "?limit=-1", "?limit=1.5"} {
+		for _, route := range []string{DecisionsRoute, DecisionsJSONLRoute} {
+			resp, _ := get(ts.URL + route + bad)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s%s: status %d, want 400", route, bad, resp.StatusCode)
+			}
+		}
+	}
+}

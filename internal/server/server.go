@@ -17,11 +17,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strings"
 	"sync"
 	"time"
 
 	"voiceguard/internal/core"
+	"voiceguard/internal/evidence"
 	"voiceguard/internal/protocol"
 	"voiceguard/internal/telemetry"
 )
@@ -60,6 +62,19 @@ type Server struct {
 	verifyTimeout time.Duration
 	maxInflight   int
 	sem           chan struct{}
+
+	// Evidence export: retainer holds recent decoded requests and
+	// decisions for pack building (nil when no evidence surface is
+	// enabled — the hot path then pays one nil test); evidenceDir spools
+	// rejected-decision packs; evidenceProv is the construction recipe
+	// embedded in every pack; spoolWG tracks in-flight spool writes so
+	// Shutdown can drain them.
+	evidenceDebug bool
+	evidenceDir   string
+	evidenceSize  int
+	evidenceProv  *evidence.Provenance
+	retainer      *evidenceRetainer
+	spoolWG       sync.WaitGroup
 
 	// Verify outcome counters. Total requests is their sum, so the
 	// Requests == Accepted+Rejected+Errors+DeadlineExceeded+Shed
@@ -201,6 +216,14 @@ func New(system *core.System, logger *slog.Logger, opts ...Option) (*Server, err
 		s.stageHist[st] = r.Histogram(MetricStageLatency, nil, telemetry.Labels{"stage": st.MetricName()})
 	}
 	r.SetHelp(MetricStageLatency, "per-stage pipeline latency")
+	if s.evidenceDebug || s.evidenceDir != "" {
+		s.retainer = newEvidenceRetainer(s.evidenceSize)
+	}
+	if s.evidenceDir != "" {
+		if err := os.MkdirAll(s.evidenceDir, 0o700); err != nil {
+			return nil, fmt.Errorf("server: creating evidence dir: %w", err)
+		}
+	}
 	s.recorder = telemetry.NewFlightRecorder(s.flightSize)
 	// The pipeline records traces through the system's tracer; attach one
 	// wired to this server's ring unless the caller installed their own.
@@ -239,6 +262,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(DecisionsRoute, s.handleDecisions)
 		mux.HandleFunc(DecisionsJSONLRoute, s.handleDecisionsJSONL)
 		mux.HandleFunc(TraceRoute, s.handleTrace)
+	}
+	if s.evidenceDebug {
+		mux.HandleFunc(EvidenceRoute, s.handleEvidence)
 	}
 	if !s.metricsOff {
 		mux.HandleFunc("/metrics", s.handleMetrics)
@@ -511,6 +537,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.rejected.Inc()
 	}
+	if s.evidenceEnabled() {
+		s.retainEvidence(traceID, req, decision)
+	}
 	s.pipelineHist.ObserveDurationExemplar(decision.Elapsed, decision.TraceID)
 	stageAttrs := make([]any, 0, 2*len(decision.Stages)+8)
 	stageAttrs = append(stageAttrs,
@@ -545,16 +574,19 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Shutdown gracefully stops a server started with Serve or
-// ListenAndServe: the listener closes immediately and in-flight
-// verifications drain until ctx expires.
+// ListenAndServe: the listener closes immediately, in-flight
+// verifications drain until ctx expires, and pending evidence-pack
+// spools finish so no rejected decision loses its pack to the exit.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	srv := s.httpSrv
 	s.mu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
 	}
-	return srv.Shutdown(ctx)
+	s.spoolWG.Wait()
+	return err
 }
 
 // Addr returns the address ListenAndServe bound, or "" before the

@@ -200,6 +200,18 @@ func (f *FlightRecorder) Snapshot() []*TraceRecord {
 	return out
 }
 
+// SnapshotRecent returns the newest n retained traces, still ordered
+// oldest-first like Snapshot. n <= 0 or n >= the retained count returns
+// everything — the bound exists so debug endpoints on a large ring can
+// page instead of dumping megabytes per scrape.
+func (f *FlightRecorder) SnapshotRecent(n int) []*TraceRecord {
+	all := f.Snapshot()
+	if n <= 0 || n >= len(all) {
+		return all
+	}
+	return all[len(all)-n:]
+}
+
 // Find returns the retained trace with the given ID, preferring the most
 // recent when a client reused an ID, or nil when it has been evicted.
 func (f *FlightRecorder) Find(traceID string) *TraceRecord {
