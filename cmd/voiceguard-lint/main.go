@@ -6,6 +6,7 @@
 //	go run ./cmd/voiceguard-lint ./...
 //	go run ./cmd/voiceguard-lint -list
 //	go run ./cmd/voiceguard-lint -only floatcmp,nopanic ./internal/dsp
+//	go run ./cmd/voiceguard-lint -json ./... > diagnostics.json
 //
 // Findings are suppressed in source with a pragma on the same line or the
 // line above:
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout (for CI archiving)")
 	dir := flag.String("C", ".", "directory to resolve package patterns in")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: voiceguard-lint [flags] [packages]\n\n")
@@ -62,13 +65,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "voiceguard-lint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "voiceguard-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "voiceguard-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// jsonDiagnostic is the machine-readable diagnostic record.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders the diagnostics as one indented JSON array. An empty
+// run emits [] so CI consumers always parse a valid document.
+func writeJSON(w *os.File, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectAnalyzers filters the suite by a comma-separated name list.

@@ -16,7 +16,8 @@
 //     must record StageResult.Elapsed (core.TimeStage);
 //   - unitsuffix: exported float fields/params representing physical
 //     quantities must carry a unit suffix (Meters, Hz, MicroTesla,
-//     Seconds, ...) or a "unit:" doc tag;
+//     Seconds, ...) or a machine-readable "unit:" doc tag, and every
+//     unit tag tree-wide must parse under the grammar of units.go;
 //   - poolescape: sync.Pool-obtained buffers must not escape the
 //     acquiring function via return or store — a leaked scratch buffer
 //     is handed to another goroutine by a later Get, a data race no test
@@ -32,7 +33,14 @@
 //   - digesthex: cryptographic hash sums must not be rendered as raw hex
 //     outside internal/evidence — canonical content digests carry the
 //     "sha256:" prefix evidence.Digest produces, and a bare hex digest
-//     breaks evidence-pack comparison under algorithm migration.
+//     breaks evidence-pack comparison under algorithm migration;
+//   - unitflow: flow-sensitive dimensional analysis — units declared by
+//     name suffixes, unit tags and annotated conversion constants are
+//     propagated through each function's control-flow graph (cfg.go,
+//     dataflow.go) and every comparison, addition, assignment, call
+//     argument and return whose inferred dimension conflicts with the
+//     declared one is reported (a cm threshold compared against meters,
+//     a µT swing passed where a µT/s rate is declared).
 //
 // A finding is suppressed by a pragma comment on the same line or on the
 // line directly above:
@@ -115,6 +123,7 @@ func All() []*Analyzer {
 		SpanCloseAnalyzer,
 		CtxFirstAnalyzer,
 		DigestHexAnalyzer,
+		UnitFlowAnalyzer,
 	}
 }
 

@@ -16,6 +16,7 @@ func TestPoolEscapeFixture(t *testing.T) { checkFixture(t, PoolEscapeAnalyzer, "
 func TestSpanCloseFixture(t *testing.T)  { checkFixture(t, SpanCloseAnalyzer, "spanclose") }
 func TestCtxFirstFixture(t *testing.T)   { checkFixture(t, CtxFirstAnalyzer, "ctxfirst") }
 func TestDigestHexFixture(t *testing.T)  { checkFixture(t, DigestHexAnalyzer, "digesthex") }
+func TestUnitFlowFixture(t *testing.T)   { checkFixture(t, UnitFlowAnalyzer, "unitflow") }
 
 // TestLoadAndRunRepoPackage drives the production loader end to end over
 // a real repo package and checks the tree it guards stays clean — the

@@ -1,0 +1,404 @@
+package analysis
+
+// Intra-procedural control-flow graphs for the dataflow analyzers. The
+// builder lowers a function body to basic blocks connected by execution
+// edges: if/else, for (all three clauses), range, switch/type switch
+// (including fallthrough), select, labeled break/continue and return are
+// modeled. goto is not: its edge is dropped, leaving the target block's
+// state to its other predecessors (the repo's style forbids goto anyway).
+//
+// Control conditions (if/for conditions, switch tags and case
+// expressions) appear in block node lists as bare ast.Expr entries, so a
+// transfer function sees every evaluated expression exactly once per
+// block visit, in execution order.
+
+import "go/ast"
+
+// Block is one straight-line run of nodes with no internal control flow.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes holds statements and control-condition expressions in
+	// execution order.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to next.
+	Succs []*Block
+	// Preds are the blocks control may arrive from.
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block; Blocks[0] is the entry.
+	Blocks []*Block
+	// Exit is the synthetic block all returns and the final fallthrough
+	// edge converge on. It is also present in Blocks.
+	Exit *Block
+}
+
+// NewCFG builds the control-flow graph of body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	entry := b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	return b.cfg
+}
+
+// RPO returns the blocks reachable from the entry in reverse postorder —
+// the iteration order under which a forward fixpoint converges fastest.
+func (g *CFG) RPO() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Blocks[0])
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// branchTarget is one enclosing loop/switch/select a break or continue
+// may target.
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// cfgBuilder carries the under-construction graph.
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block new nodes append to; nil after a terminator
+	// (return, break, ...) until the next reachable block starts.
+	cur *Block
+	// breaks/continues are the enclosing targets, innermost last.
+	breaks    []branchTarget
+	continues []branchTarget
+	// label is a pending statement label, consumed by the next
+	// for/range/switch/select.
+	label string
+	// fallthroughTo is the next case-clause block while walking a switch
+	// clause body.
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// append adds a node to the current block, starting a fresh unreachable
+// block after a terminator so dead code still gets (bottom-state)
+// analysis instead of a nil dereference.
+func (b *cfgBuilder) append(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.ensure()
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) ensure() {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+	case *ast.ReturnStmt:
+		b.append(s)
+		b.ensure()
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Assignments, declarations, expression/inc-dec statements,
+		// defer, go, send, empty.
+		b.append(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.append(s.Init)
+	b.append(s.Cond)
+	b.ensure()
+	cond := b.cur
+	then := b.newBlock()
+	after := b.newBlock()
+	b.edge(cond, then)
+	var alt *Block
+	if s.Else != nil {
+		alt = b.newBlock()
+		b.edge(cond, alt)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = then
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, after)
+	}
+	if s.Else != nil {
+		b.cur = alt
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.label
+	b.label = ""
+	b.append(s.Init)
+	b.ensure()
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	backTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		backTo = post
+	}
+	b.pushLoop(label, after, backTo)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.popLoop()
+	if b.cur != nil {
+		b.edge(b.cur, backTo)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.label
+	b.label = ""
+	b.ensure()
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	// The RangeStmt node itself stands for "evaluate X, bind Key/Value";
+	// the transfer function interprets it.
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.pushLoop(label, after, head)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.popLoop()
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	label := b.label
+	b.label = ""
+	b.append(s.Init)
+	b.append(s.Tag)
+	b.ensure()
+	head := b.cur
+	var clauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		// Case expressions may all be evaluated while selecting.
+		head.Nodes = append(head.Nodes, exprNodes(cc.List)...)
+		clauses = append(clauses, cc)
+	}
+	b.caseClauses(label, head, clauses, func(cc *ast.CaseClause) []ast.Stmt { return cc.Body })
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.label
+	b.label = ""
+	b.append(s.Init)
+	b.append(s.Assign)
+	b.ensure()
+	head := b.cur
+	var clauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	b.caseClauses(label, head, clauses, func(cc *ast.CaseClause) []ast.Stmt { return cc.Body })
+}
+
+// caseClauses wires one block per clause plus the after block, handling
+// default presence and fallthrough.
+func (b *cfgBuilder) caseClauses(label string, head *Block, clauses []*ast.CaseClause, body func(*ast.CaseClause) []ast.Stmt) {
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+	outerFall := b.fallthroughTo
+	for i, cc := range clauses {
+		if i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.cur = blocks[i]
+		b.stmts(body(cc))
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.fallthroughTo = outerFall
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.label
+	b.label = ""
+	b.ensure()
+	head := b.cur
+	after := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		b.append(cc.Comm)
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	// select{} blocks forever, and a select whose every clause terminates
+	// never falls through: either way after simply keeps no edge from
+	// here (a labeled break may still target it).
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		if t := findTarget(b.breaks, s.Label); t != nil {
+			b.ensure()
+			b.edge(b.cur, t)
+		}
+		b.cur = nil
+	case "continue":
+		if t := findTarget(b.continues, s.Label); t != nil {
+			b.ensure()
+			b.edge(b.cur, t)
+		}
+		b.cur = nil
+	case "fallthrough":
+		if b.fallthroughTo != nil {
+			b.ensure()
+			b.edge(b.cur, b.fallthroughTo)
+		}
+		b.cur = nil
+	case "goto":
+		// Unmodeled: drop the edge.
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	b.continues = append(b.continues, branchTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// findTarget resolves a break/continue to its target block: the labeled
+// enclosing construct, or the innermost one for the bare form.
+func findTarget(stack []branchTarget, label *ast.Ident) *Block {
+	if label == nil {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// exprNodes widens a []ast.Expr to []ast.Node.
+func exprNodes(list []ast.Expr) []ast.Node {
+	out := make([]ast.Node, len(list))
+	for i, e := range list {
+		out[i] = e
+	}
+	return out
+}

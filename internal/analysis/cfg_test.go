@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// parseBody wraps a statement list in a function and returns its body.
+func parseBody(t *testing.T, stmts string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + stmts + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing snippet: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// checkInvariants verifies edge symmetry and that the exit is reachable
+// from the entry whenever any reachable block can terminate.
+func checkInvariants(t *testing.T, g *CFG) {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing from Preds", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			found := false
+			for _, s := range p.Succs {
+				if s == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing from Succs", p.Index, b.Index)
+			}
+		}
+	}
+	rpo := g.RPO()
+	if len(rpo) == 0 || rpo[0] != g.Blocks[0] {
+		t.Fatalf("RPO must start at the entry block")
+	}
+}
+
+// hasCycle reports whether the reachable graph contains a cycle.
+func hasCycle(g *CFG) bool {
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make([]int, len(g.Blocks))
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		color[b.Index] = gray
+		for _, s := range b.Succs {
+			if color[s.Index] == gray {
+				return true
+			}
+			if color[s.Index] == white && dfs(s) {
+				return true
+			}
+		}
+		color[b.Index] = black
+		return false
+	}
+	return dfs(g.Blocks[0])
+}
+
+// reachesExit reports whether the exit block is reachable from the entry.
+func reachesExit(g *CFG) bool {
+	for _, b := range g.RPO() {
+		if b == g.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// cyclic marks shapes that must contain a back edge.
+		cyclic bool
+		// exitReachable is false only for shapes that cannot terminate.
+		exitReachable bool
+	}{
+		{"straightline", "x := 1\n_ = x", false, true},
+		{"if", "x := 1\nif x > 0 {\n x = 2\n}\n_ = x", false, true},
+		{"ifelse", "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x", false, true},
+		{"ifinit", "if x := 1; x > 0 {\n _ = x\n}", false, true},
+		{"nestedif", "x := 1\nif x > 0 {\n if x > 1 {\n  x = 2\n }\n}\n_ = x", false, true},
+		{"for3clause", "s := 0\nfor i := 0; i < 4; i++ {\n s += i\n}\n_ = s", true, true},
+		{"forcondonly", "x := 8\nfor x > 0 {\n x--\n}", true, true},
+		{"forever", "x := 0\nfor {\n x++\n}", true, false},
+		{"foreverbreak", "x := 0\nfor {\n x++\n if x > 3 {\n  break\n }\n}\n_ = x", true, true},
+		{"continue", "s := 0\nfor i := 0; i < 9; i++ {\n if i%2 == 0 {\n  continue\n }\n s += i\n}\n_ = s", true, true},
+		{"range", "xs := []int{1, 2}\ns := 0\nfor _, x := range xs {\n s += x\n}\n_ = s", true, true},
+		{"switch", "x := 1\nswitch x {\ncase 1:\n x = 2\ncase 2:\n x = 3\n}\n_ = x", false, true},
+		{"switchdefault", "x := 1\nswitch x {\ncase 1:\n x = 2\ndefault:\n x = 4\n}\n_ = x", false, true},
+		{"fallthrough", "x := 1\nswitch x {\ncase 1:\n x = 2\n fallthrough\ncase 2:\n x = 3\n}\n_ = x", false, true},
+		{"typeswitch", "var v any = 1\nswitch v.(type) {\ncase int:\ncase string:\n}\n_ = v", false, true},
+		{"earlyreturn", "x := 1\nif x > 0 {\n return\n}\n_ = x", false, true},
+		{"labeledbreak", "outer:\nfor i := 0; i < 3; i++ {\n for j := 0; j < 3; j++ {\n  if i == j {\n   break outer\n  }\n }\n}", true, true},
+		{"labeledcontinue", "outer:\nfor i := 0; i < 3; i++ {\n for j := 0; j < 3; j++ {\n  if i == j {\n   continue outer\n  }\n }\n}", true, true},
+		{"select", "c := make(chan int, 1)\nselect {\ncase v := <-c:\n _ = v\ndefault:\n}", false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewCFG(parseBody(t, tc.src))
+			checkInvariants(t, g)
+			if got := hasCycle(g); got != tc.cyclic {
+				t.Errorf("hasCycle = %v, want %v", got, tc.cyclic)
+			}
+			if got := reachesExit(g); got != tc.exitReachable {
+				t.Errorf("reachesExit = %v, want %v", got, tc.exitReachable)
+			}
+		})
+	}
+}
+
+// TestCFGConditionPlacement verifies control conditions are lifted into
+// block node lists exactly once, so a transfer function sees them.
+func TestCFGConditionPlacement(t *testing.T) {
+	g := NewCFG(parseBody(t, "x := 1\nif x > 1 {\n x = 2\n}\nfor x < 9 {\n x++\n}"))
+	conds := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if be, ok := n.(*ast.BinaryExpr); ok && be.Op.String() != "" {
+				conds++
+			}
+		}
+	}
+	if conds != 2 {
+		t.Fatalf("expected the if and for conditions as 2 bare expressions in blocks, found %d", conds)
+	}
+}
+
+// defset is the "definitely assigned variables" domain for the toy
+// dataflow problem below: join is set intersection, so a name survives
+// only when every path assigns it.
+type defset map[string]bool
+
+type definiteAssign struct{}
+
+func (definiteAssign) Entry() defset { return defset{} }
+
+func (definiteAssign) Copy(s defset) defset {
+	out := make(defset, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (definiteAssign) Transfer(s defset, n ast.Node) defset {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				s[id.Name] = true
+			}
+		}
+	}
+	return s
+}
+
+func (definiteAssign) Join(a, b defset) defset {
+	for k := range a {
+		if !b[k] {
+			delete(a, k)
+		}
+	}
+	return a
+}
+
+func (definiteAssign) Equal(a, b defset) bool { return reflect.DeepEqual(a, b) }
+
+func names(s defset) []string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestForwardDefiniteAssignment(t *testing.T) {
+	body := parseBody(t, `
+x := 1
+if x > 0 {
+	y := 2
+	_ = y
+} else {
+	z := 3
+	_ = z
+}
+for i := 0; i < 3; i++ {
+	b := 5
+	_ = b
+}
+w := 4
+_ = w`)
+	g := NewCFG(body)
+	in := Forward[defset](g, definiteAssign{})
+	exit, ok := in[g.Exit]
+	if !ok {
+		t.Fatalf("no state reached the exit block")
+	}
+	// x and w are assigned on every path; y and z only on one branch
+	// each; b only when the loop body runs; i is assigned by the loop
+	// init, which always executes.
+	want := []string{"i", "w", "x"}
+	if got := names(exit); !reflect.DeepEqual(got, want) {
+		t.Fatalf("definitely assigned at exit = %v, want %v", got, want)
+	}
+	// Inside the loop body everything from the init plus the branch
+	// merge is assigned, but not the body's own b on entry.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "b" {
+					if s := in[b]; s["b"] {
+						t.Fatalf("b must not be definitely assigned on loop-body entry, got %v", names(s))
+					}
+				}
+			}
+		}
+	}
+}

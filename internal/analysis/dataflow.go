@@ -1,0 +1,79 @@
+package analysis
+
+// A generic forward-transfer dataflow engine over the CFGs of cfg.go.
+// An analyzer supplies the abstract domain (states S, join, equality) and
+// a transfer function; Forward computes the least fixpoint by repeated
+// reverse-postorder sweeps and returns each reachable block's entry
+// state. Analyzers report findings in a separate pass over the converged
+// states (re-applying the transfer once per block) so a diagnostic is
+// emitted exactly once, not once per fixpoint iteration.
+
+import "go/ast"
+
+// Problem is a forward dataflow problem.
+type Problem[S any] interface {
+	// Entry is the state on entry to the function.
+	Entry() S
+	// Copy returns an independent copy of a state the engine may mutate.
+	Copy(S) S
+	// Transfer flows one CFG node through the state, returning the state
+	// after the node. It may mutate and return its argument.
+	Transfer(S, ast.Node) S
+	// Join merges the states of two converging paths.
+	Join(S, S) S
+	// Equal reports whether two states coincide (fixpoint detection).
+	Equal(S, S) bool
+}
+
+// maxFixpointSweeps bounds the full-CFG sweeps, a backstop against a
+// non-monotone Transfer looping forever. Well-formed lattices of small
+// height converge in a handful of sweeps.
+const maxFixpointSweeps = 64
+
+// Forward computes the forward dataflow fixpoint of p over g and returns
+// the entry state of every reachable block. Unreachable blocks have no
+// entry in the result map.
+func Forward[S any](g *CFG, p Problem[S]) map[*Block]S {
+	order := g.RPO()
+	in := make(map[*Block]S, len(order))
+	out := make(map[*Block]S, len(order))
+	in[g.Blocks[0]] = p.Entry()
+	for sweep := 0; sweep < maxFixpointSweeps; sweep++ {
+		changed := false
+		for _, b := range order {
+			entry, seeded := in[b], false
+			if b == g.Blocks[0] {
+				seeded = true
+			}
+			for _, pred := range b.Preds {
+				po, ok := out[pred]
+				if !ok {
+					continue
+				}
+				if !seeded {
+					entry, seeded = p.Copy(po), true
+				} else {
+					entry = p.Join(entry, po)
+				}
+			}
+			if !seeded {
+				// No predecessor has produced a state yet.
+				continue
+			}
+			in[b] = entry
+			s := p.Copy(entry)
+			for _, n := range b.Nodes {
+				s = p.Transfer(s, n)
+			}
+			prev, ok := out[b]
+			if !ok || !p.Equal(prev, s) {
+				out[b] = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}

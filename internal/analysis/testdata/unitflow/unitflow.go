@@ -1,0 +1,89 @@
+// Package core exercises the unitflow analyzer: units seeded from tags,
+// suffixes and a conversion constant must flow consistently through
+// comparisons, assignments, calls and loops. Every flagged line compiles
+// and would pass any value-level test — the bugs are purely dimensional.
+package core
+
+import "math"
+
+// CmPerM converts meters to centimeters.
+// unit: cm/m
+const CmPerM = 100
+
+// Thresholds carries the cascade's accept limits.
+type Thresholds struct {
+	// Dt is the distance accept threshold.
+	// unit: cm
+	Dt float64
+	// Mt is the magnetic field-swing limit.
+	// unit: uT
+	Mt float64
+	// Beta is the field change-rate limit.
+	// unit: uT/s
+	Beta float64
+	// Theta is the LLR accept threshold.
+	// unit: score
+	Theta float64
+}
+
+// CheckDistance accepts when the measured distance is inside the
+// threshold. The first comparison converts through CmPerM and is clean;
+// the second compares raw meters against the cm threshold.
+// unit: distance m
+func CheckDistance(t Thresholds, distance float64) bool {
+	distCm := distance * CmPerM
+	if distCm > t.Dt {
+		return false
+	}
+	return distance < t.Dt // want `comparison mixes m and cm \(same dimension, different scale\)`
+}
+
+// CheckField validates the magnetometer swing and rate against their
+// limits.
+// unit: swing uT, rate uT/s
+func CheckField(t Thresholds, swing, rate float64) bool {
+	return swing < t.Mt && rate < t.Beta
+}
+
+// Screen forwards to CheckField with the two field arguments swapped — a
+// call that compiles, runs, and is dimensionally wrong.
+// unit: swing uT, rate uT/s
+func Screen(t Thresholds, swing, rate float64) bool {
+	return CheckField(t, rate, swing) // want `argument 2 to CheckField: unit µT/s does not match declared µT` `argument 3 to CheckField: unit µT does not match declared µT/s`
+}
+
+// WorstRate scans a rate trace. worst starts as a bare scalar and only
+// acquires µT/s through the loop's back edge, so the bad comparison
+// against the µT limit is invisible on the first pass and needs the
+// fixpoint to converge.
+// unit: rates uT/s
+func WorstRate(t Thresholds, rates []float64) bool {
+	worst := 0.0
+	for i := 0; i < len(rates); i++ {
+		if worst > t.Mt { // want `comparison mixes µT/s and µT`
+			return false
+		}
+		worst = rates[i]
+	}
+	return true
+}
+
+// Confused compares a distance against the LLR threshold: different base
+// dimensions entirely.
+// unit: distance m
+func Confused(t Thresholds, distance float64) bool {
+	return distance > t.Theta // want `comparison mixes m and score`
+}
+
+// Normalize stores raw meters into the cm threshold field.
+// unit: d m
+func Normalize(t *Thresholds, d float64) {
+	t.Dt = d // want `store to field Dt: unit m does not match declared cm`
+}
+
+// Planar returns the planar distance; math.Hypot preserves the shared
+// unit of its arguments, so this is clean.
+// unit: x m, y m, return m
+func Planar(x, y float64) float64 {
+	return math.Hypot(x, y)
+}

@@ -1,7 +1,8 @@
-// Package geometry exercises the unitsuffix analyzer. The package is
-// named after one of the unit-bearing packages so the analyzer is active;
-// exported float fields and parameters must carry a unit suffix or a
-// "unit:" tag.
+// Package geometry exercises the unitsuffix analyzer. The fixture
+// type-checks under the analyzer's testdata escape path, so the
+// annotation-completeness checks are active: exported float fields and
+// parameters must carry a unit suffix or a parsed "unit:" tag, and every
+// tag line tree-wide must parse under the grammar.
 package geometry
 
 // Probe is a measurement point in front of the source.
@@ -10,6 +11,7 @@ type Probe struct {
 	SpacingMeters float64
 	Gain          float64 // unit: dimensionless
 	Label         string
+	drift         float64 /* unit: m unless stated otherwise */ // want `malformed unit tag`
 }
 
 // Shift moves the probe away from the source.
@@ -25,5 +27,10 @@ func ShiftBy(p Probe, dMeters float64) Probe {
 }
 
 // Wait pauses the sweep between positions.
-// unit: t in seconds.
+// unit: t s
 func Wait(t float64) { _ = t }
+
+// Cool lets the coil settle. The tag below names a parameter that does
+// not exist, so the declared unit silently binds nothing.
+// unit: dur s
+func Cool(t float64) { _ = t } // want `unit tag names "dur", which is not a parameter or result of Cool` `float parameter t of exported Cool needs a unit suffix`

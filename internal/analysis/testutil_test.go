@@ -35,7 +35,7 @@ var (
 // fixture may import, built once per test binary with `go list`.
 func fixtureExports() (map[string]string, error) {
 	exportOnce.Do(func() {
-		pkgs, err := goList("../..", []string{"fmt", "errors", "context", "crypto/sha256", "encoding/hex", "hash/fnv", "voiceguard/internal/core", "voiceguard/internal/telemetry"})
+		pkgs, err := goList("../..", []string{"fmt", "errors", "context", "crypto/sha256", "encoding/hex", "hash/fnv", "math", "voiceguard/internal/core", "voiceguard/internal/telemetry"})
 		if err != nil {
 			exportErr = err
 			return

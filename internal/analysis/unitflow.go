@@ -1,0 +1,1440 @@
+package analysis
+
+// unitflow: flow-sensitive dimensional analysis of the cascade's physical
+// arithmetic. Every verdict the paper's cascade returns is a comparison
+// of a measured quantity against a physical threshold (distance vs Dt,
+// field swing vs Mt, change rate vs βt, LLR vs θ), and a silent cm/m or
+// µT-vs-µT/s mix-up flips ACCEPT/REJECT without failing a test. The
+// analyzer seeds units from three sources — unit-bearing name suffixes
+// (MaxDistanceMeters, cutoffHz), machine-readable tags of the form
+// "unit: cm" / "unit: t s" (see units.go for the grammar), and annotated
+// conversion constants (a const tagged cm/m composes multiplicatively) —
+// then propagates them through each function with the CFG + fixpoint
+// machinery of cfg.go/dataflow.go and reports every comparison, addition,
+// assignment, call argument, composite-literal field and return value
+// whose inferred dimension conflicts with the declared one.
+//
+// The abstract domain per variable is bottom < scalar < unit < top:
+// numeric literals and untagged constants are scalars (identity under
+// multiplication, chameleons under comparison), tagged/suffixed
+// quantities carry a Unit, and anything polymorphic or unknowable is
+// top. Only conflicts between two *known* units are reported, so an
+// unannotated value never produces noise.
+//
+// Exported annotations are also published as cross-package facts: when
+// the whole tree is linted (the CI case, `go list` order puts
+// dependencies first), a call into another package checks arguments
+// against the callee's declared parameter units; outside that, parameter
+// and field name suffixes recovered from export data still apply.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+	"sync"
+)
+
+// UnitFlowAnalyzer reports dimension conflicts in physical arithmetic.
+var UnitFlowAnalyzer = &Analyzer{
+	Name: "unitflow",
+	Doc:  "flow-sensitive unit checking: comparisons, arithmetic, assignments and calls must agree dimensionally",
+	Run:  runUnitFlow,
+}
+
+// uKind orders the per-value lattice.
+type uKind int8
+
+const (
+	uBottom uKind = iota // unreached
+	uScalar              // pure number: literal or untagged constant
+	uUnit                // known physical unit
+	uTop                 // unknown or deliberately polymorphic
+)
+
+// uval is one lattice value.
+type uval struct {
+	kind uKind
+	unit Unit // valid when kind == uUnit
+}
+
+var (
+	scalarVal = uval{kind: uScalar}
+	topVal    = uval{kind: uTop}
+)
+
+func unitVal(u Unit) uval { return uval{kind: uUnit, unit: u} }
+
+// fromDecl lifts a declared annotation into the lattice.
+func fromDecl(d DeclUnit) uval {
+	if d.Any {
+		return topVal
+	}
+	return unitVal(d.Unit)
+}
+
+// joinVal is the lattice join.
+func joinVal(a, b uval) uval {
+	if a.kind == uBottom {
+		return b
+	}
+	if b.kind == uBottom {
+		return a
+	}
+	if a.kind == uTop || b.kind == uTop {
+		return topVal
+	}
+	if a.kind == uScalar {
+		return b
+	}
+	if b.kind == uScalar {
+		return a
+	}
+	if a.unit.Equal(b.unit) {
+		return a
+	}
+	return topVal
+}
+
+// uState maps in-scope variables (and, for slice variables, their element
+// quantity) to lattice values.
+type uState map[types.Object]uval
+
+// sigUnits are the declared parameter/result units of one function.
+type sigUnits struct {
+	// params holds one entry per signature parameter (nil = undeclared);
+	// for variadic functions the last entry covers every trailing
+	// argument.
+	params []*DeclUnit
+	// results holds one entry per result.
+	results []*DeclUnit
+	// variadic mirrors types.Signature.Variadic.
+	variadic bool
+}
+
+// unitIndex is the per-package annotation table built from source.
+type unitIndex struct {
+	pass *Pass
+	// obj maps fields, consts, vars, params and named results to their
+	// declared units.
+	obj map[types.Object]DeclUnit
+	// fn maps function objects to their signature units.
+	fn map[*types.Func]*sigUnits
+}
+
+// factKey addresses an exported symbol across packages.
+func fieldFactKey(pkgPath, typeName, field string) string {
+	return pkgPath + "." + typeName + "." + field
+}
+
+func objFactKey(pkgPath, name string) string { return pkgPath + "." + name }
+
+func funcFactKey(fn *types.Func) string {
+	key := fn.Pkg().Path() + "."
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			key += n.Obj().Name() + "."
+		}
+	}
+	return key + fn.Name()
+}
+
+// unitFacts publishes exported annotations for cross-package lookup.
+// `go list -deps` orders dependencies first, so a whole-tree lint run
+// populates a package's facts before its importers are analyzed.
+var unitFacts = struct {
+	sync.Mutex
+	obj map[string]DeclUnit
+	fn  map[string]*sigUnits
+}{obj: map[string]DeclUnit{}, fn: map[string]*sigUnits{}}
+
+func runUnitFlow(pass *Pass) error {
+	idx := collectUnitIndex(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					idx.analyzeFunc(d.Type, d.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level initializers are straight-line code.
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					idx.checkValueSpec(vs)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// analyzeFunc runs the CFG fixpoint over one function body and then a
+// single reporting sweep from the converged entry states. Nested function
+// literals are analyzed on their own CFGs (captured variables are top).
+func (idx *unitIndex) analyzeFunc(ft *ast.FuncType, body *ast.BlockStmt) {
+	g := NewCFG(body)
+	flow := &unitFlow{idx: idx, fnType: ft}
+	in := Forward[uState](g, flow)
+	flow.reporting = true
+	for _, b := range g.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		s = flow.Copy(s)
+		for _, n := range b.Nodes {
+			s = flow.Transfer(s, n)
+		}
+	}
+	// Function literals: each gets its own analysis, entered with only
+	// its own parameters known.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			idx.analyzeFunc(fl.Type, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkValueSpec evaluates package-level initializer expressions with
+// reporting enabled (no CFG needed: they are single expressions).
+func (idx *unitIndex) checkValueSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	flow := &unitFlow{idx: idx, reporting: true}
+	s := uState{}
+	if len(vs.Names) == len(vs.Values) {
+		for i, name := range vs.Names {
+			v := flow.eval(s, vs.Values[i])
+			if obj, ok := idx.pass.TypesInfo.Defs[name]; ok && obj != nil {
+				flow.checkDeclared(s, obj, v, vs.Values[i].Pos(), "initializer of "+name.Name)
+			}
+		}
+		return
+	}
+	for _, e := range vs.Values {
+		flow.eval(s, e)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Annotation collection
+
+// collectUnitIndex walks the package's declarations, resolving every
+// declared unit (tag first, name suffix second) and publishing exported
+// ones as facts.
+func collectUnitIndex(pass *Pass) *unitIndex {
+	idx := &unitIndex{
+		pass: pass,
+		obj:  map[types.Object]DeclUnit{},
+		fn:   map[*types.Func]*sigUnits{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if st, ok := sp.Type.(*ast.StructType); ok {
+							idx.collectStruct(sp.Name.Name, st)
+						}
+					case *ast.ValueSpec:
+						idx.collectValues(d, sp)
+					}
+				}
+			case *ast.FuncDecl:
+				idx.collectFunc(d)
+			}
+		}
+	}
+	return idx
+}
+
+// bareTagOf extracts the single bare unit from a field/value comment
+// group, ignoring parse errors (unitsuffix reports those).
+func bareTagOf(groups ...*ast.CommentGroup) *DeclUnit {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			for _, line := range commentLines(c) {
+				body, ok := CutUnitTag(line)
+				if !ok {
+					continue
+				}
+				tag, err := ParseUnitTag(body)
+				if err != nil || tag.Bare == nil {
+					continue
+				}
+				return tag.Bare
+			}
+		}
+	}
+	return nil
+}
+
+// commentLines splits one comment into logical lines with the comment
+// markers removed.
+func commentLines(c *ast.Comment) []string {
+	text := c.Text
+	if strings.HasPrefix(text, "//") {
+		return []string{strings.TrimSpace(text[2:])}
+	}
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(l), "*"))
+	}
+	return lines
+}
+
+// declFor resolves a name's declared unit: explicit tag, else suffix.
+func declFor(name string, tag *DeclUnit) (DeclUnit, bool) {
+	if tag != nil {
+		return *tag, true
+	}
+	if u, ok := UnitFromName(name); ok {
+		return DeclUnit{Unit: u}, true
+	}
+	return DeclUnit{}, false
+}
+
+func (idx *unitIndex) collectStruct(typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		tag := bareTagOf(field.Doc, field.Comment)
+		for _, name := range field.Names {
+			obj := idx.pass.TypesInfo.Defs[name]
+			if obj == nil || !unitCarrier(obj.Type()) {
+				continue
+			}
+			du, ok := declFor(name.Name, tag)
+			if !ok {
+				continue
+			}
+			idx.obj[obj] = du
+			if name.IsExported() && ast.IsExported(typeName) {
+				publishObjFact(fieldFactKey(idx.pass.Pkg.Path(), typeName, name.Name), du)
+			}
+		}
+	}
+}
+
+func (idx *unitIndex) collectValues(d *ast.GenDecl, vs *ast.ValueSpec) {
+	tag := bareTagOf(vs.Doc, vs.Comment, d.Doc)
+	for _, name := range vs.Names {
+		obj := idx.pass.TypesInfo.Defs[name]
+		if obj == nil || !annotatable(obj) {
+			continue
+		}
+		du, ok := declFor(name.Name, tag)
+		if !ok {
+			continue
+		}
+		idx.obj[obj] = du
+		if name.IsExported() {
+			publishObjFact(objFactKey(idx.pass.Pkg.Path(), name.Name), du)
+		}
+	}
+}
+
+// annotatable reports whether obj can carry a unit annotation. Beyond
+// float carriers this admits numeric constants of any type: conversion
+// table entries like CmPerM = 100 are naturally spelled as untyped ints.
+func annotatable(obj types.Object) bool {
+	if unitCarrier(obj.Type()) {
+		return true
+	}
+	if _, isConst := obj.(*types.Const); isConst {
+		if b, ok := obj.Type().Underlying().(*types.Basic); ok {
+			return b.Info()&types.IsNumeric != 0
+		}
+	}
+	return false
+}
+
+// collectFunc resolves parameter and result units from the doc comment's
+// named tags and from name suffixes.
+func (idx *unitIndex) collectFunc(fd *ast.FuncDecl) {
+	obj, ok := idx.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	named := namedTagsOf(fd.Doc)
+	sig := obj.Type().(*types.Signature)
+	su := &sigUnits{variadic: sig.Variadic()}
+	any := false
+	collect := func(fl *ast.FieldList, results bool) []*DeclUnit {
+		var out []*DeclUnit
+		if fl == nil {
+			return out
+		}
+		for _, field := range fl.List {
+			names := field.Names
+			if len(names) == 0 {
+				// Unnamed result: the "return" keyword addresses it.
+				var du *DeclUnit
+				if results {
+					if d, ok := named["return"]; ok {
+						du = &d
+					}
+				}
+				out = append(out, du)
+				continue
+			}
+			for _, name := range names {
+				var du *DeclUnit
+				if d, ok := named[name.Name]; ok {
+					du = &d
+				} else if d, ok := declFor(name.Name, nil); ok {
+					du = &d
+				}
+				out = append(out, du)
+				if du != nil {
+					if pobj := idx.pass.TypesInfo.Defs[name]; pobj != nil {
+						idx.obj[pobj] = *du
+					}
+				}
+			}
+		}
+		for _, du := range out {
+			if du != nil {
+				any = true
+			}
+		}
+		return out
+	}
+	su.params = collect(fd.Type.Params, false)
+	su.results = collect(fd.Type.Results, true)
+	if any {
+		idx.fn[obj] = su
+		if fd.Name.IsExported() {
+			publishFnFact(funcFactKey(obj), su)
+		}
+	}
+}
+
+// namedTagsOf gathers the name→unit bindings of a function doc comment.
+func namedTagsOf(doc *ast.CommentGroup) map[string]DeclUnit {
+	out := map[string]DeclUnit{}
+	if doc == nil {
+		return out
+	}
+	for _, c := range doc.List {
+		for _, line := range commentLines(c) {
+			body, ok := CutUnitTag(line)
+			if !ok {
+				continue
+			}
+			tag, err := ParseUnitTag(body)
+			if err != nil {
+				continue
+			}
+			for _, n := range tag.Named {
+				out[n.Name] = n.Unit
+			}
+		}
+	}
+	return out
+}
+
+func publishObjFact(key string, du DeclUnit) {
+	unitFacts.Lock()
+	unitFacts.obj[key] = du
+	unitFacts.Unlock()
+}
+
+func publishFnFact(key string, su *sigUnits) {
+	unitFacts.Lock()
+	unitFacts.fn[key] = su
+	unitFacts.Unlock()
+}
+
+// unitCarrier reports whether a type can carry a unit in the analysis:
+// floats, and slices/arrays of them (the unit describes the elements).
+func unitCarrier(t types.Type) bool {
+	return carrierElem(t) != nil
+}
+
+// carrierElem returns the float element type a unit on t describes, or
+// nil when t carries no unit.
+func carrierElem(t types.Type) types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsFloat != 0 {
+			return t
+		}
+	case *types.Slice:
+		return carrierElem(u.Elem())
+	case *types.Array:
+		return carrierElem(u.Elem())
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// The dataflow problem
+
+// unitFlow implements Problem[uState] plus the reporting sweep.
+type unitFlow struct {
+	idx       *unitIndex
+	fnType    *ast.FuncType
+	reporting bool
+}
+
+func (u *unitFlow) Entry() uState {
+	s := uState{}
+	if u.fnType == nil {
+		return s
+	}
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := u.idx.pass.TypesInfo.Defs[name]
+				if obj == nil || !unitCarrier(obj.Type()) {
+					continue
+				}
+				if du, ok := u.idx.obj[obj]; ok {
+					s[obj] = fromDecl(du)
+				} else {
+					s[obj] = topVal
+				}
+			}
+		}
+	}
+	seed(u.fnType.Params)
+	seed(u.fnType.Results)
+	return s
+}
+
+func (u *unitFlow) Copy(s uState) uState {
+	out := make(uState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (u *unitFlow) Join(a, b uState) uState {
+	for k, bv := range b {
+		a[k] = joinVal(a[k], bv)
+	}
+	return a
+}
+
+func (u *unitFlow) Equal(a, b uState) bool { return reflect.DeepEqual(a, b) }
+
+func (u *unitFlow) Transfer(s uState, n ast.Node) uState {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		u.assignStmt(s, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					u.declare(s, vs)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		u.eval(s, n.X)
+	case *ast.ExprStmt:
+		u.eval(s, n.X)
+	case *ast.ReturnStmt:
+		u.returnStmt(s, n)
+	case *ast.RangeStmt:
+		u.rangeBind(s, n)
+	case *ast.DeferStmt:
+		u.eval(s, n.Call)
+	case *ast.GoStmt:
+		u.eval(s, n.Call)
+	case *ast.SendStmt:
+		u.eval(s, n.Chan)
+		u.eval(s, n.Value)
+	case ast.Expr:
+		// Control conditions lifted into the block by the CFG builder.
+		u.eval(s, n)
+	}
+	return s
+}
+
+// declare handles `var x T = expr` statements.
+func (u *unitFlow) declare(s uState, vs *ast.ValueSpec) {
+	vals := make([]uval, len(vs.Names))
+	switch {
+	case len(vs.Values) == len(vs.Names):
+		for i, e := range vs.Values {
+			vals[i] = u.eval(s, e)
+		}
+	case len(vs.Values) == 1 && len(vs.Names) > 1:
+		u.eval(s, vs.Values[0])
+		for i := range vals {
+			vals[i] = topVal
+		}
+	default:
+		for i := range vals {
+			vals[i] = topVal
+		}
+	}
+	for i, name := range vs.Names {
+		obj := u.idx.pass.TypesInfo.Defs[name]
+		if obj == nil || !unitCarrier(obj.Type()) {
+			continue
+		}
+		u.bindLocal(s, obj, vals[i], name.Pos())
+	}
+}
+
+// bindLocal stores a value into a local, checking it against the local's
+// declared unit (a unit-suffixed name or tagged declaration) when known.
+func (u *unitFlow) bindLocal(s uState, obj types.Object, v uval, pos token.Pos) {
+	if du, ok := u.declaredOf(obj); ok {
+		u.checkDeclared(s, obj, v, pos, "assignment to "+obj.Name())
+		// A precise inferred unit is kept; otherwise — and after a
+		// conflicting store, so one bad assignment does not cascade into
+		// follow-on diagnostics — the declaration wins.
+		if v.kind == uUnit && (du.Any || v.unit.Equal(du.Unit)) {
+			s[obj] = v
+		} else {
+			s[obj] = fromDecl(du)
+		}
+		return
+	}
+	s[obj] = v
+}
+
+// declaredOf returns a local/package object's declared unit: an explicit
+// index entry, else a unit-bearing name suffix.
+func (u *unitFlow) declaredOf(obj types.Object) (DeclUnit, bool) {
+	if du, ok := u.idx.obj[obj]; ok {
+		return du, true
+	}
+	if _, isVar := obj.(*types.Var); isVar && unitCarrier(obj.Type()) {
+		if un, ok := UnitFromName(obj.Name()); ok {
+			return DeclUnit{Unit: un}, true
+		}
+	}
+	return DeclUnit{}, false
+}
+
+// checkDeclared reports a store whose value conflicts with the target's
+// declared unit.
+func (u *unitFlow) checkDeclared(s uState, obj types.Object, v uval, pos token.Pos, what string) {
+	du, ok := u.declaredOf(obj)
+	if !ok || du.Any || v.kind != uUnit {
+		return
+	}
+	if !v.unit.Equal(du.Unit) {
+		u.reportConflict(pos, what, du.Unit, v.unit)
+	}
+}
+
+func (u *unitFlow) reportConflict(pos token.Pos, what string, want, got Unit) {
+	if !u.reporting {
+		return
+	}
+	detail := ""
+	if want.SameDims(got) {
+		detail = " (same dimension, different scale)"
+	}
+	u.idx.pass.Reportf(pos, "%s: unit %s does not match declared %s%s", what, got, want, detail)
+}
+
+func (u *unitFlow) assignStmt(s uState, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		// Compound x op= y: evaluate as x = x op y so the binary check
+		// applies.
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			lv := u.eval(s, n.Lhs[0])
+			rv := u.eval(s, n.Rhs[0])
+			nv := u.binary(lv, rv, compoundOp(n.Tok), n.Rhs[0].Pos())
+			u.store(s, n.Lhs[0], nv)
+		}
+		return
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// Tuple assignment from a call (or map/type-assert comma-ok).
+		vals := u.evalTuple(s, n.Rhs[0], len(n.Lhs))
+		for i, lhs := range n.Lhs {
+			u.store(s, lhs, vals[i])
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		v := u.eval(s, n.Rhs[i])
+		u.store(s, lhs, v)
+	}
+}
+
+// compoundOp maps an assign-op token to its binary operator.
+func compoundOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	}
+	return token.REM
+}
+
+// store flows a value into an assignment target.
+func (u *unitFlow) store(s uState, lhs ast.Expr, v uval) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := u.idx.pass.TypesInfo.Defs[lhs]
+		if obj == nil {
+			obj = u.idx.pass.TypesInfo.Uses[lhs]
+		}
+		if obj == nil || !unitCarrier(obj.Type()) {
+			return
+		}
+		if _, isLocal := u.localVar(obj); isLocal {
+			u.bindLocal(s, obj, v, lhs.Pos())
+			return
+		}
+		// Package-level target: check against its declaration only.
+		u.checkDeclared(s, obj, v, lhs.Pos(), "assignment to "+lhs.Name)
+	case *ast.SelectorExpr:
+		if fobj := u.fieldObject(lhs); fobj != nil {
+			if du, ok := u.fieldDecl(lhs, fobj); ok && !du.Any && v.kind == uUnit && !v.unit.Equal(du.Unit) {
+				u.reportConflict(lhs.Sel.Pos(), "store to field "+lhs.Sel.Name, du.Unit, v.unit)
+			}
+		}
+	case *ast.IndexExpr:
+		// Element store: weak update on the base's element quantity.
+		base := u.eval(s, lhs.X)
+		if base.kind == uUnit && v.kind == uUnit && !v.unit.Equal(base.unit) {
+			u.reportConflict(lhs.Pos(), "element store", base.unit, v.unit)
+		}
+		if id, ok := lhs.X.(*ast.Ident); ok {
+			if obj := u.idx.pass.TypesInfo.Uses[id]; obj != nil && unitCarrier(obj.Type()) {
+				if _, isLocal := u.localVar(obj); isLocal {
+					s[obj] = joinVal(base, v)
+				}
+			}
+		}
+	case *ast.StarExpr:
+		u.eval(s, lhs.X)
+	}
+}
+
+// localVar reports whether obj is a function-scope variable (tracked in
+// the state map) rather than a package-level one.
+func (u *unitFlow) localVar(obj types.Object) (*types.Var, bool) {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	if v.Parent() == nil {
+		// Struct fields and some signature-scoped vars have no parent
+		// scope; fields are handled via selectors, params are tracked.
+		return v, !v.IsField()
+	}
+	return v, v.Parent() != u.idx.pass.Pkg.Scope()
+}
+
+func (u *unitFlow) returnStmt(s uState, n *ast.ReturnStmt) {
+	var decls []*DeclUnit
+	if u.fnType != nil {
+		decls = u.resultDecls()
+	}
+	for i, e := range n.Results {
+		v := u.eval(s, e)
+		if i < len(decls) && decls[i] != nil && !decls[i].Any && v.kind == uUnit && !v.unit.Equal(decls[i].Unit) {
+			u.reportConflict(e.Pos(), fmt.Sprintf("return value %d", i+1), decls[i].Unit, v.unit)
+		}
+	}
+}
+
+// resultDecls resolves the enclosing function's declared result units.
+func (u *unitFlow) resultDecls() []*DeclUnit {
+	if u.fnType == nil || u.fnType.Results == nil {
+		return nil
+	}
+	var out []*DeclUnit
+	for _, field := range u.fnType.Results.List {
+		names := field.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{nil}
+		}
+		for _, name := range names {
+			var du *DeclUnit
+			if name != nil {
+				if obj := u.idx.pass.TypesInfo.Defs[name]; obj != nil {
+					if d, ok := u.declaredOf(obj); ok {
+						du = &d
+					}
+				}
+			}
+			out = append(out, du)
+		}
+	}
+	// Unnamed results may still be declared through the function's own
+	// doc tag ("unit: return m"): consult the signature table.
+	if obj := u.enclosingFunc(); obj != nil {
+		if su, ok := u.idx.fn[obj]; ok {
+			for i := range out {
+				if out[i] == nil && i < len(su.results) {
+					out[i] = su.results[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// enclosingFunc finds the *types.Func whose declared type is fnType.
+func (u *unitFlow) enclosingFunc() *types.Func {
+	for _, f := range u.idx.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Type == u.fnType {
+				if obj, ok := u.idx.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (u *unitFlow) rangeBind(s uState, n *ast.RangeStmt) {
+	xv := u.eval(s, n.X)
+	bind := func(e ast.Expr, v uval) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := u.idx.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = u.idx.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil || !unitCarrier(obj.Type()) {
+			return
+		}
+		u.bindLocal(s, obj, v, id.Pos())
+	}
+	if n.Key != nil {
+		bind(n.Key, scalarVal) // index or int key
+	}
+	if n.Value != nil {
+		bind(n.Value, xv) // element of the ranged slice
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+func (u *unitFlow) eval(s uState, e ast.Expr) uval {
+	if e == nil {
+		return topVal
+	}
+	// Integer-typed expressions are counts and indices: scalars. The
+	// subtree is still walked so nested calls get their argument checks.
+	// Tagged constants are the exception — a conversion entry like
+	// CmPerM = 100 carries its unit even spelled as an untyped int.
+	if tv, ok := u.idx.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&(types.IsInteger|types.IsBoolean|types.IsString) != 0 {
+			if v, ok := u.constUnit(e); ok {
+				return v
+			}
+			u.evalInner(s, e)
+			return scalarVal
+		}
+	}
+	return u.evalInner(s, e)
+}
+
+func (u *unitFlow) evalInner(s uState, e ast.Expr) uval {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return scalarVal
+	case *ast.Ident:
+		return u.evalIdent(s, e)
+	case *ast.ParenExpr:
+		return u.eval(s, e.X)
+	case *ast.UnaryExpr:
+		return u.eval(s, e.X)
+	case *ast.StarExpr:
+		return u.eval(s, e.X)
+	case *ast.BinaryExpr:
+		lv := u.eval(s, e.X)
+		rv := u.eval(s, e.Y)
+		return u.binary(lv, rv, e.Op, e.OpPos)
+	case *ast.SelectorExpr:
+		return u.evalSelector(s, e)
+	case *ast.CallExpr:
+		return u.evalCall(s, e)
+	case *ast.IndexExpr:
+		u.eval(s, e.Index)
+		return u.eval(s, e.X)
+	case *ast.SliceExpr:
+		return u.eval(s, e.X)
+	case *ast.CompositeLit:
+		return u.evalCompositeLit(s, e)
+	case *ast.TypeAssertExpr:
+		u.eval(s, e.X)
+		return topVal
+	case *ast.FuncLit:
+		// Analyzed separately.
+		return topVal
+	}
+	return topVal
+}
+
+// constUnit resolves a declared unit on a constant reference, however the
+// constant is typed.
+func (u *unitFlow) constUnit(e ast.Expr) (uval, bool) {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = u.idx.pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = u.idx.pass.TypesInfo.Uses[e.Sel]
+	}
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return uval{}, false
+	}
+	if du, ok := u.objDecl(c); ok {
+		return fromDecl(du), true
+	}
+	if un, ok := UnitFromName(c.Name()); ok {
+		return unitVal(un), true
+	}
+	return uval{}, false
+}
+
+func (u *unitFlow) evalIdent(s uState, id *ast.Ident) uval {
+	obj := u.idx.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = u.idx.pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return topVal
+	}
+	return u.evalObject(s, obj)
+}
+
+func (u *unitFlow) evalObject(s uState, obj types.Object) uval {
+	switch obj := obj.(type) {
+	case *types.Const:
+		if du, ok := u.objDecl(obj); ok {
+			return fromDecl(du)
+		}
+		if un, ok := UnitFromName(obj.Name()); ok && unitCarrier(obj.Type()) {
+			return unitVal(un)
+		}
+		return scalarVal
+	case *types.Var:
+		if v, ok := s[obj]; ok && v.kind != uBottom {
+			return v
+		}
+		if du, ok := u.objDecl(obj); ok {
+			return fromDecl(du)
+		}
+		if un, ok := UnitFromName(obj.Name()); ok && unitCarrier(obj.Type()) {
+			return unitVal(un)
+		}
+		return topVal
+	}
+	return topVal
+}
+
+// objDecl resolves a const/var object's declared unit from the local
+// index or, for imports, the fact store.
+func (u *unitFlow) objDecl(obj types.Object) (DeclUnit, bool) {
+	if du, ok := u.idx.obj[obj]; ok {
+		return du, true
+	}
+	if obj.Pkg() != nil && obj.Pkg() != u.idx.pass.Pkg {
+		unitFacts.Lock()
+		du, ok := unitFacts.obj[objFactKey(obj.Pkg().Path(), obj.Name())]
+		unitFacts.Unlock()
+		if ok {
+			return du, true
+		}
+	}
+	return DeclUnit{}, false
+}
+
+func (u *unitFlow) evalSelector(s uState, sel *ast.SelectorExpr) uval {
+	// Package-qualified identifier (pkg.Const, pkg.Var)?
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := u.idx.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+			if obj := u.idx.pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+				return u.evalObject(s, obj)
+			}
+			return topVal
+		}
+	}
+	u.eval(s, sel.X)
+	fobj := u.fieldObject(sel)
+	if fobj == nil {
+		return topVal
+	}
+	if du, ok := u.fieldDecl(sel, fobj); ok {
+		return fromDecl(du)
+	}
+	if un, ok := UnitFromName(fobj.Name()); ok && unitCarrier(fobj.Type()) {
+		return unitVal(un)
+	}
+	return topVal
+}
+
+// fieldObject resolves a selector to a struct field variable, or nil for
+// methods and non-field selections.
+func (u *unitFlow) fieldObject(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := u.idx.pass.TypesInfo.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() && unitCarrier(v.Type()) {
+			return v
+		}
+		return nil
+	}
+	if v, ok := u.idx.pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.IsField() && unitCarrier(v.Type()) {
+		return v
+	}
+	return nil
+}
+
+// fieldDecl resolves a field's declared unit: same-package index, else
+// cross-package facts keyed by the receiver's named type.
+func (u *unitFlow) fieldDecl(sel *ast.SelectorExpr, fobj *types.Var) (DeclUnit, bool) {
+	if du, ok := u.idx.obj[fobj]; ok {
+		return du, true
+	}
+	if fobj.Pkg() == nil || fobj.Pkg() == u.idx.pass.Pkg {
+		return DeclUnit{}, false
+	}
+	t := u.idx.pass.TypesInfo.TypeOf(sel.X)
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return DeclUnit{}, false
+	}
+	unitFacts.Lock()
+	du, ok := unitFacts.obj[fieldFactKey(fobj.Pkg().Path(), named.Obj().Name(), fobj.Name())]
+	unitFacts.Unlock()
+	return du, ok
+}
+
+// binary applies the unit algebra to one binary operator, reporting
+// mixed-unit additions and comparisons.
+func (u *unitFlow) binary(lv, rv uval, op token.Token, pos token.Pos) uval {
+	switch op {
+	case token.ADD, token.SUB:
+		return u.requireSame(lv, rv, opName(op), pos)
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		u.requireSame(lv, rv, "comparison", pos)
+		return scalarVal
+	case token.MUL:
+		return composeVal(lv, rv, false)
+	case token.QUO:
+		return composeVal(lv, rv, true)
+	}
+	return topVal
+}
+
+// requireSame checks dimension agreement of an addition/comparison and
+// returns the merged value.
+func (u *unitFlow) requireSame(lv, rv uval, what string, pos token.Pos) uval {
+	if lv.kind == uUnit && rv.kind == uUnit && !lv.unit.Equal(rv.unit) {
+		if u.reporting {
+			detail := ""
+			if lv.unit.SameDims(rv.unit) {
+				detail = " (same dimension, different scale)"
+			}
+			u.idx.pass.Reportf(pos, "%s mixes %s and %s%s", what, lv.unit, rv.unit, detail)
+		}
+		return topVal
+	}
+	return joinVal(lv, rv)
+}
+
+func opName(op token.Token) string {
+	if op == token.ADD {
+		return "addition"
+	}
+	return "subtraction"
+}
+
+// composeVal multiplies/divides two values: scalars are identities, tops
+// are absorbing, units compose through the algebra.
+func composeVal(lv, rv uval, div bool) uval {
+	if lv.kind == uTop || rv.kind == uTop {
+		return topVal
+	}
+	if lv.kind == uBottom || rv.kind == uBottom {
+		return topVal
+	}
+	lu, ru := Dimensionless, Dimensionless
+	if lv.kind == uUnit {
+		lu = lv.unit
+	}
+	if rv.kind == uUnit {
+		ru = rv.unit
+	}
+	if lv.kind == uScalar && rv.kind == uScalar {
+		return scalarVal
+	}
+	if div {
+		return unitVal(lu.Div(ru))
+	}
+	return unitVal(lu.Mul(ru))
+}
+
+// evalTuple evaluates a multi-value RHS (call, map index, type assert).
+func (u *unitFlow) evalTuple(s uState, e ast.Expr, n int) []uval {
+	out := make([]uval, n)
+	for i := range out {
+		out[i] = topVal
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		u.eval(s, e)
+		return out
+	}
+	v, results := u.call(s, call)
+	if len(results) == n {
+		copy(out, results)
+	} else if n == 1 {
+		out[0] = v
+	}
+	return out
+}
+
+func (u *unitFlow) evalCall(s uState, call *ast.CallExpr) uval {
+	v, _ := u.call(s, call)
+	return v
+}
+
+// call evaluates a call (or conversion), checking arguments against the
+// callee's declared parameter units, and returns the single-result value
+// plus per-result values for tuple contexts.
+func (u *unitFlow) call(s uState, call *ast.CallExpr) (uval, []uval) {
+	// Type conversion: float64(x) keeps x's unit.
+	if tv, ok := u.idx.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return u.eval(s, call.Args[0]), nil
+		}
+		return topVal, nil
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := u.idx.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			return u.evalBuiltin(s, b.Name(), call), nil
+		}
+	}
+	callee := u.calleeFunc(call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "math" {
+		return u.evalMathCall(s, callee.Name(), call), nil
+	}
+	argv := make([]uval, len(call.Args))
+	for i, a := range call.Args {
+		argv[i] = u.eval(s, a)
+	}
+	u.eval(s, call.Fun)
+	if callee == nil {
+		return topVal, nil
+	}
+	su := u.signatureUnits(callee)
+	if su == nil {
+		return topVal, nil
+	}
+	u.checkArgs(call, callee, su, argv)
+	results := make([]uval, len(su.results))
+	for i, du := range su.results {
+		if du == nil {
+			results[i] = topVal
+		} else {
+			results[i] = fromDecl(*du)
+		}
+	}
+	single := topVal
+	if len(results) == 1 {
+		single = results[0]
+	}
+	return single, results
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func (u *unitFlow) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := u.idx.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := u.idx.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// signatureUnits resolves a callee's declared parameter/result units:
+// same-package index, cross-package facts, then export-data name
+// suffixes.
+func (u *unitFlow) signatureUnits(fn *types.Func) *sigUnits {
+	if su, ok := u.idx.fn[fn]; ok {
+		return su
+	}
+	if fn.Pkg() != nil && fn.Pkg() != u.idx.pass.Pkg {
+		unitFacts.Lock()
+		su, ok := unitFacts.fn[funcFactKey(fn)]
+		unitFacts.Unlock()
+		if ok {
+			return su
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	su := &sigUnits{variadic: sig.Variadic()}
+	found := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		var du *DeclUnit
+		if unitCarrier(p.Type()) {
+			if un, ok := UnitFromName(p.Name()); ok {
+				du = &DeclUnit{Unit: un}
+				found = true
+			}
+		}
+		su.params = append(su.params, du)
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		r := sig.Results().At(i)
+		var du *DeclUnit
+		if unitCarrier(r.Type()) {
+			if un, ok := UnitFromName(r.Name()); ok {
+				du = &DeclUnit{Unit: un}
+				found = true
+			}
+		}
+		su.results = append(su.results, du)
+	}
+	if !found {
+		return nil
+	}
+	return su
+}
+
+// checkArgs reports arguments whose units conflict with the callee's
+// declared parameters.
+func (u *unitFlow) checkArgs(call *ast.CallExpr, fn *types.Func, su *sigUnits, argv []uval) {
+	if !u.reporting || len(su.params) == 0 {
+		return
+	}
+	for i, av := range argv {
+		pi := i
+		if pi >= len(su.params) {
+			if !su.variadic {
+				break
+			}
+			pi = len(su.params) - 1
+		}
+		du := su.params[pi]
+		if du == nil || du.Any || av.kind != uUnit {
+			continue
+		}
+		if !av.unit.Equal(du.Unit) {
+			detail := ""
+			if av.unit.SameDims(du.Unit) {
+				detail = " (same dimension, different scale)"
+			}
+			u.idx.pass.Reportf(call.Args[i].Pos(),
+				"argument %d to %s: unit %s does not match declared %s%s",
+				i+1, fn.Name(), av.unit, du.Unit, detail)
+		}
+	}
+}
+
+// evalBuiltin handles the relevant builtins.
+func (u *unitFlow) evalBuiltin(s uState, name string, call *ast.CallExpr) uval {
+	switch name {
+	case "len", "cap":
+		for _, a := range call.Args {
+			u.eval(s, a)
+		}
+		return scalarVal
+	case "append":
+		// Elements joined onto the slice's element quantity.
+		v := uval{}
+		for _, a := range call.Args {
+			v = joinVal(v, u.eval(s, a))
+		}
+		return v
+	case "min", "max":
+		v := uval{}
+		for _, a := range call.Args {
+			v = joinVal(v, u.eval(s, a))
+		}
+		return v
+	}
+	for _, a := range call.Args {
+		u.eval(s, a)
+	}
+	return topVal
+}
+
+// mathPreserveUnary are math funcs returning their argument's unit.
+var mathPreserveUnary = map[string]bool{
+	"Abs": true, "Ceil": true, "Floor": true, "Round": true,
+	"RoundToEven": true, "Trunc": true,
+}
+
+// mathPreserveBinary are math funcs whose arguments must agree
+// dimensionally and which return that shared unit.
+var mathPreserveBinary = map[string]bool{
+	"Max": true, "Min": true, "Mod": true, "Copysign": true,
+	"Hypot": true, "Dim": true, "Remainder": true,
+}
+
+// evalMathCall applies the unit semantics of the math package.
+func (u *unitFlow) evalMathCall(s uState, name string, call *ast.CallExpr) uval {
+	argv := make([]uval, len(call.Args))
+	for i, a := range call.Args {
+		argv[i] = u.eval(s, a)
+	}
+	switch {
+	case mathPreserveUnary[name] && len(argv) == 1:
+		return argv[0]
+	case mathPreserveBinary[name] && len(argv) == 2:
+		return u.requireSame(argv[0], argv[1], name+" arguments", call.Args[1].Pos())
+	case name == "Sqrt" && len(argv) == 1:
+		if argv[0].kind == uUnit {
+			if r, ok := argv[0].unit.Sqrt(); ok {
+				return unitVal(r)
+			}
+			return topVal
+		}
+		return argv[0]
+	}
+	// Transcendental and everything else: no unit claim.
+	return topVal
+}
+
+func (u *unitFlow) evalCompositeLit(s uState, cl *ast.CompositeLit) uval {
+	t := u.idx.pass.TypesInfo.TypeOf(cl)
+	if t != nil {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+	}
+	st, _ := structOf(t)
+	if st == nil {
+		// Slice/array literal of floats: the element quantities join.
+		if t != nil && unitCarrier(t) {
+			v := uval{}
+			for _, el := range cl.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				v = joinVal(v, u.eval(s, el))
+			}
+			return v
+		}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				u.eval(s, kv.Value)
+			} else {
+				u.eval(s, el)
+			}
+		}
+		return topVal
+	}
+	// Struct literal: check values against declared field units.
+	for i, el := range cl.Elts {
+		var fv *types.Var
+		value := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			value = kv.Value
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				fv = fieldByName(st, id.Name)
+			}
+		} else if i < st.NumFields() {
+			fv = st.Field(i)
+		}
+		v := u.eval(s, value)
+		if fv == nil || !unitCarrier(fv.Type()) || v.kind != uUnit {
+			continue
+		}
+		if du, ok := u.structFieldDecl(t, fv); ok && !du.Any && !v.unit.Equal(du.Unit) {
+			u.reportConflict(value.Pos(), "field "+fv.Name()+" in composite literal", du.Unit, v.unit)
+		}
+	}
+	return topVal
+}
+
+// structFieldDecl resolves a composite-literal field's declared unit.
+func (u *unitFlow) structFieldDecl(t types.Type, fv *types.Var) (DeclUnit, bool) {
+	if du, ok := u.idx.obj[fv]; ok {
+		return du, true
+	}
+	if fv.Pkg() != nil && fv.Pkg() != u.idx.pass.Pkg {
+		if named, ok := t.(*types.Named); ok {
+			unitFacts.Lock()
+			du, ok := unitFacts.obj[fieldFactKey(fv.Pkg().Path(), named.Obj().Name(), fv.Name())]
+			unitFacts.Unlock()
+			if ok {
+				return du, true
+			}
+		}
+	}
+	if un, ok := UnitFromName(fv.Name()); ok {
+		return DeclUnit{Unit: un}, true
+	}
+	return DeclUnit{}, false
+}
+
+func structOf(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func fieldByName(st *types.Struct, name string) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i)
+		}
+	}
+	return nil
+}

@@ -5,43 +5,54 @@ import (
 	"strings"
 )
 
-// unitPackages are the packages whose exported API carries physical
-// quantities: distances, frequencies, field strengths, durations. These
-// are where a cm/m or Hz/kHz mix-up flips a verdict.
-var unitPackages = map[string]bool{
-	"core":       true,
-	"geometry":   true,
-	"magnetics":  true,
-	"trajectory": true,
-	"soundfield": true,
+// unitPackagePaths are the import paths of packages whose exported API
+// carries physical quantities: distances, frequencies, field strengths,
+// durations, sample rates. These are where a cm/m or Hz/kHz mix-up flips
+// a verdict. Keyed on the full import path — a bare package name like
+// "core" would also match any third-party package that happens to share
+// it.
+var unitPackagePaths = map[string]bool{
+	"voiceguard/internal/core":       true,
+	"voiceguard/internal/geometry":   true,
+	"voiceguard/internal/magnetics":  true,
+	"voiceguard/internal/trajectory": true,
+	"voiceguard/internal/soundfield": true,
+	"voiceguard/internal/fusion":     true,
+	"voiceguard/internal/sensors":    true,
+	"voiceguard/internal/ranging":    true,
 }
 
-// unitSuffixes are the recognized physical-unit name endings. A name like
-// MaxDistanceMeters, cutoffHz or SwingMicroTesla self-documents its unit.
-var unitSuffixes = []string{
-	"Meters", "Hz", "MicroTesla", "Seconds", "Radians", "Degrees", "Deg",
-	"DB", "MS2", "PerSecond", "Ratio",
+// isUnitPackage reports whether the package at path gets the annotation
+// completeness checks. Analyzer test fixtures type-check under a
+// testdata-rooted path and opt in regardless, so the fixtures can
+// exercise the checks; `go list ./...` never yields testdata packages,
+// so the CLI is unaffected.
+func isUnitPackage(path string) bool {
+	return unitPackagePaths[path] || strings.Contains(path, "internal/analysis/testdata/")
 }
-
-// unitTag is the doc-comment escape hatch: a field or function whose doc
-// (or trailing comment) contains "unit:" has declared its units in prose.
-const unitTag = "unit:"
 
 // UnitSuffixAnalyzer enforces unit discipline on the exported float API of
 // the physical-quantity packages (core, geometry, magnetics, trajectory,
-// soundfield): every exported float struct field and every float parameter
-// of an exported function must either carry a unit suffix (Meters, Hz,
-// MicroTesla, Seconds, ...) or document its unit with a "unit:" tag in the
-// field's comment / function's doc comment. Dimensionless quantities
-// document that too ("unit: dimensionless").
+// soundfield, fusion, sensors, ranging): every exported float struct field
+// and every float parameter of an exported function must either carry a
+// unit suffix (Meters, Hz, MicroTesla, Seconds, ...) or declare its unit
+// with a machine-readable "unit:" tag — bare form on fields
+// ("unit: cm"), named form in function docs ("unit: t s, rate uT/s").
+// Dimensionless quantities declare that too ("unit: dimensionless").
+// Tree-wide (in every package), each "unit:" tag line must parse under the
+// grammar of ParseUnitTag, and named tags must reference an actual
+// parameter or result.
 var UnitSuffixAnalyzer = &Analyzer{
 	Name: "unitsuffix",
-	Doc:  "exported float fields/params in physical-quantity packages need a unit suffix or unit: tag",
+	Doc:  "exported float fields/params in physical-quantity packages need a unit suffix or parsed unit: tag",
 	Run:  runUnitSuffix,
 }
 
 func runUnitSuffix(pass *Pass) error {
-	if !unitPackages[pass.Pkg.Name()] {
+	for _, f := range pass.Files {
+		validateTagSyntax(pass, f)
+	}
+	if !isUnitPackage(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -65,14 +76,34 @@ func runUnitSuffix(pass *Pass) error {
 	return nil
 }
 
-// checkStructFields flags exported float fields without unit suffix or
-// unit: tag.
+// validateTagSyntax reports every comment line that claims to be a unit
+// tag (starts with "unit:") but does not parse under the grammar. This
+// runs in every package: a malformed tag is silently ignored by unitflow,
+// which would otherwise un-check the quantity it meant to declare.
+func validateTagSyntax(pass *Pass, f *ast.File) {
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			for _, line := range commentLines(c) {
+				body, ok := CutUnitTag(line)
+				if !ok {
+					continue
+				}
+				if _, err := ParseUnitTag(body); err != nil {
+					pass.Reportf(c.Pos(), "malformed unit tag %q: %v", line, err)
+				}
+			}
+		}
+	}
+}
+
+// checkStructFields flags exported float fields without unit suffix or a
+// bare unit tag.
 func checkStructFields(pass *Pass, st *ast.StructType) {
 	for _, field := range st.Fields.List {
 		if len(field.Names) == 0 || !isFloat(pass.TypesInfo.TypeOf(field.Type)) {
 			continue
 		}
-		if commentHasUnitTag(field.Doc) || commentHasUnitTag(field.Comment) {
+		if bareTagOf(field.Doc, field.Comment) != nil {
 			continue
 		}
 		for _, name := range field.Names {
@@ -81,13 +112,14 @@ func checkStructFields(pass *Pass, st *ast.StructType) {
 			}
 			pass.Reportf(name.Pos(),
 				"exported float field %s needs a unit suffix (%s) or a %q doc tag",
-				name.Name, exampleSuffixes(), unitTag)
+				name.Name, exampleSuffixes(), unitTagMarker)
 		}
 	}
 }
 
 // checkFuncParams flags float parameters of exported functions/methods
-// whose names carry no unit and whose doc declares none.
+// whose names carry no unit and whose doc declares none, and validates
+// that every named tag in the doc references a real parameter or result.
 func checkFuncParams(pass *Pass, fd *ast.FuncDecl) {
 	if !fd.Name.IsExported() || fd.Type.Params == nil {
 		return
@@ -95,9 +127,8 @@ func checkFuncParams(pass *Pass, fd *ast.FuncDecl) {
 	if fd.Recv != nil && !exportedReceiver(fd) {
 		return
 	}
-	if commentHasUnitTag(fd.Doc) {
-		return
-	}
+	named := namedTagsOf(fd.Doc)
+	checkNamedTagTargets(pass, fd, named)
 	for _, field := range fd.Type.Params.List {
 		if !isFloat(pass.TypesInfo.TypeOf(field.Type)) {
 			continue
@@ -106,9 +137,41 @@ func checkFuncParams(pass *Pass, fd *ast.FuncDecl) {
 			if name.Name == "_" || hasUnitSuffix(name.Name) {
 				continue
 			}
+			if _, ok := named[name.Name]; ok {
+				continue
+			}
 			pass.Reportf(name.Pos(),
 				"float parameter %s of exported %s needs a unit suffix (%s) or a %q line in the doc comment",
-				name.Name, fd.Name.Name, exampleSuffixes(), unitTag)
+				name.Name, fd.Name.Name, exampleSuffixes(), unitTagMarker)
+		}
+	}
+}
+
+// checkNamedTagTargets reports doc-tag names that match no parameter or
+// result of the function — typically a typo or a stale rename, which
+// silently drops the declared unit.
+func checkNamedTagTargets(pass *Pass, fd *ast.FuncDecl, named map[string]DeclUnit) {
+	if len(named) == 0 {
+		return
+	}
+	known := map[string]bool{"return": true}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				known[name.Name] = true
+			}
+		}
+	}
+	add(fd.Type.Params)
+	add(fd.Type.Results)
+	for name := range named {
+		if !known[name] {
+			pass.Reportf(fd.Name.Pos(),
+				"unit tag names %q, which is not a parameter or result of %s",
+				name, fd.Name.Name)
 		}
 	}
 }
@@ -127,20 +190,15 @@ func exportedReceiver(fd *ast.FuncDecl) bool {
 // hasUnitSuffix reports whether name ends in (or equals, ignoring case) a
 // recognized unit.
 func hasUnitSuffix(name string) bool {
-	for _, s := range unitSuffixes {
+	for s := range suffixUnits {
 		if strings.HasSuffix(name, s) || strings.EqualFold(name, s) {
 			return true
 		}
 	}
-	return false
+	return strings.HasSuffix(name, "PerSecond")
 }
 
-// commentHasUnitTag reports whether any comment line carries a unit: tag.
-func commentHasUnitTag(g *ast.CommentGroup) bool {
-	return g != nil && strings.Contains(g.Text(), unitTag)
-}
-
-// exampleSuffixes renders the head of the suffix list for diagnostics.
+// exampleSuffixes renders a few recognized suffixes for diagnostics.
 func exampleSuffixes() string {
-	return strings.Join(unitSuffixes[:4], "/")
+	return "Meters/Hz/MicroTesla/Seconds"
 }

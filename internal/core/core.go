@@ -109,7 +109,7 @@ type StageResult struct {
 	Pass bool
 	// Score is the component's continuous statistic (meaning varies by
 	// stage; higher is always "more genuine").
-	Score float64 // unit: stage-dependent score
+	Score float64 // unit: any
 	// Detail is a human-readable explanation.
 	Detail string
 	// Elapsed is the stage's processing time for this session.

@@ -22,7 +22,7 @@ type speakerVerifierDTO struct {
 	Backend   Backend                    `json:"backend"`
 	MFCC      features.MFCCConfig        `json:"mfcc"`
 	Relevance float64                    `json:"relevance"` // unit: dimensionless
-	Threshold float64                    `json:"threshold"` // unit: back-end score
+	Threshold float64                    `json:"threshold"` // unit: score
 	UBM       json.RawMessage            `json:"ubm"`
 	ISV       json.RawMessage            `json:"isv,omitempty"`
 	Users     map[string]json.RawMessage `json:"users,omitempty"`

@@ -46,7 +46,7 @@ type SpeakerVerifier struct {
 	// Threshold is the accept threshold on the back-end score (a
 	// log-likelihood ratio for both back-ends). Set it directly or via
 	// CalibrateThreshold.
-	Threshold float64 // unit: back-end score
+	Threshold float64 // unit: score
 
 	users    map[string]*gmm.Verifier
 	isvUsers map[string]*gmm.ISVSpeaker
@@ -274,7 +274,7 @@ func (v *SpeakerVerifier) Backend() Backend { return v.backend }
 // utterances of an enrolled user: the minimum genuine score minus the
 // safety margin, i.e. the paper's zero-FRR operating point. Margin > 0
 // trades FAR headroom for robustness to genuine-score variation.
-// unit: margin is in back-end score units.
+// unit: margin score
 func (v *SpeakerVerifier) CalibrateThreshold(user string, genuine []*audio.Signal, margin float64) error {
 	if len(genuine) == 0 {
 		return fmt.Errorf("core: calibration needs genuine utterances for %q", user)

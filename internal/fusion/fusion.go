@@ -18,10 +18,13 @@ import (
 // HeadingEstimate is the fused heading track.
 type HeadingEstimate struct {
 	// T holds sample times in seconds.
+	// unit: s
 	T []float64
 	// Theta holds the unwrapped heading in radians at each time.
+	// unit: rad
 	Theta []float64
 	// Omega holds the turn rate in rad/s at each time.
+	// unit: rad/s
 	Omega []float64
 }
 
@@ -34,6 +37,7 @@ type Config struct {
 	// GyroWeight is the short-term trust in the integrated gyro heading,
 	// in [0, 1); the magnetometer correction gets 1-GyroWeight per step.
 	// Default 0.98.
+	// unit: dimensionless
 	GyroWeight float64
 	// MagSign selects the magnetometer heading convention. +1 (default)
 	// expects traces where atan2(Y, X) tracks the heading directly. -1
@@ -42,6 +46,7 @@ type Config struct {
 	// is recovered as -atan2(Y, X) up to the constant field angle β.
 	// All downstream geometry (turn, bearings, circle fits) is invariant
 	// to that constant offset.
+	// unit: dimensionless
 	MagSign float64
 }
 
@@ -115,11 +120,13 @@ func (h *HeadingEstimate) TotalTurn() float64 {
 
 // ThetaAt linearly interpolates the heading at time t, clamping to the
 // ends.
+// unit: t s, return rad
 func (h *HeadingEstimate) ThetaAt(t float64) float64 {
 	return interp(h.T, h.Theta, t)
 }
 
 // OmegaAt linearly interpolates the turn rate at time t.
+// unit: t s, return rad/s
 func (h *HeadingEstimate) OmegaAt(t float64) float64 {
 	return interp(h.T, h.Omega, t)
 }

@@ -17,7 +17,7 @@ import (
 // Vec2 is a point or direction in the 2D trajectory plane. Units are meters
 // unless stated otherwise.
 type Vec2 struct {
-	X, Y float64 // unit: m unless stated otherwise
+	X, Y float64 // unit: any
 }
 
 // Add returns v + w.
@@ -26,8 +26,9 @@ func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
 // Sub returns v - w.
 func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
 
-// Scale returns v scaled by s.
-// unit: s is a dimensionless factor.
+// Scale returns v scaled by s (polymorphic: a unit direction vector
+// times a length is a position).
+// unit: s any
 func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
 
 // Dot returns the dot product v·w.
@@ -53,7 +54,7 @@ func (v Vec2) Normalize() Vec2 {
 }
 
 // Rotate returns v rotated counterclockwise by theta radians.
-// unit: theta in radians.
+// unit: theta rad
 func (v Vec2) Rotate(theta float64) Vec2 {
 	s, c := math.Sincos(theta)
 	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
@@ -68,7 +69,7 @@ func (v Vec2) String() string { return fmt.Sprintf("(%.4g, %.4g)", v.X, v.Y) }
 // Vec3 is a point or direction in 3D space, used by the magnetics and
 // sensor models. Units are meters unless stated otherwise.
 type Vec3 struct {
-	X, Y, Z float64 // unit: m unless stated otherwise
+	X, Y, Z float64 // unit: any
 }
 
 // Add returns v + w.
@@ -77,8 +78,9 @@ func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
 // Sub returns v - w.
 func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
 
-// Scale returns v scaled by s.
-// unit: s is a dimensionless factor.
+// Scale returns v scaled by s (polymorphic: a unit direction vector
+// times a length is a position).
+// unit: s any
 func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
 
 // Dot returns the dot product v·w.

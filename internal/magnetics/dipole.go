@@ -62,14 +62,14 @@ type VoiceCoil struct {
 	// MomentGain converts the instantaneous drive amplitude (nominal
 	// [-1, 1]) into a dipole moment in A·m². Typically 1–10% of the
 	// permanent magnet's moment.
-	MomentGain float64 // unit: A·m² per unit drive
+	MomentGain float64 // unit: A*m^2
 	// Drive returns the instantaneous normalized drive amplitude at time
 	// t; nil means silence.
 	Drive func(t float64) float64
 }
 
 // FieldAt implements FieldSource.
-// unit: t in seconds.
+// unit: t s
 func (c VoiceCoil) FieldAt(p geometry.Vec3, t float64) geometry.Vec3 {
 	if c.Drive == nil {
 		return geometry.Vec3{}
@@ -124,7 +124,7 @@ func NewScene(sources ...FieldSource) *Scene {
 func (s *Scene) Add(src FieldSource) { s.sources = append(s.sources, src) }
 
 // FieldAt sums all source contributions.
-// unit: t in seconds.
+// unit: t s
 func (s *Scene) FieldAt(p geometry.Vec3, t float64) geometry.Vec3 {
 	var b geometry.Vec3
 	for _, src := range s.sources {
@@ -139,7 +139,7 @@ func (s *Scene) NumSources() int { return len(s.sources) }
 // OnAxisDipoleField returns the on-axis field magnitude in µT of a dipole
 // with moment m (A·m²) at distance r meters: B = 2·(µ0/4π)·m/r³. Useful
 // for calibrating catalog entries.
-// unit: moment in A·m², r in meters.
+// unit: moment A*m^2, r m
 func OnAxisDipoleField(moment, r float64) float64 {
 	if r < 1e-6 {
 		r = 1e-6
@@ -149,7 +149,7 @@ func OnAxisDipoleField(moment, r float64) float64 {
 
 // MomentForField inverts OnAxisDipoleField: the moment needed to produce
 // field b (µT) on axis at distance r (m).
-// unit: b in µT, r in meters.
+// unit: b uT, r m
 func MomentForField(b, r float64) float64 {
 	return b * r * r * r / (2 * Mu0Over4Pi)
 }
@@ -165,7 +165,7 @@ type Interference struct {
 	// MainsHz is the mains frequency (50 or 60 Hz).
 	MainsHz float64
 	// Falloff is the distance exponent (2 for near-field appliances).
-	Falloff float64 // unit: dimensionless exponent
+	Falloff float64 // unit: dimensionless
 	// rng drives the stochastic component; seeded via NewInterference.
 	rng *rand.Rand
 	// phase offsets give each instance a distinct hum phase.
@@ -174,7 +174,7 @@ type Interference struct {
 
 // NewInterference constructs an interference source with a deterministic
 // noise stream.
-// unit: ampAt1m in µT; falloff is a dimensionless exponent.
+// unit: ampAt1m uT, falloff dimensionless
 func NewInterference(pos geometry.Vec3, ampAt1m, mainsHz, falloff float64, seed int64) *Interference {
 	rng := rand.New(rand.NewSource(seed))
 	i := &Interference{
@@ -191,7 +191,7 @@ func NewInterference(pos geometry.Vec3, ampAt1m, mainsHz, falloff float64, seed 
 }
 
 // FieldAt implements FieldSource.
-// unit: t in seconds.
+// unit: t s
 func (i *Interference) FieldAt(p geometry.Vec3, t float64) geometry.Vec3 {
 	d := p.Dist(i.Position)
 	if d < 0.05 {

@@ -17,11 +17,11 @@ type Shield struct {
 	// Position is the shield/box location in meters.
 	Position geometry.Vec3
 	// Attenuation divides the enclosed source's field (≥1).
-	Attenuation float64 // unit: dimensionless factor
+	Attenuation float64 // unit: dimensionless
 	// InducedMoment is the soft-iron moment in A·m² induced per unit of
 	// ambient field magnitude (µT). The induced dipole aligns with the
 	// ambient field.
-	InducedMoment float64 // unit: A·m² per µT
+	InducedMoment float64 // unit: A*m^2/uT
 	// Ambient supplies the magnetizing field; typically the geomagnetic
 	// source. Nil disables the induced dipole.
 	Ambient FieldSource
@@ -34,7 +34,7 @@ var _ FieldSource = (*Shield)(nil)
 const MuMetalAttenuation = 25.0
 
 // FieldAt implements FieldSource.
-// unit: t in seconds.
+// unit: t s
 func (s *Shield) FieldAt(p geometry.Vec3, t float64) geometry.Vec3 {
 	att := s.Attenuation
 	if att < 1 {

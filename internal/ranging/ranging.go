@@ -18,14 +18,17 @@ import (
 )
 
 // SpeedOfSound in air, m/s.
+// unit: m/s
 const SpeedOfSound = 343.0
 
 // DefaultPilotHz is the default pilot frequency: inaudible to most adults
 // yet inside a 48 kHz capture band. The paper selects the highest usable
 // frequency per device via calibration; 19 kHz is a safe common choice.
+// unit: Hz
 const DefaultPilotHz = 19000.0
 
 // DefaultRate is the capture sample rate used for the pilot.
+// unit: Hz
 const DefaultRate = 48000.0
 
 // CalibratePilot implements the per-device pilot selection the paper
@@ -34,6 +37,7 @@ const DefaultRate = 48000.0
 // frequency whose measured response clears the SNR floor. response(freq)
 // returns the loop gain at freq (linear, 1 = nominal); minGain is the
 // acceptance floor. Returns 0 if no candidate qualifies.
+// unit: candidates Hz, minGain dimensionless, return Hz
 func CalibratePilot(response func(freq float64) float64, candidates []float64, minGain float64) float64 {
 	best := 0.0
 	for _, f := range candidates {
@@ -49,6 +53,7 @@ func CalibratePilot(response func(freq float64) float64, candidates []float64, m
 
 // DefaultPilotCandidates are the frequencies the calibration sweeps: the
 // inaudible band in 250 Hz steps.
+// unit: return Hz
 func DefaultPilotCandidates() []float64 {
 	var out []float64
 	for f := 16000.0; f <= 22000; f += 250 {
@@ -59,6 +64,7 @@ func DefaultPilotCandidates() []float64 {
 
 // SpeakerRolloff models a phone speaker's high-frequency response for
 // calibration simulations: flat below the corner, then a steep roll-off.
+// unit: corner Hz
 func SpeakerRolloff(corner float64) func(freq float64) float64 {
 	return func(freq float64) float64 {
 		if freq <= corner {
@@ -72,6 +78,7 @@ func SpeakerRolloff(corner float64) func(freq float64) float64 {
 }
 
 // Pilot renders the transmitted tone of the given duration.
+// unit: freq Hz, rate Hz, duration s
 func Pilot(freq, rate, duration float64) *audio.Signal {
 	s := audio.NewSignal(duration, rate)
 	for i := range s.Samples {
@@ -84,17 +91,23 @@ func Pilot(freq, rate, duration float64) *audio.Signal {
 // and microphone during the gesture.
 type ChannelConfig struct {
 	// Freq is the pilot frequency in Hz.
+	// unit: Hz
 	Freq float64
 	// Rate is the capture sample rate in Hz.
+	// unit: Hz
 	Rate float64
 	// LeakGain is the direct speaker→mic leak amplitude (dominant,
 	// static).
+	// unit: dimensionless
 	LeakGain float64
 	// EchoGain is the head-echo amplitude.
+	// unit: dimensionless
 	EchoGain float64
 	// NoiseRMS is additive capture noise.
+	// unit: dimensionless
 	NoiseRMS float64
 	// MultipathGain adds a second static reflection (room surface).
+	// unit: dimensionless
 	MultipathGain float64
 }
 
@@ -113,6 +126,7 @@ func DefaultChannel() ChannelConfig {
 // Simulate renders the microphone capture while the phone-to-head
 // distance follows dist(t) (meters) over the given duration. The echo
 // travels the round trip 2·dist(t).
+// unit: duration s
 func Simulate(cfg ChannelConfig, duration float64, dist func(t float64) float64, rng *rand.Rand) (*audio.Signal, error) {
 	if cfg.Freq <= 0 || cfg.Rate <= 0 {
 		return nil, fmt.Errorf("ranging: bad channel freq=%v rate=%v", cfg.Freq, cfg.Rate)
@@ -125,8 +139,9 @@ func Simulate(cfg ChannelConfig, duration float64, dist func(t float64) float64,
 	}
 	s := audio.NewSignal(duration, cfg.Rate)
 	w := 2 * math.Pi * cfg.Freq
-	// Fixed multipath delay (room surface ~0.5 m away).
-	mpPhase := w * (2 * 0.5 / SpeedOfSound)
+	// Fixed multipath delay off a nearby room surface.
+	const reflectorMeters = 0.5
+	mpPhase := w * (2 * reflectorMeters / SpeedOfSound)
 	for i := range s.Samples {
 		t := float64(i) / cfg.Rate
 		v := cfg.LeakGain * math.Sin(w*t)
@@ -146,9 +161,11 @@ func Simulate(cfg ChannelConfig, duration float64, dist func(t float64) float64,
 // Displacement is a recovered radial displacement track.
 type Displacement struct {
 	// T holds block-center times in seconds.
+	// unit: s
 	T []float64
 	// Dr holds radial displacement in meters relative to the start of
 	// the capture (positive = moving away).
+	// unit: m
 	Dr []float64
 }
 
@@ -159,6 +176,7 @@ var ErrCaptureTooShort = errors.New("ranging: capture too short for displacement
 // RecoverConfig tunes displacement recovery.
 type RecoverConfig struct {
 	// Freq is the pilot frequency in Hz.
+	// unit: Hz
 	Freq float64
 	// BlockSize is the demodulation block in samples (default 256, i.e.
 	// ~5.3 ms at 48 kHz → ~190 Hz displacement bandwidth).
@@ -245,6 +263,7 @@ func Recover(capture *audio.Signal, cfg RecoverConfig) (*Displacement, error) {
 
 // At linearly interpolates the displacement at time t, clamping to the
 // track ends.
+// unit: t s, return m
 func (d *Displacement) At(t float64) float64 {
 	if len(d.T) == 0 {
 		return 0
@@ -269,6 +288,7 @@ func (d *Displacement) At(t float64) float64 {
 }
 
 // Total returns the net displacement over the track.
+// unit: return m
 func (d *Displacement) Total() float64 {
 	if len(d.Dr) == 0 {
 		return 0

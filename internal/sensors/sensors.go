@@ -18,15 +18,20 @@ type Spec struct {
 	Name string
 	// LSB is the quantization step (output units per least-significant
 	// bit). Zero disables quantization.
+	// unit: any
 	LSB float64
 	// RangeMax saturates each axis at ±RangeMax. Zero disables.
+	// unit: any
 	RangeMax float64
 	// NoiseRMS is the per-axis Gaussian noise standard deviation.
+	// unit: any
 	NoiseRMS float64
 	// BiasRMS draws a constant per-axis bias at construction time with
 	// this standard deviation.
+	// unit: any
 	BiasRMS float64
 	// SampleRate is the nominal output data rate in Hz.
+	// unit: Hz
 	SampleRate float64
 }
 
@@ -128,6 +133,7 @@ func (s *Sensor) clampAxis(v float64) float64 {
 // Sample is one timestamped sensor reading.
 type Sample struct {
 	// T is the sample time in seconds.
+	// unit: s
 	T float64
 	// V is the sensed vector in the sensor's units.
 	V geometry.Vec3
@@ -143,6 +149,7 @@ type Trace struct {
 
 // Record samples a ground-truth function truth(t) at the sensor's rate
 // over [0, duration) seconds.
+// unit: duration s
 func (s *Sensor) Record(duration float64, truth func(t float64) geometry.Vec3) (*Trace, error) {
 	if duration <= 0 {
 		return nil, fmt.Errorf("sensors: duration %v must be positive", duration)

@@ -39,7 +39,7 @@ type DualMicConfig struct {
 
 // DefaultDualMic returns the §VII configuration: half the single-mic
 // sweep width, the Nexus-class mic spacing.
-// unit: distance in meters.
+// unit: distance m
 func DefaultDualMic(distance float64) DualMicConfig {
 	if distance <= 0 {
 		distance = 0.06
@@ -145,7 +145,7 @@ func SLDFeatureVector(ms []SLDMeasurement) []float64 {
 // ExpectedPointSourceSLD returns the SLD a point source at the given
 // standoff would produce across the mic spacing — the far-field
 // reference the verifier's features are compared against implicitly.
-// unit: distance and spacing in meters.
+// unit: distance m, spacing m
 func ExpectedPointSourceSLD(distance, spacing float64) float64 {
 	if distance <= 0 || spacing <= 0 {
 		return 0

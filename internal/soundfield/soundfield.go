@@ -51,7 +51,7 @@ func (p *Piston) Name() string { return p.Label }
 // IntensityDB implements Source: spherical spreading beyond the Rayleigh
 // distance, flattened inside it, shaped by the piston directivity
 // 2·J1(ka·sinθ)/(ka·sinθ).
-// unit: f in Hz.
+// unit: f Hz
 func (p *Piston) IntensityDB(at geometry.Vec2, f float64) float64 {
 	r := at.Norm()
 	if r < 1e-4 {
@@ -162,7 +162,7 @@ func Earphone() Source {
 
 // ConeSpeaker returns a conventional loudspeaker cone of the given radius
 // in meters (PC speakers 3–6 cm, laptop drivers 1.5–2.5 cm).
-// unit: radius in meters.
+// unit: radius m
 func ConeSpeaker(name string, radius float64) Source {
 	return &Piston{Label: name, Radius: radius, LevelAt1m: 66}
 }
@@ -190,7 +190,7 @@ func (t *Tube) Name() string {
 }
 
 // IntensityDB implements Source.
-// unit: f in Hz.
+// unit: f Hz
 func (t *Tube) IntensityDB(at geometry.Vec2, f float64) float64 {
 	opening := Piston{Label: "tube-opening", Radius: t.OpeningRadius, LevelAt1m: t.LevelAt1m}
 	base := opening.IntensityDB(at, f)
@@ -246,13 +246,21 @@ type SweepConfig struct {
 // angular width of the sweep shrinks as the standoff distance grows.
 const SweepLateralTravel = 0.07
 
+// refStandoffMeters is the paper's nominal 6 cm standoff, the reference
+// for the sweep noise-floor growth model; noiseFloorDB is the residual
+// level error at that standoff after per-position frame averaging.
+const (
+	refStandoffMeters = 0.06
+	noiseFloorDB      = 0.4
+)
+
 // DefaultSweep matches the paper's use case at the given standoff
 // distance: 24 positions across a fixed ±7 cm lateral hand travel (so
 // ±49° at 6 cm, narrowing at larger distances), three speech analysis
 // bands. The per-position noise is the residual after averaging ~0.2 s of
 // speech frames per position and grows with distance as the received SNR
 // falls.
-// unit: distance in meters.
+// unit: distance m
 func DefaultSweep(distance float64) SweepConfig {
 	if distance <= 0 {
 		distance = 0.06
@@ -269,7 +277,7 @@ func DefaultSweep(distance float64) SweepConfig {
 		// Received level falls ~6 dB per distance doubling while the mic
 		// noise floor is fixed, so the level-measurement error grows
 		// super-linearly with standoff.
-		NoiseDB: 0.4 * (distance / 0.06) * (distance / 0.06),
+		NoiseDB: noiseFloorDB * (distance / refStandoffMeters) * (distance / refStandoffMeters),
 	}
 }
 

@@ -88,7 +88,7 @@ type Histogram struct {
 // Exemplar links one observed value to the trace that produced it.
 type Exemplar struct {
 	// Value is the observed sample.
-	Value float64 // unit: same as the histogram's samples
+	Value float64 // unit: any
 	// TraceID identifies the trace behind the sample.
 	TraceID string
 	// Unix is the observation time in seconds since the epoch.

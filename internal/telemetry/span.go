@@ -105,7 +105,7 @@ type Attr struct {
 	// Kind selects the populated value field.
 	Kind AttrKind `json:"kind"`
 	// Float carries KindFloat values; its physical unit, if any, is in
-	// the Unit field. unit: per the Unit field
+	// the Unit field. unit: any
 	Float float64 `json:"float,omitempty"`
 	// Int carries KindInt values.
 	Int int64 `json:"int,omitempty"`

@@ -157,7 +157,7 @@ func (g *Gesture) Estimate() (Estimate, error) {
 // FromUpload reconstructs a Gesture from raw uploaded traces and the
 // ranging capture — the server-side path: heading fusion, gravity
 // removal and displacement recovery are re-run on the received data.
-// unit: pilotHz in Hz; sweepStart and sweepEnd in seconds.
+// unit: pilotHz Hz, sweepStart s, sweepEnd s
 func FromUpload(gyro, accel, mag *sensors.Trace, capture *audio.Signal, pilotHz, sweepStart, sweepEnd float64) (*Gesture, error) {
 	if gyro == nil || accel == nil || mag == nil || capture == nil {
 		return nil, fmt.Errorf("trajectory: upload missing traces")

@@ -50,7 +50,7 @@ type UseCase struct {
 // StandardUseCase returns the paper's gesture at the given sweep
 // distance: start 14 cm from the mouth (phone at the ear), approach for
 // 1 s, sweep ±50° for 1.5 s.
-// unit: finalDistance in meters.
+// unit: finalDistance m
 func StandardUseCase(finalDistance float64) UseCase {
 	return UseCase{
 		SourcePos:      geometry.Vec2{X: 0, Y: 0},
@@ -87,7 +87,7 @@ func (u UseCase) sweepAngle(ts float64) float64 {
 }
 
 // PositionAt returns the phone's true position at time t.
-// unit: t in seconds.
+// unit: t s
 func (u UseCase) PositionAt(t float64) geometry.Vec2 {
 	dir := u.StartPos.Sub(u.SourcePos).Normalize()
 	baseAngle := dir.Angle()
@@ -113,20 +113,20 @@ func (u UseCase) PositionAt(t float64) geometry.Vec2 {
 
 // HeadingAt returns the phone's true heading at time t: the phone screen
 // faces the source, so the heading is the bearing from phone to source.
-// unit: t in seconds.
+// unit: t s
 func (u UseCase) HeadingAt(t float64) float64 {
 	p := u.PositionAt(t)
 	return u.SourcePos.Sub(p).Angle()
 }
 
 // DistanceAt returns the true phone→source distance at time t.
-// unit: t in seconds.
+// unit: t s
 func (u UseCase) DistanceAt(t float64) float64 {
 	return u.PositionAt(t).Dist(u.SourcePos)
 }
 
 // TurnRateAt returns the true heading rate (rad/s) via central difference.
-// unit: t in seconds.
+// unit: t s
 func (u UseCase) TurnRateAt(t float64) float64 {
 	const h = 1e-3
 	a := u.HeadingAt(t + h)
@@ -143,7 +143,7 @@ func (u UseCase) TurnRateAt(t float64) float64 {
 
 // AccelAt returns the true planar acceleration (m/s²) via central
 // difference of positions.
-// unit: t in seconds.
+// unit: t s
 func (u UseCase) AccelAt(t float64) geometry.Vec2 {
 	const h = 2e-3
 	p0 := u.PositionAt(t - h)
@@ -179,7 +179,7 @@ var ErrInsufficientMotion = errors.New("trajectory: insufficient sweep motion fo
 // EstimateDistance recovers the gesture geometry from fused heading, the
 // gravity-free accelerometer trace and the acoustic displacement track.
 // sweepStart/sweepEnd bound the sweep segment in seconds.
-// unit: sweepStart and sweepEnd in seconds.
+// unit: sweepStart s, sweepEnd s
 func EstimateDistance(head *fusion.HeadingEstimate, linAccel *sensors.Trace, disp *ranging.Displacement, sweepStart, sweepEnd float64) (Estimate, error) {
 	if head == nil || linAccel == nil || disp == nil {
 		return Estimate{}, errors.New("trajectory: nil inputs")
