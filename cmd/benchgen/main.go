@@ -25,14 +25,23 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see package doc)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	benchJSON := flag.String("bench-json", "", "write hot-path benchmark rows as JSON to this path and exit")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: fail if the fresh rows regress against this baseline JSON (strict allocs on micro/ rows)")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *seed); err != nil {
+		rows, err := writeBenchJSON(*benchJSON, *seed)
+		if err == nil && *benchBaseline != "" {
+			err = compareBaseline(rows, *benchBaseline)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgen:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *benchBaseline != "" {
+		fmt.Fprintln(os.Stderr, "benchgen: -bench-baseline requires -bench-json")
+		os.Exit(1)
 	}
 	if err := run(*exp, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)

@@ -52,7 +52,7 @@ func TestWriteBenchJSONShape(t *testing.T) {
 		t.Skip("runs the full Table I experiment")
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := writeBenchJSON(path, 1); err != nil {
+	if _, err := writeBenchJSON(path, 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -76,9 +76,86 @@ func TestWriteBenchJSONShape(t *testing.T) {
 		}
 		seen[r.Name] = true
 	}
-	for _, want := range []string{"micro/features.Extract", "experiment/table1"} {
+	for _, want := range []string{
+		"micro/features.Extract", "experiment/table1",
+		"micro/gmm.TopCShortlist", "micro/gmm.ScoringModelCompile",
+		"batch/asv.BatchedVerify",
+	} {
 		if !seen[want] {
 			t.Fatalf("missing row %q", want)
 		}
 	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := []benchRow{
+		{Name: "micro/x", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "experiment/y", NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	writeBase := func(t *testing.T) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "base.json")
+		data, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("pass within slack", func(t *testing.T) {
+		fresh := []benchRow{
+			{Name: "micro/x", NsPerOp: 180, AllocsPerOp: 2},
+			{Name: "experiment/y", NsPerOp: 2000, AllocsPerOp: 105},
+			{Name: "micro/new", NsPerOp: 5, AllocsPerOp: 0},
+		}
+		if err := compareBaseline(fresh, writeBase(t)); err != nil {
+			t.Fatalf("unexpected regression: %v", err)
+		}
+	})
+	t.Run("micro allocs gate strictly", func(t *testing.T) {
+		fresh := []benchRow{
+			{Name: "micro/x", NsPerOp: 100, AllocsPerOp: 3},
+			{Name: "experiment/y", NsPerOp: 1000, AllocsPerOp: 100},
+		}
+		if err := compareBaseline(fresh, writeBase(t)); err == nil {
+			t.Fatal("micro alloc regression accepted")
+		}
+	})
+	t.Run("ns regression beyond slack fails", func(t *testing.T) {
+		fresh := []benchRow{
+			{Name: "micro/x", NsPerOp: 300, AllocsPerOp: 2},
+			{Name: "experiment/y", NsPerOp: 1000, AllocsPerOp: 100},
+		}
+		if err := compareBaseline(fresh, writeBase(t)); err == nil {
+			t.Fatal("ns regression accepted")
+		}
+	})
+	t.Run("ns-exempt row skips the wall-time gate but not allocs", func(t *testing.T) {
+		exemptBase := []benchRow{{Name: "micro/gmm.MeanLogLikelihood", NsPerOp: 100, AllocsPerOp: 3}}
+		path := filepath.Join(t.TempDir(), "base.json")
+		data, err := json.Marshal(exemptBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		slow := []benchRow{{Name: "micro/gmm.MeanLogLikelihood", NsPerOp: 100000, AllocsPerOp: 3}}
+		if err := compareBaseline(slow, path); err != nil {
+			t.Fatalf("exempt row's wall time was gated: %v", err)
+		}
+		leaky := []benchRow{{Name: "micro/gmm.MeanLogLikelihood", NsPerOp: 100, AllocsPerOp: 4}}
+		if err := compareBaseline(leaky, path); err == nil {
+			t.Fatal("exempt row's alloc regression accepted")
+		}
+	})
+	t.Run("missing row fails", func(t *testing.T) {
+		fresh := []benchRow{{Name: "micro/x", NsPerOp: 100, AllocsPerOp: 2}}
+		if err := compareBaseline(fresh, writeBase(t)); err == nil {
+			t.Fatal("dropped baseline row accepted")
+		}
+	})
 }

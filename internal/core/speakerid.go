@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"voiceguard/internal/audio"
 	"voiceguard/internal/features"
@@ -50,6 +51,43 @@ type SpeakerVerifier struct {
 
 	users    map[string]*gmm.Verifier
 	isvUsers map[string]*gmm.ISVSpeaker
+
+	// fast is the compiled top-C scoring state; nil selects the exact
+	// path (the default).
+	fast *fastASV
+}
+
+// UBMShortlister is the seam the serving layer's cross-request batcher
+// plugs into: it produces the per-frame UBM top-C shortlist the fast
+// scoring path consumes. The result must be bit-identical to a direct
+// gmm.ScoringModel.TopC call over the same frames.
+type UBMShortlister interface {
+	ScoreUBM(frames [][]float64) (*gmm.Shortlist, error)
+}
+
+// FastPathConfig configures EnableFastPath.
+type FastPathConfig struct {
+	// TopC is the shortlist width (default gmm.DefaultShortlistC).
+	TopC int
+	// Cache holds compiled speaker models across requests, keyed by
+	// model digest. nil builds a private metric-less cache of
+	// gmm.DefaultModelCacheSize entries; the server passes one wired to
+	// its telemetry registry.
+	Cache *gmm.ModelCache
+}
+
+// fastASV is the compiled scoring state behind the fast path: the
+// compiled UBM, the speaker-model cache, the optional batching seam, and
+// a per-user memo of speaker-model digests (computing a digest
+// serializes the model, which must not happen per request).
+type fastASV struct {
+	topC        int
+	ubm         *gmm.ScoringModel
+	cache       *gmm.ModelCache
+	shortlister UBMShortlister
+
+	mu      sync.Mutex
+	digests map[string]string
 }
 
 // SpeakerVerifierConfig configures training.
@@ -198,6 +236,14 @@ func (v *SpeakerVerifier) Enroll(user string, sessions [][]*audio.Signal) error 
 			return fmt.Errorf("core: GMM enrollment for %q: %w", user, err)
 		}
 		v.users[user] = ver
+		if f := v.fast; f != nil {
+			// Re-enrollment produces a new model: drop the stale digest
+			// memo so the next score compiles the fresh one (the old
+			// cache entry ages out by LRU).
+			f.mu.Lock()
+			delete(f.digests, user)
+			f.mu.Unlock()
+		}
 	}
 	return nil
 }
@@ -232,6 +278,9 @@ func (v *SpeakerVerifier) ScoreSpan(span *telemetry.Span, user string, utt *audi
 		ver, ok := v.users[user]
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+		}
+		if f := v.fast; f != nil {
+			return f.score(sc, user, ver, frames)
 		}
 		return ver.ScoreSpan(sc, frames), nil
 	}
@@ -274,6 +323,129 @@ func (v *SpeakerVerifier) Backend() Backend { return v.backend }
 // utterances of an enrolled user: the minimum genuine score minus the
 // safety margin, i.e. the paper's zero-FRR operating point. Margin > 0
 // trades FAR headroom for robustness to genuine-score variation.
+// EnableFastPath switches the GMM-UBM backend to the compiled top-C
+// scoring path: the UBM is compiled once, speaker models compile on
+// first use into the configured cache, and each verify scores the
+// speaker only on the frame's C best UBM components. Scores stay within
+// gmm.ShortlistEpsilon of the exact path; verdicts are identical
+// whenever the threshold margin exceeds that bound. Callers that pin
+// bit-exact scores (evidence replay of exact-path packs) simply never
+// enable it. Not supported on the ISV backend, whose scoring is not
+// component-shortlistable.
+func (v *SpeakerVerifier) EnableFastPath(cfg FastPathConfig) error {
+	if v.backend != BackendGMMUBM {
+		return fmt.Errorf("core: fast ASV scoring requires the GMM-UBM backend, not %v", v.backend)
+	}
+	if cfg.TopC == 0 {
+		cfg.TopC = gmm.DefaultShortlistC
+	}
+	if cfg.TopC < 0 {
+		return fmt.Errorf("core: fast ASV shortlist width %d, want ≥ 1", cfg.TopC)
+	}
+	sm, err := gmm.Compile(v.ubm)
+	if err != nil {
+		return fmt.Errorf("core: compiling UBM: %w", err)
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = gmm.NewModelCache(0, gmm.CacheMetrics{})
+	}
+	v.fast = &fastASV{topC: cfg.TopC, ubm: sm, cache: cache, digests: map[string]string{}}
+	return nil
+}
+
+// DisableFastPath returns to the exact scoring path.
+func (v *SpeakerVerifier) DisableFastPath() { v.fast = nil }
+
+// FastPath reports whether the compiled scoring path is enabled and, if
+// so, its shortlist width.
+func (v *SpeakerVerifier) FastPath() (topC int, enabled bool) {
+	if v.fast == nil {
+		return 0, false
+	}
+	return v.fast.topC, true
+}
+
+// CompiledUBM returns the compiled UBM of the fast path (nil when
+// disabled) — what the serving layer's batcher scores against.
+func (v *SpeakerVerifier) CompiledUBM() *gmm.ScoringModel {
+	if v.fast == nil {
+		return nil
+	}
+	return v.fast.ubm
+}
+
+// SetUBMShortlister routes the fast path's UBM pass through b — the
+// server's cross-request batcher. Requires EnableFastPath first; nil
+// restores direct scoring.
+func (v *SpeakerVerifier) SetUBMShortlister(b UBMShortlister) error {
+	if v.fast == nil {
+		return errors.New("core: enable the fast ASV path before attaching a shortlister")
+	}
+	v.fast.shortlister = b
+	return nil
+}
+
+// score runs one fast-path verification: UBM shortlist (direct or
+// batched), cached speaker-model compile, shortlist-restricted speaker
+// pass, LLR.
+func (f *fastASV) score(span *telemetry.Span, user string, ver *gmm.Verifier, frames [][]float64) (float64, error) {
+	if len(frames) == 0 {
+		return math.Inf(-1), nil
+	}
+	span.SetString("scoring_path", "fast-topc")
+	span.SetInt("top_c", int64(f.topC))
+	us := span.StartSpan("ubm-shortlist")
+	var sl *gmm.Shortlist
+	var err error
+	if f.shortlister != nil {
+		us.SetBool("batched", true)
+		sl, err = f.shortlister.ScoreUBM(frames)
+	} else {
+		sl, err = f.ubm.TopC(frames, f.topC)
+	}
+	us.End()
+	if err != nil {
+		return 0, fmt.Errorf("core: UBM shortlist for %q: %w", user, err)
+	}
+	sm, err := f.speakerModel(user, ver)
+	if err != nil {
+		return 0, err
+	}
+	ms := span.StartSpan("model-shortlist")
+	model, err := sm.MeanLogLikelihoodShortlist(frames, sl)
+	ms.End()
+	if err != nil {
+		return 0, fmt.Errorf("core: shortlist scoring for %q: %w", user, err)
+	}
+	llr := model - sl.MeanLL()
+	span.SetFloat("llr", llr, "nat/frame")
+	return llr, nil
+}
+
+// speakerModel returns the user's compiled speaker model, memoizing the
+// model digest per user and compiling through the LRU cache.
+func (f *fastASV) speakerModel(user string, ver *gmm.Verifier) (*gmm.ScoringModel, error) {
+	f.mu.Lock()
+	dig, ok := f.digests[user]
+	f.mu.Unlock()
+	if !ok {
+		var err error
+		dig, err = gmm.ModelDigest(ver.Speaker)
+		if err != nil {
+			return nil, fmt.Errorf("core: digesting speaker model %q: %w", user, err)
+		}
+		f.mu.Lock()
+		f.digests[user] = dig
+		f.mu.Unlock()
+	}
+	sm, err := f.cache.Get(dig, func() (*gmm.ScoringModel, error) { return gmm.Compile(ver.Speaker) })
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling speaker model %q: %w", user, err)
+	}
+	return sm, nil
+}
+
 // unit: margin score
 func (v *SpeakerVerifier) CalibrateThreshold(user string, genuine []*audio.Signal, margin float64) error {
 	if len(genuine) == 0 {

@@ -197,6 +197,12 @@ type ASVProvenance struct {
 	Digits int `json:"digits"`
 	// Enroll lists the enrolled users in enrollment order.
 	Enroll []EnrollProvenance `json:"enroll,omitempty"`
+	// FastTopC, when positive, records that the producer served with the
+	// compiled top-C fast scoring path at this shortlist width; rebuild
+	// re-enables it so replayed fast-path scores reproduce bit-for-bit.
+	// Zero — the default, and the value in packs that predate the fast
+	// path — keeps the exact path.
+	FastTopC int `json:"fast_top_c,omitempty"`
 }
 
 // Provenance records how the producing system was constructed, in enough

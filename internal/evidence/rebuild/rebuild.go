@@ -72,6 +72,14 @@ func TrainASV(p *evidence.ASVProvenance) (*core.SpeakerVerifier, error) {
 			return nil, err
 		}
 	}
+	if p.FastTopC > 0 {
+		// The producer served with the compiled shortlist path; rebuild
+		// with the same width so replayed scores (and the asv/fast model
+		// digest) reproduce bit-for-bit.
+		if err := verifier.EnableFastPath(core.FastPathConfig{TopC: p.FastTopC}); err != nil {
+			return nil, fmt.Errorf("rebuild: enabling fast ASV path: %w", err)
+		}
+	}
 	return verifier, nil
 }
 

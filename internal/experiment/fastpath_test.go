@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"voiceguard/internal/audio"
+	"voiceguard/internal/core"
+	"voiceguard/internal/gmm"
+	"voiceguard/internal/speech"
+)
+
+// fastTrial is one (enrolled user, probe) cell of the attack matrix.
+type fastTrial struct {
+	user    string
+	utt     *audio.Signal
+	genuine bool
+	exact   float64
+}
+
+// buildFastPathMatrix trains the production ASV configuration (GMM-UBM,
+// 32 components, CMVN off) on a background roster, enrolls a victim
+// panel, and renders a genuine + imitation trial matrix with exact
+// scores attached.
+func buildFastPathMatrix(t *testing.T) (*core.SpeakerVerifier, []fastTrial) {
+	t.Helper()
+	const seed = 1700
+	rng := rand.New(rand.NewSource(seed))
+	bg, err := corpusSessions(speech.NewRoster(4, seed+1), 2, 2, seed+2)
+	if err != nil {
+		t.Fatalf("background corpus: %v", err)
+	}
+	verifier, err := core.TrainSpeakerVerifier(bg, core.SpeakerVerifierConfig{Seed: seed})
+	if err != nil {
+		t.Fatalf("training verifier: %v", err)
+	}
+	panel := speech.NewDistinctRoster(3, seed+3, 1.2).Profiles()
+	phoneChannel := speech.Channel{Gain: 0.8, NoiseRMS: 0.004, LowCut: 100, HighCut: 7000}
+
+	var trials []fastTrial
+	for i, victim := range panel {
+		pass := fmt.Sprintf("%06d", 100000+rng.Intn(900000))
+		enroll, err := renderSessionsVia(victim, pass, 2, 2, phoneChannel, rng)
+		if err != nil {
+			t.Fatalf("enrollment render: %v", err)
+		}
+		if err := verifier.Enroll(victim.Name, enroll); err != nil {
+			t.Fatalf("enroll %s: %v", victim.Name, err)
+		}
+		for k := 0; k < 2; k++ {
+			utt, err := renderOne(victim, pass, rng)
+			if err != nil {
+				t.Fatalf("genuine render: %v", err)
+			}
+			trials = append(trials, fastTrial{
+				user: victim.Name, utt: phoneChannel.Apply(utt, rng), genuine: true,
+			})
+		}
+		for j, imp := range panel {
+			if j == i {
+				continue
+			}
+			mimic := speech.Imitate(imp, victim, speech.ImitatorPracticed, rng)
+			utt, err := renderOne(mimic, pass, rng)
+			if err != nil {
+				t.Fatalf("imitation render: %v", err)
+			}
+			trials = append(trials, fastTrial{
+				user: victim.Name, utt: phoneChannel.Apply(utt, rng),
+			})
+		}
+	}
+	for i := range trials {
+		s, err := verifier.Score(trials[i].user, trials[i].utt)
+		if err != nil {
+			t.Fatalf("exact score: %v", err)
+		}
+		trials[i].exact = s
+	}
+	return verifier, trials
+}
+
+// marginThresholds picks one decision threshold per enrolled user at the
+// midpoint of the widest gap between adjacent exact scores, so verdict
+// comparisons have the largest margin the score distribution allows.
+func marginThresholds(trials []fastTrial) map[string]float64 {
+	byUser := map[string][]float64{}
+	for _, tr := range trials {
+		byUser[tr.user] = append(byUser[tr.user], tr.exact)
+	}
+	th := make(map[string]float64, len(byUser))
+	for user, scores := range byUser {
+		sort.Float64s(scores)
+		bestGap, bestAt := -1.0, 0
+		for i := 1; i < len(scores); i++ {
+			if g := scores[i] - scores[i-1]; g > bestGap {
+				bestGap, bestAt = g, i
+			}
+		}
+		th[user] = (scores[bestAt-1] + scores[bestAt]) / 2
+	}
+	return th
+}
+
+// TestFastPathMatrixSweep sweeps the shortlist width over the attack
+// matrix and asserts the fast path's contract: the worst |ΔLLR| shrinks
+// monotonically as C grows, meets gmm.ShortlistEpsilon at the default
+// width, bottoms out at float32-quantization noise for the full mixture,
+// and verdicts at well-margined thresholds match the exact path from the
+// default width up.
+func TestFastPathMatrixSweep(t *testing.T) {
+	verifier, trials := buildFastPathMatrix(t)
+	defer verifier.DisableFastPath()
+	thresholds := marginThresholds(trials)
+
+	widths := []int{1, 2, 4, gmm.DefaultShortlistC, 32}
+	maxErr := make([]float64, len(widths))
+	for wi, c := range widths {
+		if err := verifier.EnableFastPath(core.FastPathConfig{TopC: c}); err != nil {
+			t.Fatalf("enabling fast path at C=%d: %v", c, err)
+		}
+		for _, tr := range trials {
+			s, err := verifier.Score(tr.user, tr.utt)
+			if err != nil {
+				t.Fatalf("fast score at C=%d: %v", c, err)
+			}
+			if d := math.Abs(s - tr.exact); d > maxErr[wi] {
+				maxErr[wi] = d
+			}
+			if c >= gmm.DefaultShortlistC {
+				th := thresholds[tr.user]
+				if (s >= th) != (tr.exact >= th) {
+					t.Errorf("C=%d verdict flip for %s: fast %.4f vs exact %.4f at threshold %.4f",
+						c, tr.user, s, tr.exact, th)
+				}
+			}
+		}
+		t.Logf("C=%d worst |ΔLLR| %.3g", c, maxErr[wi])
+	}
+
+	for wi := 1; wi < len(widths); wi++ {
+		if maxErr[wi] > maxErr[wi-1]+1e-9 {
+			t.Errorf("truncation error grew from C=%d (%.3g) to C=%d (%.3g)",
+				widths[wi-1], maxErr[wi-1], widths[wi], maxErr[wi])
+		}
+	}
+	di := len(widths) - 2
+	if maxErr[di] > gmm.ShortlistEpsilon {
+		t.Errorf("default width C=%d error %.3g exceeds epsilon %v",
+			gmm.DefaultShortlistC, maxErr[di], gmm.ShortlistEpsilon)
+	}
+	if full := maxErr[len(widths)-1]; full > 1e-4 {
+		t.Errorf("full-width error %.3g above float32 quantization noise", full)
+	}
+}

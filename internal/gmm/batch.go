@@ -1,0 +1,195 @@
+package gmm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cross-request batching for the UBM pass of the fast scoring path.
+// Concurrent verifies all score different frames against the same UBM;
+// coalescing their frames into one matrix-shaped TopC call amortizes the
+// fork-join fan-out and keeps every core on one model's cache-resident
+// rows instead of context-switching between many small passes. Each
+// frame's result is computed independently of its batch-mates, so a
+// batched pass returns bit-for-bit the same shortlist each request would
+// have computed alone — batching changes throughput, never scores.
+
+// Default batching bounds.
+const (
+	// DefaultBatchWindow is how long the first request of a batch waits
+	// for company before the batch flushes anyway. Half a millisecond is
+	// invisible next to the pipeline's end-to-end latency and long enough
+	// to coalesce concurrent arrivals.
+	DefaultBatchWindow = 500 * time.Microsecond
+	// DefaultBatchMaxFrames flushes a batch early once this many frames
+	// are pending, bounding both latency under load and the size of the
+	// concatenated scoring pass.
+	DefaultBatchMaxFrames = 4096
+)
+
+// BatchConfig bounds a Batcher.
+type BatchConfig struct {
+	// Window is the maximum coalescing wait (default DefaultBatchWindow).
+	Window time.Duration
+	// MaxFrames flushes early at this many pending frames (default
+	// DefaultBatchMaxFrames).
+	MaxFrames int
+	// TopC is the shortlist width of the batched pass (default
+	// DefaultShortlistC).
+	TopC int
+	// OnFlush, when set, observes every flush: the number of requests
+	// coalesced and the total frames scored. The serving layer feeds its
+	// batch-size histogram through this without the batcher knowing any
+	// metric names.
+	OnFlush func(requests, frames int)
+}
+
+func (c *BatchConfig) setDefaults() {
+	if c.Window <= 0 {
+		c.Window = DefaultBatchWindow
+	}
+	if c.MaxFrames <= 0 {
+		c.MaxFrames = DefaultBatchMaxFrames
+	}
+	if c.TopC == 0 {
+		c.TopC = DefaultShortlistC
+	}
+}
+
+// batchReq is one caller blocked on a flush.
+type batchReq struct {
+	frames [][]float64
+	out    *Shortlist
+	err    error
+	done   chan struct{}
+}
+
+// Batcher coalesces concurrent UBM shortlist requests into bounded
+// batches. Safe for concurrent use; Close flushes pending work, and
+// submissions after Close degrade to direct (unbatched) scoring rather
+// than blocking.
+type Batcher struct {
+	ubm *ScoringModel
+	cfg BatchConfig
+
+	mu      sync.Mutex
+	pending []*batchReq
+	frames  int
+	timer   *time.Timer
+	closed  bool
+}
+
+// NewBatcher builds a batcher over a compiled UBM.
+func NewBatcher(ubm *ScoringModel, cfg BatchConfig) (*Batcher, error) {
+	if ubm == nil {
+		return nil, fmt.Errorf("gmm: batcher needs a compiled UBM")
+	}
+	cfg.setDefaults()
+	if cfg.TopC < 1 {
+		return nil, fmt.Errorf("gmm: batcher shortlist width %d, want ≥ 1", cfg.TopC)
+	}
+	return &Batcher{ubm: ubm, cfg: cfg}, nil
+}
+
+// ScoreUBM submits one request's frames and blocks until its batch
+// flushes (at the window deadline or the frame bound, whichever first).
+// The returned shortlist is bit-identical to ubm.TopC(frames, cfg.TopC).
+func (b *Batcher) ScoreUBM(frames [][]float64) (*Shortlist, error) {
+	// Validate before enqueueing so one malformed request cannot poison a
+	// batch, and skip the queue entirely when there is nothing to score.
+	if err := b.ubm.checkFrames(frames); err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return b.ubm.TopC(frames, b.cfg.TopC)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return b.ubm.TopC(frames, b.cfg.TopC)
+	}
+	req := &batchReq{frames: frames, done: make(chan struct{})}
+	b.pending = append(b.pending, req)
+	b.frames += len(frames)
+	if b.frames >= b.cfg.MaxFrames {
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		b.run(batch)
+	} else {
+		if len(b.pending) == 1 {
+			b.timer = time.AfterFunc(b.cfg.Window, b.flushOnTimer)
+		}
+		b.mu.Unlock()
+	}
+	<-req.done
+	return req.out, req.err
+}
+
+// takeLocked detaches the pending batch and disarms the window timer.
+// Callers hold b.mu.
+func (b *Batcher) takeLocked() []*batchReq {
+	batch := b.pending
+	b.pending = nil
+	b.frames = 0
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// flushOnTimer flushes whatever accumulated during the window. A batch
+// already taken by the frame bound leaves nothing to do.
+func (b *Batcher) flushOnTimer() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// run scores one batch with a single concatenated TopC pass and
+// distributes the per-request slices. Every waiter is released exactly
+// once.
+func (b *Batcher) run(batch []*batchReq) {
+	if len(batch) == 0 {
+		return
+	}
+	total := 0
+	for _, r := range batch {
+		total += len(r.frames)
+	}
+	combined := make([][]float64, 0, total)
+	for _, r := range batch {
+		combined = append(combined, r.frames...)
+	}
+	sl, err := b.ubm.TopC(combined, b.cfg.TopC)
+	off := 0
+	for _, r := range batch {
+		n := len(r.frames)
+		if err != nil {
+			r.err = fmt.Errorf("gmm: batched UBM pass: %w", err)
+		} else {
+			r.out = &Shortlist{
+				C:       sl.C,
+				LL:      sl.LL[off : off+n],
+				Indices: sl.Indices[off*sl.C : (off+n)*sl.C],
+			}
+		}
+		off += n
+		close(r.done)
+	}
+	if b.cfg.OnFlush != nil {
+		b.cfg.OnFlush(len(batch), total)
+	}
+}
+
+// Close flushes pending requests and stops coalescing. Later ScoreUBM
+// calls score directly; Close is idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.run(batch)
+}

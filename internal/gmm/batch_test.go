@@ -1,0 +1,158 @@
+package gmm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func batchFixture(t *testing.T) (*ScoringModel, [][]float64) {
+	t.Helper()
+	f := loadMFCCFixture(t)
+	sm, _ := compileFixture(t, f)
+	return sm, f.pool
+}
+
+// TestBatcherBitIdentical is the batching layer's core claim: a request
+// scored inside a coalesced batch gets exactly the bits it would have
+// computed alone.
+func TestBatcherBitIdentical(t *testing.T) {
+	sm, pool := batchFixture(t)
+	b, err := NewBatcher(sm, BatchConfig{Window: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const workers = 8
+	const uttFrames = 40
+	type result struct {
+		sl  *Shortlist
+		err error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			utt := pool[w*uttFrames : (w+1)*uttFrames]
+			sl, err := b.ScoreUBM(utt)
+			results[w] = result{sl, err}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if results[w].err != nil {
+			t.Fatalf("worker %d: %v", w, results[w].err)
+		}
+		utt := pool[w*uttFrames : (w+1)*uttFrames]
+		want, err := sm.TopC(utt, DefaultShortlistC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[w].sl
+		if got.C != want.C || len(got.LL) != len(want.LL) {
+			t.Fatalf("worker %d: shape C=%d/%d frames=%d/%d", w, got.C, want.C, len(got.LL), len(want.LL))
+		}
+		for i := range want.LL {
+			if got.LL[i] != want.LL[i] {
+				t.Fatalf("worker %d frame %d: batched LL %v, direct %v", w, i, got.LL[i], want.LL[i])
+			}
+		}
+		for i := range want.Indices {
+			if got.Indices[i] != want.Indices[i] {
+				t.Fatalf("worker %d index %d: batched %d, direct %d", w, i, got.Indices[i], want.Indices[i])
+			}
+		}
+	}
+}
+
+// TestBatcherMaxFramesFlush pins the early flush: a batch at the frame
+// bound must not wait out the window.
+func TestBatcherMaxFramesFlush(t *testing.T) {
+	sm, pool := batchFixture(t)
+	var mu sync.Mutex
+	var flushes [][2]int
+	b, err := NewBatcher(sm, BatchConfig{
+		Window:    time.Hour, // the frame bound must flush long before this
+		MaxFrames: 30,
+		OnFlush: func(requests, frames int) {
+			mu.Lock()
+			flushes = append(flushes, [2]int{requests, frames})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.ScoreUBM(pool[:40])
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("frame-bound flush never fired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushes) != 1 || flushes[0][0] != 1 || flushes[0][1] != 40 {
+		t.Errorf("flushes = %v, want one flush of 1 request / 40 frames", flushes)
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	sm, pool := batchFixture(t)
+	b, err := NewBatcher(sm, BatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	b.Close() // idempotent
+	// After Close submissions degrade to direct scoring.
+	sl, err := b.ScoreUBM(pool[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sm.TopC(pool[:10], DefaultShortlistC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.LL {
+		if sl.LL[i] != want.LL[i] {
+			t.Fatalf("post-Close frame %d: %v vs %v", i, sl.LL[i], want.LL[i])
+		}
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	sm, _ := batchFixture(t)
+	if _, err := NewBatcher(nil, BatchConfig{}); err == nil {
+		t.Error("nil UBM accepted")
+	}
+	if _, err := NewBatcher(sm, BatchConfig{TopC: -1}); err == nil {
+		t.Error("negative shortlist width accepted")
+	}
+	b, err := NewBatcher(sm, BatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// A malformed request fails before touching the queue.
+	if _, err := b.ScoreUBM([][]float64{{1, 2}}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	// An empty request short-circuits without waiting for a batch.
+	sl, err := b.ScoreUBM(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sl.LL) != 0 {
+		t.Errorf("empty request produced %d frames", len(sl.LL))
+	}
+}

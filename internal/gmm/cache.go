@@ -1,0 +1,115 @@
+package gmm
+
+import (
+	"container/list"
+	"sync"
+
+	"voiceguard/internal/telemetry"
+)
+
+// DefaultModelCacheSize is the default compiled-model LRU capacity. A
+// compiled 32×20 model is a few kilobytes, so the default keeps the
+// whole enrolled population of any test or demo deployment hot while
+// bounding a large fleet's resident set to a few hundred kilobytes.
+const DefaultModelCacheSize = 128
+
+// CacheMetrics wires a ModelCache into a telemetry registry. Any nil
+// field disables that series; the zero value disables them all.
+type CacheMetrics struct {
+	// Hits counts lookups served from the cache.
+	Hits *telemetry.Counter
+	// Misses counts lookups that had to compile.
+	Misses *telemetry.Counter
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions *telemetry.Counter
+	// ResidentBytes tracks the total SizeBytes of cached models.
+	ResidentBytes *telemetry.Gauge
+}
+
+// ModelCache is a bounded LRU of compiled scoring models keyed by the
+// source model's content digest. Verification traffic concentrates on a
+// small set of hot speakers; caching their compiled form makes repeat
+// verifies pay only the lookup, while re-enrollment naturally invalidates
+// (a retrained model has a new digest, and the stale entry ages out).
+// Safe for concurrent use.
+type ModelCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	byDigest map[string]*list.Element
+	bytes    int64
+	metrics  CacheMetrics
+}
+
+type cacheEntry struct {
+	digest string
+	model  *ScoringModel
+}
+
+// NewModelCache builds a cache holding at most capacity compiled models
+// (≤ 0 selects DefaultModelCacheSize).
+func NewModelCache(capacity int, metrics CacheMetrics) *ModelCache {
+	if capacity <= 0 {
+		capacity = DefaultModelCacheSize
+	}
+	return &ModelCache{
+		capacity: capacity,
+		order:    list.New(),
+		byDigest: make(map[string]*list.Element),
+		metrics:  metrics,
+	}
+}
+
+// Get returns the compiled model for digest, invoking compile on a miss
+// and retaining the result. compile runs under the cache lock:
+// compilation is one flat copy of the model, and serializing it gives
+// single-flight semantics — concurrent requests for the same digest
+// compile exactly once.
+func (c *ModelCache) Get(digest string, compile func() (*ScoringModel, error)) (*ScoringModel, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byDigest[digest]; ok {
+		c.order.MoveToFront(el)
+		if c.metrics.Hits != nil {
+			c.metrics.Hits.Inc()
+		}
+		return el.Value.(*cacheEntry).model, nil
+	}
+	if c.metrics.Misses != nil {
+		c.metrics.Misses.Inc()
+	}
+	model, err := compile()
+	if err != nil {
+		return nil, err
+	}
+	c.byDigest[digest] = c.order.PushFront(&cacheEntry{digest: digest, model: model})
+	c.bytes += int64(model.SizeBytes())
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		ent := last.Value.(*cacheEntry)
+		c.order.Remove(last)
+		delete(c.byDigest, ent.digest)
+		c.bytes -= int64(ent.model.SizeBytes())
+		if c.metrics.Evictions != nil {
+			c.metrics.Evictions.Inc()
+		}
+	}
+	if c.metrics.ResidentBytes != nil {
+		c.metrics.ResidentBytes.Set(float64(c.bytes))
+	}
+	return model, nil
+}
+
+// Len returns the number of cached models.
+func (c *ModelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// ResidentBytes returns the total SizeBytes of the cached models.
+func (c *ModelCache) ResidentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

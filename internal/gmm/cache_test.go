@@ -1,0 +1,97 @@
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"voiceguard/internal/telemetry"
+)
+
+func cacheMetricsFixture(r *telemetry.Registry) CacheMetrics {
+	return CacheMetrics{
+		Hits:          r.Counter("test_cache_events", telemetry.Labels{"event": "hit"}),
+		Misses:        r.Counter("test_cache_events", telemetry.Labels{"event": "miss"}),
+		Evictions:     r.Counter("test_cache_events", telemetry.Labels{"event": "eviction"}),
+		ResidentBytes: r.Gauge("test_cache_bytes", nil),
+	}
+}
+
+func TestModelCacheLRU(t *testing.T) {
+	f := loadMFCCFixture(t)
+	reg := telemetry.NewRegistry()
+	metrics := cacheMetricsFixture(reg)
+	cache := NewModelCache(2, metrics)
+	compileUBM := func() (*ScoringModel, error) { return Compile(f.ubm) }
+
+	a, err := cache.Get("digest-a", compileUBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Get("digest-b", compileUBM); err != nil {
+		t.Fatal(err)
+	}
+	// Hit on a keeps it most-recently-used.
+	a2, err := cache.Get("digest-a", compileUBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Error("hit returned a different compiled model")
+	}
+	// Inserting c evicts b (LRU), not a.
+	if _, err := cache.Get("digest-c", compileUBM); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Len(); got != 2 {
+		t.Errorf("cache holds %d models, want 2", got)
+	}
+	a3, err := cache.Get("digest-a", compileUBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 != a {
+		t.Error("digest-a was evicted out of LRU order")
+	}
+	if hits := metrics.Hits.Value(); hits != 2 {
+		t.Errorf("hits = %d, want 2", hits)
+	}
+	if misses := metrics.Misses.Value(); misses != 3 {
+		t.Errorf("misses = %d, want 3", misses)
+	}
+	if ev := metrics.Evictions.Value(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	wantBytes := int64(2 * a.SizeBytes())
+	if got := cache.ResidentBytes(); got != wantBytes {
+		t.Errorf("resident bytes = %d, want %d", got, wantBytes)
+	}
+	if g := metrics.ResidentBytes.Value(); int64(g) != wantBytes {
+		t.Errorf("gauge = %v, want %d", g, wantBytes)
+	}
+}
+
+func TestModelCacheCompileError(t *testing.T) {
+	cache := NewModelCache(0, CacheMetrics{}) // zero metrics, default capacity
+	wantErr := errors.New("boom")
+	if _, err := cache.Get("bad", func() (*ScoringModel, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("got %v, want %v", err, wantErr)
+	}
+	if cache.Len() != 0 {
+		t.Error("failed compile was retained")
+	}
+}
+
+func TestModelCacheDefaultCapacity(t *testing.T) {
+	f := loadMFCCFixture(t)
+	cache := NewModelCache(-5, CacheMetrics{})
+	for i := 0; i < DefaultModelCacheSize+10; i++ {
+		digest := fmt.Sprintf("d-%d", i)
+		if _, err := cache.Get(digest, func() (*ScoringModel, error) { return Compile(f.ubm) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cache.Len(); got != DefaultModelCacheSize {
+		t.Errorf("cache holds %d, want the default bound %d", got, DefaultModelCacheSize)
+	}
+}

@@ -1,0 +1,48 @@
+package gmm
+
+import "testing"
+
+// The benchmarks score the shared production-shaped fixture — a
+// 32-component UBM over real MFCC frames, the exact model family the
+// serving path runs — mirroring cmd/benchgen's micro-row setup. The
+// Exact/TopCShortlist pair is the fast path's headline speedup.
+
+func benchModelAndFrames(b *testing.B) (*GMM, *ScoringModel, [][]float64) {
+	b.Helper()
+	f := loadMFCCFixture(b)
+	sm, _ := compileFixture(b, f)
+	if len(f.pool) < 300 {
+		b.Fatalf("only %d MFCC frames pooled", len(f.pool))
+	}
+	return f.ubm, sm, f.pool[:300]
+}
+
+func BenchmarkMeanLogLikelihoodExact(b *testing.B) {
+	model, _, frames := benchModelAndFrames(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.MeanLogLikelihood(frames)
+	}
+}
+
+func BenchmarkTopCShortlist(b *testing.B) {
+	_, sm, frames := benchModelAndFrames(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.TopC(frames, DefaultShortlistC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScoreShortlist(b *testing.B) {
+	f := loadMFCCFixture(b)
+	ubm, spk := compileFixture(b, f)
+	frames := f.pool[:300]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScoreShortlist(ubm, spk, frames, DefaultShortlistC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

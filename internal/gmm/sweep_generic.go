@@ -1,0 +1,25 @@
+//go:build !amd64
+
+package gmm
+
+// quadSweep on non-amd64 platforms is the portable reference sweep.
+func quadSweep(means, invVars, xf, out []float32, k, stride int) {
+	quadSweepGeneric(means, invVars, xf, out, k, stride)
+}
+
+// topCSelect on non-amd64 platforms is the portable extraction, which
+// the amd64 AVX2 kernel matches bit for bit.
+func topCSelect(scores []float32, vals []float64, idx []int32) {
+	topCExtract(scores, vals, idx)
+}
+
+// scoreSelect on non-amd64 platforms converts quadratic forms to scores
+// in place (consts[i] − q[i]/2, float32 throughout — the same exact
+// values the amd64 fused kernel produces) and extracts the best.
+func scoreSelect(q, consts []float32, vals []float64, idx []int32) {
+	consts = consts[:len(q)]
+	for i := range q {
+		q[i] = consts[i] - 0.5*q[i]
+	}
+	topCExtract(q, vals, idx)
+}

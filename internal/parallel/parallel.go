@@ -58,11 +58,26 @@ func For(n int, fn func(i int)) {
 // index. fn must treat the blocks as disjoint; Range returns when every
 // block is done.
 func Range(n int, fn func(lo, hi int)) {
+	RangeMin(n, minParallel, fn)
+}
+
+// RangeMin is Range with a caller-chosen serial threshold: the fan-out
+// engages only when n ≥ min. Range's default threshold is tuned for
+// per-index work in the microsecond range; paths whose per-index cost is
+// tens of nanoseconds (the compiled GMM scoring kernels) pass a larger
+// min so a short utterance runs serially on the caller's goroutine while
+// a batched scoring pass still spreads across cores. min below the
+// package default is clamped up to it. Results are bit-identical to the
+// serial loop either way.
+func RangeMin(n, min int, fn func(lo, hi int)) {
 	w := Workers()
 	if n <= 0 {
 		return
 	}
-	if w < 2 || n < minParallel {
+	if min < minParallel {
+		min = minParallel
+	}
+	if w < 2 || n < min {
 		fn(0, n)
 		return
 	}

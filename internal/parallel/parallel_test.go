@@ -42,6 +42,47 @@ func TestRangeBlocksPartition(t *testing.T) {
 	}
 }
 
+// TestRangeMinThreshold checks the caller-chosen serial threshold: below
+// min the whole range arrives as one block on the calling goroutine, at
+// or above it the blocks still tile [0, n) exactly, and a min below the
+// package default is clamped up to it.
+func TestRangeMinThreshold(t *testing.T) {
+	// n < min: exactly one block, [0, n).
+	var blocks [][2]int
+	RangeMin(100, 256, func(lo, hi int) {
+		blocks = append(blocks, [2]int{lo, hi})
+	})
+	if len(blocks) != 1 || blocks[0] != [2]int{0, 100} {
+		t.Errorf("below-threshold blocks = %v, want one [0, 100)", blocks)
+	}
+	// min below the package default clamps up: n under minParallel stays
+	// serial even with min = 1.
+	blocks = blocks[:0]
+	RangeMin(minParallel-1, 1, func(lo, hi int) {
+		blocks = append(blocks, [2]int{lo, hi})
+	})
+	if len(blocks) != 1 || blocks[0] != [2]int{0, minParallel - 1} {
+		t.Errorf("clamped-min blocks = %v, want one serial block", blocks)
+	}
+	// n ≥ min: blocks tile [0, n) exactly once regardless of scheduling.
+	for _, n := range []int{256, 257, 1000} {
+		covered := make([]int32, n)
+		RangeMin(n, 256, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("n=%d: bad block [%d, %d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
 // TestMapMatchesSerial checks output ordering and bit-identical results
 // against the plain loop.
 func TestMapMatchesSerial(t *testing.T) {

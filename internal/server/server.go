@@ -24,6 +24,7 @@ import (
 
 	"voiceguard/internal/core"
 	"voiceguard/internal/evidence"
+	"voiceguard/internal/gmm"
 	"voiceguard/internal/protocol"
 	"voiceguard/internal/telemetry"
 )
@@ -38,6 +39,11 @@ const (
 	MetricHTTPRequests     = "voiceguard_http_requests_total"
 	MetricHTTPDuration     = "voiceguard_http_request_duration_seconds"
 	MetricHTTPInflight     = "voiceguard_http_inflight_requests"
+
+	// ASV fast-path series (registered only when the fast path is on).
+	MetricASVBatchSize        = "voiceguard_asv_batch_size"
+	MetricASVModelCacheEvents = "voiceguard_asv_model_cache_events_total"
+	MetricASVModelCacheBytes  = "voiceguard_asv_model_cache_resident_bytes"
 )
 
 // Server wraps the pipeline behind HTTP.
@@ -75,6 +81,17 @@ type Server struct {
 	evidenceProv  *evidence.Provenance
 	retainer      *evidenceRetainer
 	spoolWG       sync.WaitGroup
+
+	// ASV fast path: compiled top-C scoring with a speaker-model cache,
+	// optionally batching concurrent verifies' UBM passes (batcher is
+	// non-nil only with WithASVBatching; Shutdown closes it).
+	asvFast        bool
+	asvTopC        int
+	asvCacheSize   int
+	asvBatch       bool
+	asvBatchWindow time.Duration
+	asvBatchFrames int
+	batcher        *gmm.Batcher
 
 	// Verify outcome counters. Total requests is their sum, so the
 	// Requests == Accepted+Rejected+Errors+DeadlineExceeded+Shed
@@ -216,6 +233,11 @@ func New(system *core.System, logger *slog.Logger, opts ...Option) (*Server, err
 		s.stageHist[st] = r.Histogram(MetricStageLatency, nil, telemetry.Labels{"stage": st.MetricName()})
 	}
 	r.SetHelp(MetricStageLatency, "per-stage pipeline latency")
+	if s.asvFast || s.asvBatch {
+		if err := s.enableFastASV(); err != nil {
+			return nil, err
+		}
+	}
 	if s.evidenceDebug || s.evidenceDir != "" {
 		s.retainer = newEvidenceRetainer(s.evidenceSize)
 	}
@@ -586,6 +608,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = srv.Shutdown(ctx)
 	}
 	s.spoolWG.Wait()
+	if s.batcher != nil {
+		// After the drain: pending batches flush, and any straggler
+		// submission scores directly instead of blocking.
+		s.batcher.Close()
+	}
 	return err
 }
 
