@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"voiceguard/internal/experiment"
+)
+
+// runDrift prints the attack-matrix drift wave: per-series PSI/KS for a
+// genuine control wave and a mixed replay+imitation wave, each against a
+// pinned genuine baseline.
+func runDrift(seed int64) error {
+	res, err := experiment.RunDriftWave(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Evidence drift — attack matrix as a traffic wave (alert PSI > %.2f)\n", res.AlertPSI)
+	for _, row := range res.Series {
+		fmt.Println(" ", row)
+	}
+	fmt.Printf("  genuine wave alerts: %v\n", res.GenuineAlertStages)
+	fmt.Printf("  attack wave alerts:  %v\n", res.AttackAlertStages)
+	return nil
+}
+
+// driftReportDoc is the drift-report.json schema CI archives.
+type driftReportDoc struct {
+	Seed               int64                        `json:"seed"`
+	AlertPSI           float64                      `json:"alert_psi"`
+	Baseline           int                          `json:"baseline_sessions"`
+	GenuineWave        int                          `json:"genuine_sessions"`
+	AttackWave         int                          `json:"attack_sessions"`
+	Series             []experiment.DriftWaveSeries `json:"series"`
+	GenuineAlertStages []string                     `json:"genuine_alert_stages"`
+	AttackAlertStages  []string                     `json:"attack_alert_stages"`
+}
+
+// writeDriftJSON runs the drift wave, writes the report, and fails when
+// the separation the observability layer promises does not hold: the
+// genuine control wave must alert on no stage, the attack wave on at
+// least two.
+func writeDriftJSON(path string, seed int64) error {
+	res, err := experiment.RunDriftWave(seed)
+	if err != nil {
+		return err
+	}
+	doc := driftReportDoc{
+		Seed:               seed,
+		AlertPSI:           res.AlertPSI,
+		Baseline:           res.Baseline,
+		GenuineWave:        res.GenuineWave,
+		AttackWave:         res.AttackWave,
+		Series:             res.Series,
+		GenuineAlertStages: res.GenuineAlertStages,
+		AttackAlertStages:  res.AttackAlertStages,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d series)\n", path, len(doc.Series))
+	if len(res.GenuineAlertStages) != 0 {
+		return fmt.Errorf("drift wave: genuine control wave alerted on %v", res.GenuineAlertStages)
+	}
+	if len(res.AttackAlertStages) < 2 {
+		return fmt.Errorf("drift wave: attack wave alerted on %d stage(s) %v, want >= 2",
+			len(res.AttackAlertStages), res.AttackAlertStages)
+	}
+	return nil
+}

@@ -26,8 +26,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	benchJSON := flag.String("bench-json", "", "write hot-path benchmark rows as JSON to this path and exit")
 	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: fail if the fresh rows regress against this baseline JSON (strict allocs on micro/ rows)")
+	driftJSON := flag.String("drift-json", "", "run the attack-matrix drift wave and write its per-series PSI/KS report as JSON to this path, then exit")
 	flag.Parse()
 
+	if *driftJSON != "" {
+		if err := writeDriftJSON(*driftJSON, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON != "" {
 		rows, err := writeBenchJSON(*benchJSON, *seed)
 		if err == nil && *benchBaseline != "" {
@@ -70,12 +78,14 @@ func run(exp string, seed int64) error {
 		"dualmic":        runDualMic,
 		"baseline":       runBaseline,
 		"envs":           runEnvs,
+		"drift":          runDrift,
 	}
 	if exp == "all" {
 		order := []string{
 			"table1", "fig6", "fig8", "fig10", "fig12a", "fig12b",
 			"fig13", "fig14a", "fig14b", "fig15", "table4", "tube",
 			"unconventional", "adaptive", "dualmic", "baseline", "envs",
+			"drift",
 		}
 		for _, name := range order {
 			if err := runners[name](seed); err != nil {

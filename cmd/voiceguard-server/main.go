@@ -65,6 +65,13 @@ type config struct {
 	asvBatch      bool
 	asvBatchWin   time.Duration
 	asvBatchMax   int
+
+	drift          bool
+	driftAlertPSI  float64 // unit: dimensionless
+	sloAvail       float64 // unit: dimensionless
+	sloLatency     float64 // unit: dimensionless
+	sloLatencyGood time.Duration
+	stageResources bool
 }
 
 func main() {
@@ -89,6 +96,12 @@ func main() {
 	flag.BoolVar(&cfg.asvBatch, "asv-batch", false, "coalesce concurrent verifies into batched UBM scoring passes (implies -asv-fast)")
 	flag.DurationVar(&cfg.asvBatchWin, "asv-batch-window", 0, "batching window for -asv-batch (0 = default)")
 	flag.IntVar(&cfg.asvBatchMax, "asv-batch-frames", 0, "frame count that flushes a batch early for -asv-batch (0 = default)")
+	flag.BoolVar(&cfg.drift, "drift", true, "mount the GET /debug/drift aggregate drift/SLO report (windows are always fed)")
+	flag.Float64Var(&cfg.driftAlertPSI, "drift-alert-psi", 0, "PSI above which a drift series alerts (0 = default 0.25)")
+	flag.Float64Var(&cfg.sloAvail, "slo-availability", 0, "availability objective, e.g. 0.999 (0 disables the availability SLO)")
+	flag.Float64Var(&cfg.sloLatency, "slo-latency", 0, "latency objective, e.g. 0.99 (0 disables the latency SLO)")
+	flag.DurationVar(&cfg.sloLatencyGood, "slo-latency-threshold", time.Second, "latency at or under which a decided verify counts as good for -slo-latency")
+	flag.BoolVar(&cfg.stageResources, "stage-resources", false, "attribute per-stage thread CPU time (voiceguard_stage_cpu_seconds_total; costs one thread pin per stage)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -147,6 +160,16 @@ func run(ctx context.Context, cfg config, logger *slog.Logger) error {
 	}
 	if cfg.asvBatch {
 		opts = append(opts, server.WithASVBatching(cfg.asvBatchWin, cfg.asvBatchMax))
+	}
+	opts = append(opts, server.WithDriftEndpoint(cfg.drift))
+	if cfg.driftAlertPSI > 0 {
+		opts = append(opts, server.WithDriftAlertPSI(cfg.driftAlertPSI))
+	}
+	if cfg.sloAvail > 0 || cfg.sloLatency > 0 {
+		opts = append(opts, server.WithSLO(cfg.sloAvail, cfg.sloLatency, cfg.sloLatencyGood))
+	}
+	if cfg.stageResources {
+		opts = append(opts, server.WithStageResources())
 	}
 	srv, err := server.New(sys, logger, opts...)
 	if err != nil {

@@ -444,6 +444,101 @@ func (c *Client) EvidencePack(ctx context.Context, traceID string) ([]byte, erro
 	return data, nil
 }
 
+// DriftReport fetches the server's /debug/drift document: per-series
+// PSI/KS drift scores against the pinned baseline, SLO burn rates,
+// process resource attribution, and the recent per-minute timeline.
+// timeline bounds the timeline slots (< 0 uses the server default).
+func (c *Client) DriftReport(ctx context.Context, timeline int) (*telemetry.DriftReport, error) {
+	path := "/debug/drift"
+	if timeline >= 0 {
+		path += "?timeline=" + strconv.Itoa(timeline)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: fetching %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: %s returned status %d", path, resp.StatusCode)
+	}
+	rep := &telemetry.DriftReport{}
+	if err := json.NewDecoder(resp.Body).Decode(rep); err != nil {
+		return nil, fmt.Errorf("client: decoding drift report: %w", err)
+	}
+	return rep, nil
+}
+
+// PinDriftBaseline asks the server to snapshot the trailing window as
+// its drift baseline (0 uses the server's live window).
+func (c *Client) PinDriftBaseline(ctx context.Context, window time.Duration) error {
+	path := "/debug/drift/pin"
+	if window > 0 {
+		path += "?window=" + url.QueryEscape(window.String())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: pinning drift baseline: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: %s returned status %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// MetricsText fetches the raw Prometheus text exposition from /metrics
+// (voiceguard-top parses a few families out of it).
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: fetching /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: /metrics returned status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: reading metrics: %w", err)
+	}
+	return string(data), nil
+}
+
+// Health fetches the /healthz readiness document as loosely-typed JSON
+// (the shape is the server's healthResponse; voiceguard-top reads the
+// ASV serving-state section from it).
+func (c *Client) Health(ctx context.Context) (map[string]json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: fetching /healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: /healthz returned status %d", resp.StatusCode)
+	}
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding health document: %w", err)
+	}
+	return out, nil
+}
+
 // DumpDecisionsJSONL streams the server's retained traces as JSONL into
 // w — the offline input format of cmd/voiceguard-trace.
 func (c *Client) DumpDecisionsJSONL(w io.Writer) error {

@@ -101,6 +101,23 @@ func (s Stage) MetricName() string {
 	}
 }
 
+// EvidenceValue is one named statistic a stage measured while deciding
+// (field_ut, distance_cm, svm_margin, llr, ...). Stages expose their raw
+// evidence through StageResult so the observability layer can aggregate
+// score distributions over time without re-parsing span attributes.
+type EvidenceValue struct {
+	// Metric names the statistic; matches the span attribute name and
+	// the EvidenceSeriesDefs entry. Empty marks an unused slot.
+	Metric string
+	// Value is the measured statistic (unit varies by metric).
+	Value float64 // unit: any
+}
+
+// maxStageEvidence bounds the inline evidence array: no stage records
+// more than two window-tracked statistics, and keeping the array inline
+// keeps StageResult allocation-free on the hot path.
+const maxStageEvidence = 2
+
 // StageResult is one component's verdict.
 type StageResult struct {
 	// Stage identifies the component.
@@ -114,6 +131,12 @@ type StageResult struct {
 	Detail string
 	// Elapsed is the stage's processing time for this session.
 	Elapsed time.Duration
+	// CPU is the stage's thread CPU time, recorded only when
+	// SetResourceAttribution(true) is in effect (else zero).
+	CPU time.Duration
+	// Evidence carries the stage's raw measured statistics (unused slots
+	// have an empty Metric).
+	Evidence [maxStageEvidence]EvidenceValue
 }
 
 // TimeStage returns a function that stamps res.Elapsed with the time
@@ -129,7 +152,14 @@ type StageResult struct {
 // result, exported through the telemetry histograms) is recorded even
 // when a stage is invoked outside the System cascade. The
 // stageinstrument analyzer in voiceguard-lint enforces this.
+//
+// With SetResourceAttribution(true) the returned closure additionally
+// stamps res.CPU with the stage's thread CPU time (goroutine pinned for
+// the stage's duration); the default path is unchanged.
 func TimeStage(res *StageResult) func() {
+	if resourceAttribution.Load() {
+		return timeStageResources(res)
+	}
 	start := time.Now()
 	return func() { res.Elapsed = time.Since(start) }
 }

@@ -1,0 +1,24 @@
+//go:build linux
+
+package core
+
+import (
+	"syscall"
+	"time"
+)
+
+// rusageThread selects per-thread accounting for getrusage(2). Defined
+// locally (same value as RUSAGE_THREAD) so the build does not depend on
+// the constant being exported by the syscall package.
+const rusageThread = 1
+
+// threadCPUTime returns the calling OS thread's consumed CPU time
+// (user + system). Meaningful for stage attribution only while the
+// goroutine is pinned with runtime.LockOSThread.
+func threadCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(rusageThread, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

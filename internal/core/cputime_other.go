@@ -1,0 +1,9 @@
+//go:build !linux
+
+package core
+
+import "time"
+
+// threadCPUTime is unavailable off Linux; stage CPU attribution
+// degrades to zero deltas (Elapsed wall time still reports).
+func threadCPUTime() time.Duration { return 0 }

@@ -64,6 +64,7 @@ func (v *DistanceVerifier) VerifySpan(span *telemetry.Span, g *trajectory.Gestur
 	span.SetFloat("residual_mm", est.Residual*1000, "mm")
 	span.SetFloat("radial_std_mm", est.SweepRadialStd*1000, "mm")
 	span.SetFloat("turn_rad", est.Turn, "rad")
+	res.Evidence[0] = EvidenceValue{Metric: EvidenceDistanceCM, Value: est.Distance * 100}
 	// Score: margin below the distance gate (positive = inside).
 	res.Score = v.MaxDistance - est.Distance
 	switch {

@@ -109,6 +109,8 @@ func (d *LoudspeakerDetector) VerifySpan(span *telemetry.Span, mag *sensors.Trac
 	sub.End()
 	span.SetFloat("field_ut", m.Swing, "µT")
 	span.SetFloat("beta_ut_per_s", m.MaxRate, "µT/s")
+	res.Evidence[0] = EvidenceValue{Metric: EvidenceFieldUT, Value: m.Swing}
+	res.Evidence[1] = EvidenceValue{Metric: EvidenceBetaUTPerS, Value: m.MaxRate}
 	// Score: normalized margin below the nearer threshold (positive =
 	// clean).
 	swingMargin := 1 - m.Swing/d.Mt

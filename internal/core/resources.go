@@ -1,0 +1,39 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// resourceAttribution gates per-stage CPU-time measurement in TimeStage.
+// Off by default: the measurement pins the goroutine to its OS thread
+// for the stage's duration and reads per-thread rusage, which is cheap
+// but not free, so the default serving and benchmark profiles are
+// bit-identical to a build without this file.
+var resourceAttribution atomic.Bool
+
+// SetResourceAttribution toggles per-stage CPU-time capture. When on,
+// TimeStage pins the calling goroutine to its OS thread and stamps
+// StageResult.CPU with the thread CPU time consumed by the stage;
+// when off StageResult.CPU stays zero.
+func SetResourceAttribution(on bool) { resourceAttribution.Store(on) }
+
+// ResourceAttributionEnabled reports the current toggle state.
+func ResourceAttributionEnabled() bool { return resourceAttribution.Load() }
+
+// timeStageResources is TimeStage's attribution variant: same Elapsed
+// contract, plus thread-CPU delta into res.CPU. Pinning the goroutine
+// makes the per-thread counter deltas attributable to this stage alone
+// (modulo preemption by the scheduler onto the same thread, which the
+// pin prevents for Go code).
+func timeStageResources(res *StageResult) func() {
+	runtime.LockOSThread()
+	start := time.Now()
+	cpuStart := threadCPUTime()
+	return func() {
+		res.Elapsed = time.Since(start)
+		res.CPU = threadCPUTime() - cpuStart
+		runtime.UnlockOSThread()
+	}
+}

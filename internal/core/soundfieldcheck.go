@@ -184,6 +184,7 @@ func (v *SoundFieldVerifier) VerifySpan(span *telemetry.Span, ms []soundfield.Me
 	span.SetFloat("svm_margin", margin, "")
 	span.SetFloat("threshold_margin", 0, "")
 	span.SetInt("band_deg", int64(bandKey(ms)))
+	res.Evidence[0] = EvidenceValue{Metric: EvidenceSVMMargin, Value: margin}
 	res.Score = margin
 	if margin >= 0 {
 		res.Pass = true

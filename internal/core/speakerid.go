@@ -306,6 +306,7 @@ func (v *SpeakerVerifier) VerifySpan(span *telemetry.Span, user string, utt *aud
 		return res
 	}
 	span.SetFloat("llr", score, "nat/frame")
+	res.Evidence[0] = EvidenceValue{Metric: EvidenceLLR, Value: score}
 	res.Score = score - v.Threshold
 	if score >= v.Threshold {
 		res.Pass = true

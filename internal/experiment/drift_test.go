@@ -1,0 +1,43 @@
+package experiment
+
+import "testing"
+
+// TestDriftWaveSeparatesAttackTraffic is the observability layer's
+// population-level acceptance check: a second wave of genuine traffic
+// must stay under the PSI action threshold on every evidence series,
+// while the mixed replay+imitation wave must push at least two distinct
+// stages past it.
+func TestDriftWaveSeparatesAttackTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an ASV back-end and serves 120 verifies")
+	}
+	res, err := RunDriftWave(1700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Series {
+		t.Log(row)
+	}
+	if len(res.GenuineAlertStages) != 0 {
+		t.Errorf("genuine control wave alerted on %v (PSI > %.2f); want none",
+			res.GenuineAlertStages, res.AlertPSI)
+	}
+	if len(res.AttackAlertStages) < 2 {
+		t.Errorf("attack wave alerted on %d stage(s) %v; want >= 2",
+			len(res.AttackAlertStages), res.AttackAlertStages)
+	}
+	// The attack story is stage-specific: close replays are stopped by
+	// the sound-field check, imitations by ASV, so those two stages must
+	// be among the alerting set.
+	want := map[string]bool{"soundfield": false, "identity": false}
+	for _, st := range res.AttackAlertStages {
+		if _, ok := want[st]; ok {
+			want[st] = true
+		}
+	}
+	for st, hit := range want {
+		if !hit {
+			t.Errorf("stage %s did not alert during the attack wave", st)
+		}
+	}
+}

@@ -126,6 +126,21 @@ func (b *Batcher) ScoreUBM(frames [][]float64) (*Shortlist, error) {
 	return req.out, req.err
 }
 
+// QueueDepth returns the number of requests currently waiting for a
+// batch flush (health/readiness reporting).
+func (b *Batcher) QueueDepth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// PendingFrames returns the total frames currently queued.
+func (b *Batcher) PendingFrames() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.frames
+}
+
 // takeLocked detaches the pending batch and disarms the window timer.
 // Callers hold b.mu.
 func (b *Batcher) takeLocked() []*batchReq {

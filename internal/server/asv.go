@@ -74,6 +74,9 @@ func (s *Server) enableFastASV() error {
 	r.SetHelp(MetricASVModelCacheEvents, "compiled speaker-model cache traffic by event")
 	r.SetHelp(MetricASVModelCacheBytes, "bytes held by compiled speaker models resident in the cache")
 	cache := gmm.NewModelCache(s.asvCacheSize, metrics)
+	s.asvCache = cache
+	s.asvCacheHits = metrics.Hits
+	s.asvCacheMiss = metrics.Misses
 	if err := id.EnableFastPath(core.FastPathConfig{TopC: s.asvTopC, Cache: cache}); err != nil {
 		return fmt.Errorf("server: enabling ASV fast path: %w", err)
 	}

@@ -103,6 +103,32 @@ type Server struct {
 	pipelineHist                *telemetry.Histogram
 	stageHist                   map[core.Stage]*telemetry.Histogram
 
+	// Time-aware observability (drift.go): the rolling-window set fed
+	// from the decision path, the evidence observer binding it, and the
+	// gauges derived from it at scrape time. windowCfg lets tests inject
+	// a simulated clock; slo/sloGoodUnder declare the burn-rate
+	// objectives; driftOff hides the /debug/drift surface only.
+	windows           *telemetry.WindowSet
+	observer          *core.EvidenceObserver
+	windowCfg         *telemetry.WindowConfig
+	slo               telemetry.SLOConfig
+	sloGoodUnder      time.Duration
+	driftOff          bool
+	driftAlertPSI     float64 // unit: dimensionless
+	stageResources    bool
+	driftPSI          map[seriesKey]*telemetry.Gauge
+	driftKS           map[seriesKey]*telemetry.Gauge
+	burnGauges        map[burnKey]*telemetry.Gauge
+	stageCPU          map[core.Stage]*telemetry.Gauge
+	goHeap            *telemetry.Gauge
+	goGCPause         *telemetry.Gauge
+	goGoroutines      *telemetry.Gauge
+	allocsPerDecision *telemetry.Gauge
+
+	// ASV serving-state handles kept for /healthz readiness reporting.
+	asvCache                   *gmm.ModelCache
+	asvCacheHits, asvCacheMiss *telemetry.Counter
+
 	mu      sync.Mutex
 	httpSrv *http.Server
 	addr    string
@@ -233,6 +259,7 @@ func New(system *core.System, logger *slog.Logger, opts ...Option) (*Server, err
 		s.stageHist[st] = r.Histogram(MetricStageLatency, nil, telemetry.Labels{"stage": st.MetricName()})
 	}
 	r.SetHelp(MetricStageLatency, "per-stage pipeline latency")
+	s.initObservability()
 	if s.asvFast || s.asvBatch {
 		if err := s.enableFastASV(); err != nil {
 			return nil, err
@@ -287,6 +314,10 @@ func (s *Server) Handler() http.Handler {
 	}
 	if s.evidenceDebug {
 		mux.HandleFunc(EvidenceRoute, s.handleEvidence)
+	}
+	if !s.driftOff {
+		mux.HandleFunc(DriftRoute, s.handleDrift)
+		mux.HandleFunc(DriftPinRoute, s.handleDriftPin)
 	}
 	if !s.metricsOff {
 		mux.HandleFunc("/metrics", s.handleMetrics)
@@ -402,12 +433,57 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
+// asvHealth reports the fast-ASV serving state on /healthz: model-cache
+// residency and traffic, plus batcher queue depth when batching is on.
+type asvHealth struct {
+	// CacheEntries and CacheResidentBytes describe the compiled
+	// speaker-model LRU.
+	CacheEntries       int   `json:"cache_entries"`
+	CacheResidentBytes int64 `json:"cache_resident_bytes"`
+	// CacheHits/CacheMisses are cumulative; CacheHitRatio is their
+	// derived fraction (0 before any traffic).
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"` // unit: dimensionless
+	// Batching reports whether cross-request UBM batching is on;
+	// QueueDepth/PendingFrames are its current coalescing state.
+	Batching      bool `json:"batching"`
+	QueueDepth    int  `json:"queue_depth,omitempty"`
+	PendingFrames int  `json:"pending_frames,omitempty"`
+}
+
 // healthResponse is the /healthz readiness document.
 type healthResponse struct {
 	// Status is "ok" once the pipeline is constructed.
 	Status string `json:"status"`
 	// Stages reports which paper stages are configured on this server.
 	Stages map[string]bool `json:"stages"`
+	// ASV reports the fast-path serving state (absent when the fast ASV
+	// path is off).
+	ASV *asvHealth `json:"asv,omitempty"`
+}
+
+// asvHealthSnapshot builds the /healthz ASV section (nil when the fast
+// path is off).
+func (s *Server) asvHealthSnapshot() *asvHealth {
+	if s.asvCache == nil {
+		return nil
+	}
+	h := &asvHealth{
+		CacheEntries:       s.asvCache.Len(),
+		CacheResidentBytes: s.asvCache.ResidentBytes(),
+		CacheHits:          s.asvCacheHits.Value(),
+		CacheMisses:        s.asvCacheMiss.Value(),
+		Batching:           s.batcher != nil,
+	}
+	if total := h.CacheHits + h.CacheMisses; total > 0 {
+		h.CacheHitRatio = float64(h.CacheHits) / float64(total)
+	}
+	if s.batcher != nil {
+		h.QueueDepth = s.batcher.QueueDepth()
+		h.PendingFrames = s.batcher.PendingFrames()
+	}
+	return h
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -423,6 +499,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			core.StageLoudspeaker.MetricName(): s.system.Speaker != nil,
 			core.StageSpeakerID.MetricName():   s.system.Identity != nil,
 		},
+		ASV: s.asvHealthSnapshot(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
@@ -461,6 +538,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
+	// Window-derived gauges (drift, burn rates, process state) are
+	// recomputed on scrape, so the serving path never pays for them.
+	s.refreshObservability()
 	var err error
 	if wantsOpenMetrics(r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", telemetry.OpenMetricsContentType)
@@ -496,6 +576,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 	fail := func(status int, msg string) {
 		s.errored.Inc()
+		s.observeOutcome(telemetry.OutcomeError, 0)
 		s.logger.Warn("verify failed", "trace_id", traceID, "status", status, "err", msg)
 		s.writeJSONError(w, traceID, status, msg)
 	}
@@ -509,6 +590,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-s.sem }()
 		default:
 			s.shed.Inc()
+			s.observeOutcome(telemetry.OutcomeShed, 0)
 			s.logger.Warn("verify shed", "trace_id", traceID, "max_inflight", s.maxInflight)
 			w.Header().Set("Retry-After", "1")
 			s.writeJSONError(w, traceID, http.StatusTooManyRequests,
@@ -545,6 +627,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			// the client can retry and the operator can pull the abandoned
 			// trace from the flight recorder.
 			s.deadlined.Inc()
+			s.observeOutcome(telemetry.OutcomeDeadlineExceeded, time.Since(start))
 			s.logger.Warn("verify deadline exceeded", "trace_id", traceID,
 				"timeout", s.verifyTimeout, "err", err)
 			s.writeJSONError(w, traceID, http.StatusServiceUnavailable,
@@ -556,9 +639,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	if decision.Accepted {
 		s.accepted.Inc()
+		s.observeOutcome(telemetry.OutcomeAccepted, decision.Elapsed)
 	} else {
 		s.rejected.Inc()
+		s.observeOutcome(telemetry.OutcomeRejected, decision.Elapsed)
 	}
+	s.observeDecision(&decision)
 	if s.evidenceEnabled() {
 		s.retainEvidence(traceID, req, decision)
 	}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RuntimeSample is one point-in-time reading of the process state the
+// rolling windows track: live heap, goroutine count, and the cumulative
+// GC pause and allocation counters whose deltas give per-window rates.
+type RuntimeSample struct {
+	// HeapBytes is the live heap object footprint.
+	HeapBytes int64
+	// Goroutines is the current goroutine count.
+	Goroutines int64
+	// GCPauseTotalUS is the cumulative stop-the-world pause time since
+	// process start, microseconds.
+	GCPauseTotalUS int64
+	// AllocBytesTotal is the cumulative heap allocation since process
+	// start.
+	AllocBytesTotal int64
+}
+
+// runtimeSampleKeys are the runtime/metrics keys one sample reads. The
+// histogram-valued pause metric is read separately.
+const (
+	keyHeapObjects = "/memory/classes/heap/objects:bytes"
+	keyGoroutines  = "/sched/goroutines:goroutines"
+	keyAllocTotal  = "/gc/heap/allocs:bytes"
+	keyGCPauses    = "/gc/pauses:seconds"
+)
+
+// ReadRuntimeSample reads the current process state via runtime/metrics.
+// The GC pause total is approximated from the pause histogram (bucket
+// counts × midpoints), which is stable across reads and cheap; exactness
+// is not needed for per-window deltas.
+func ReadRuntimeSample() RuntimeSample {
+	samples := []metrics.Sample{
+		{Name: keyHeapObjects},
+		{Name: keyGoroutines},
+		{Name: keyAllocTotal},
+		{Name: keyGCPauses},
+	}
+	metrics.Read(samples)
+	var out RuntimeSample
+	for _, s := range samples {
+		switch s.Name {
+		case keyHeapObjects:
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.HeapBytes = int64(s.Value.Uint64())
+			}
+		case keyGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.Goroutines = int64(s.Value.Uint64())
+			}
+		case keyAllocTotal:
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.AllocBytesTotal = int64(s.Value.Uint64())
+			}
+		case keyGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				out.GCPauseTotalUS = int64(histogramTotal(s.Value.Float64Histogram()) * 1e6)
+			}
+		}
+	}
+	if out.Goroutines == 0 {
+		out.Goroutines = int64(runtime.NumGoroutine())
+	}
+	return out
+}
+
+// histogramTotal approximates the total of a runtime/metrics histogram
+// as Σ count × bucket midpoint, clamping the open-ended edge buckets to
+// their finite neighbor.
+func histogramTotal(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		}
+		total += float64(count) * mid
+	}
+	return total
+}
