@@ -179,6 +179,35 @@ func benchJSONRows(seed int64) ([]benchRow, error) {
 		return nil, err
 	}
 	rows = append(rows, batched)
+
+	e2e, err := streamLatencyRows(seed)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, e2e...)
+	return rows, nil
+}
+
+// streamLatencyRows runs the dual-transport sweep once and reports the
+// per-class time-to-first-decision medians: the HTTP full-session attempt
+// against the streaming connect-to-verdict time. The stream rows are the
+// early-exit payoff the protocol exists for — CI gates them against the
+// previous PR's baseline like any other latency row.
+func streamLatencyRows(seed int64) ([]benchRow, error) {
+	sweep, err := experiment.RunStreamEarlyExit(seed)
+	if err != nil {
+		return nil, fmt.Errorf("stream latency sweep: %w", err)
+	}
+	var rows []benchRow
+	for _, r := range sweep {
+		if !r.VerdictsAgree {
+			return nil, fmt.Errorf("stream latency sweep: %s verdicts diverged across transports", r.Class)
+		}
+		rows = append(rows,
+			benchRow{Name: "e2e/http.Decision." + r.Class, NsPerOp: float64(r.HTTPMedian.Nanoseconds())},
+			benchRow{Name: "e2e/stream.TimeToDecision." + r.Class, NsPerOp: float64(r.StreamMedian.Nanoseconds())},
+		)
+	}
 	return rows, nil
 }
 

@@ -7,9 +7,9 @@
 //	benchgen -exp table1 -seed 7
 //	benchgen -bench-json BENCH_pr3.json
 //
-// Experiments: table1, fig6, fig8, fig10, fig12a, fig12b, fig14a, fig14b,
-// fig15, table4, tube, unconventional, adaptive, dualmic, baseline, envs,
-// all.
+// Experiments: table1, fig6, fig8, fig10, fig12a, fig12b, fig13, fig14a,
+// fig14b, fig15, table4, tube, unconventional, adaptive, dualmic, baseline,
+// envs, drift, stream, all.
 package main
 
 import (
@@ -79,13 +79,14 @@ func run(exp string, seed int64) error {
 		"baseline":       runBaseline,
 		"envs":           runEnvs,
 		"drift":          runDrift,
+		"stream":         runStream,
 	}
 	if exp == "all" {
 		order := []string{
 			"table1", "fig6", "fig8", "fig10", "fig12a", "fig12b",
 			"fig13", "fig14a", "fig14b", "fig15", "table4", "tube",
 			"unconventional", "adaptive", "dualmic", "baseline", "envs",
-			"drift",
+			"drift", "stream",
 		}
 		for _, name := range order {
 			if err := runners[name](seed); err != nil {

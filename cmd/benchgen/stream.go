@@ -1,0 +1,23 @@
+package main
+
+// -exp stream: the streaming early-exit latency sweep — the attack
+// matrix served to one server over HTTP/JSON and the binary streaming
+// protocol, comparing time to decision.
+
+import (
+	"fmt"
+
+	"voiceguard/internal/experiment"
+)
+
+func runStream(seed int64) error {
+	fmt.Println("== Streaming early exit — time to decision, HTTP vs stream ==")
+	rows, err := experiment.RunStreamEarlyExit(seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(" ", r)
+	}
+	return nil
+}

@@ -7,9 +7,15 @@
 //	voiceguard-client -server http://127.0.0.1:8443 -mode genuine
 //	voiceguard-client -mode replay -speaker 0 -distance 0.06
 //	voiceguard-client -mode tube
+//	voiceguard-client -stream 127.0.0.1:8444 -mode replay
+//
+// With -stream the session goes over the binary streaming protocol
+// (PROTOCOL.md) instead of one HTTP POST, and the verdict can arrive
+// before the upload finishes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,12 +25,14 @@ import (
 	"voiceguard/internal/client"
 	"voiceguard/internal/core"
 	"voiceguard/internal/device"
+	"voiceguard/internal/protocol"
 	"voiceguard/internal/soundfield"
 	"voiceguard/internal/speech"
 )
 
 func main() {
 	serverURL := flag.String("server", "http://127.0.0.1:8443", "server base URL")
+	streamAddr := flag.String("stream", "", "submit over the binary streaming protocol to this host:port instead of HTTP")
 	mode := flag.String("mode", "genuine", "genuine | replay | morph | synthesis | imitation | tube | shielded")
 	speakerIdx := flag.Int("speaker", 0, "loudspeaker catalog index (0-24) for machine attacks")
 	distance := flag.Float64("distance", 0.06, "true sound-source distance in meters")
@@ -32,16 +40,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "session seed")
 	flag.Parse()
 
-	if err := run(*serverURL, *mode, *speakerIdx, *distance, *user, *seed); err != nil {
+	if err := run(*serverURL, *streamAddr, *mode, *speakerIdx, *distance, *user, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "voiceguard-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(serverURL, mode string, speakerIdx int, distance float64, user string, seed int64) error {
+func run(serverURL, streamAddr, mode string, speakerIdx int, distance float64, user string, seed int64) error {
 	session, err := buildSession(mode, speakerIdx, distance, user, seed)
 	if err != nil {
 		return err
+	}
+	if streamAddr != "" {
+		res, err := client.New(serverURL).VerifyStream(context.Background(), streamAddr, session)
+		if err != nil {
+			return err
+		}
+		printStreamResult(mode, res)
+		return nil
 	}
 	res, err := client.New(serverURL).Verify(session)
 	if err != nil {
@@ -97,6 +113,21 @@ func buildSession(mode string, speakerIdx int, distance float64, user string, se
 	}
 }
 
+func printStreamResult(mode string, res *client.StreamResult) {
+	verdict := "REJECTED"
+	if res.Response.Accepted {
+		verdict = "ACCEPTED"
+	}
+	early := ""
+	if res.EarlyExit {
+		early = ", early exit"
+	}
+	fmt.Printf("mode=%s: %s in %v (decision after %v, %d/%d frames, %d bytes uploaded%s, trace %s)\n",
+		mode, verdict, res.Elapsed, res.TimeToDecision,
+		res.FramesSent, res.FramesTotal, res.BytesSent, early, res.TraceID)
+	printStages(res.Response)
+}
+
 func printResult(mode string, res *client.Result) {
 	verdict := "REJECTED"
 	if res.Response.Accepted {
@@ -104,17 +135,21 @@ func printResult(mode string, res *client.Result) {
 	}
 	fmt.Printf("mode=%s: %s in %v (server pipeline %v, %d bytes uploaded, trace %s)\n",
 		mode, verdict, res.Elapsed, res.ServerElapsed, res.PayloadBytes, res.TraceID)
-	if res.Response.FailedStage != "" {
-		fmt.Printf("  failed stage: %s\n", res.Response.FailedStage)
+	printStages(res.Response)
+}
+
+func printStages(resp *protocol.VerifyResponse) {
+	if resp.FailedStage != "" {
+		fmt.Printf("  failed stage: %s\n", resp.FailedStage)
 	}
-	for _, st := range res.Response.Stages {
+	for _, st := range resp.Stages {
 		status := "PASS"
 		if !st.Pass {
 			status = "FAIL"
 		}
 		fmt.Printf("  [%s] %-30s score=%+.3f  %6dµs  %s\n", status, st.Stage, st.Score, st.ElapsedUS, st.Detail)
 	}
-	if res.Response.Error != "" {
-		fmt.Printf("  error: %s\n", res.Response.Error)
+	if resp.Error != "" {
+		fmt.Printf("  error: %s\n", resp.Error)
 	}
 }

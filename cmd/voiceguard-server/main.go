@@ -21,6 +21,7 @@
 //	voiceguard-server -addr :8443 -pprof -decisions -metrics=false
 //	voiceguard-server -addr :8443 -verify-timeout 2s -max-inflight 16
 //	voiceguard-server -addr :8443 -decisions -evidence -evidence-dir /var/spool/voiceguard
+//	voiceguard-server -addr :8443 -stream-addr :8444 -stream-frame-timeout 30s
 package main
 
 import (
@@ -46,6 +47,8 @@ import (
 // config carries the parsed command line into run.
 type config struct {
 	addr          string
+	streamAddr    string
+	streamFrameTO time.Duration
 	seed          int64
 	withASV       bool
 	enrollSpec    string
@@ -77,6 +80,8 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8443", "listen address")
+	flag.StringVar(&cfg.streamAddr, "stream-addr", "", "also serve the binary streaming verification protocol on this TCP address (see PROTOCOL.md; empty = disabled)")
+	flag.DurationVar(&cfg.streamFrameTO, "stream-frame-timeout", 0, "per-frame read/write deadline on streaming sessions (0 = default 30s)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "training seed")
 	flag.BoolVar(&cfg.withASV, "asv", false, "train and attach the ASV (speaker-identity) stage")
 	flag.StringVar(&cfg.enrollSpec, "enroll", "", "comma-separated user:seed=N pairs to enroll synthetic users")
@@ -171,6 +176,9 @@ func run(ctx context.Context, cfg config, logger *slog.Logger) error {
 	if cfg.stageResources {
 		opts = append(opts, server.WithStageResources())
 	}
+	if cfg.streamFrameTO > 0 {
+		opts = append(opts, server.WithStreamFrameTimeout(cfg.streamFrameTO))
+	}
 	srv, err := server.New(sys, logger, opts...)
 	if err != nil {
 		return err
@@ -182,8 +190,15 @@ func run(ctx context.Context, cfg config, logger *slog.Logger) error {
 			"evidence", cfg.evidenceOn, "evidence_dir", cfg.evidenceDir,
 			"verify_timeout", cfg.verifyTimeout, "max_inflight", cfg.maxInflight)
 	}()
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
+	serving := 1
 	go func() { errCh <- srv.ListenAndServe(cfg.addr, ready) }()
+	if cfg.streamAddr != "" {
+		serving++
+		streamReady := make(chan string, 1)
+		go func() { logger.Info("stream listening", "addr", <-streamReady) }()
+		go func() { errCh <- srv.ListenAndServeStream(cfg.streamAddr, streamReady) }()
+	}
 	select {
 	case err := <-errCh:
 		return err
@@ -194,8 +209,10 @@ func run(ctx context.Context, cfg config, logger *slog.Logger) error {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			return fmt.Errorf("shutting down: %w", err)
 		}
-		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return err
+		for i := 0; i < serving; i++ {
+			if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
 		}
 		st := srv.Stats()
 		logger.Info("stopped", "requests", st.Requests, "accepted", st.Accepted,

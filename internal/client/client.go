@@ -49,8 +49,14 @@ type Client struct {
 	// Retry, when non-nil, retries transport errors and the server's
 	// overload answers (429 Too Many Requests, 503 Service Unavailable)
 	// with jittered exponential backoff. Nil preserves the seed behavior:
-	// one attempt, every failure surfaced.
+	// one attempt, every failure surfaced. Streaming attempts
+	// (VerifyStream) are never retried regardless of this policy.
 	Retry *RetryPolicy
+	// StreamFrameDelay spaces successive VerifyStream frames to emulate
+	// live capture (a phone streams evidence at sensor rate, not at
+	// loopback rate). 0 streams as fast as the connection allows. The
+	// server's verdict interrupts the pacing wait immediately.
+	StreamFrameDelay time.Duration
 }
 
 // New returns a client for the given server.
@@ -103,6 +109,20 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff. 0 uses 2s.
 	MaxDelay time.Duration
+	// sleep stands in for time.After so tests can drive the retry loop
+	// with a fake clock and assert the exact waits (including the
+	// server's Retry-After hint) without real sleeping. Nil uses the real
+	// clock.
+	sleep func(time.Duration) <-chan time.Time
+}
+
+// after returns a channel that fires once d has elapsed, through the
+// fake-clock seam when one is installed.
+func (p *RetryPolicy) after(d time.Duration) <-chan time.Time {
+	if p.sleep != nil {
+		return p.sleep(d)
+	}
+	return time.After(d)
 }
 
 // DefaultRetryPolicy is a sane interactive-authentication policy: three
@@ -263,7 +283,7 @@ func (c *Client) postRetry(ctx context.Context, path string, payload []byte, out
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
 			select {
-			case <-time.After(c.Retry.backoff(attempt-1, lastErr)):
+			case <-c.Retry.after(c.Retry.backoff(attempt-1, lastErr)):
 			case <-ctx.Done():
 				return traceID, attempt - 1, fmt.Errorf("client: retry abandoned: %w", ctx.Err())
 			}

@@ -1,0 +1,144 @@
+package client
+
+// Fake-clock tests for the retry backoff: the server's Retry-After hint
+// must stretch the wait beyond the policy's own schedule, observed
+// through the sleep seam without any real sleeping.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock records every requested wait and releases it immediately.
+type fakeClock struct {
+	mu    chan struct{}
+	waits []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{mu: make(chan struct{}, 1)}
+}
+
+func (f *fakeClock) after(d time.Duration) <-chan time.Time {
+	f.mu <- struct{}{}
+	f.waits = append(f.waits, d)
+	<-f.mu
+	ch := make(chan time.Time, 1)
+	ch <- time.Time{}
+	return ch
+}
+
+func (f *fakeClock) recorded() []time.Duration {
+	f.mu <- struct{}{}
+	defer func() { <-f.mu }()
+	return append([]time.Duration(nil), f.waits...)
+}
+
+// overloadedServer answers 429 with a Retry-After hint until the fault
+// window passes, then hands out a decision-shaped 200.
+func overloadedServer(t *testing.T, faults int32, retryAfterSec string) *httptest.Server {
+	t.Helper()
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= faults {
+			w.Header().Set("Retry-After", retryAfterSec)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			if _, err := w.Write([]byte(`{"error":"overloaded","trace_id":"x"}`)); err != nil {
+				t.Error(err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write([]byte(`{"accepted":true,"trace_id":"x","stages":[]}`)); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	ts := overloadedServer(t, 1, "3")
+	clock := newFakeClock()
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		sleep:       clock.after,
+	}
+	res, err := c.Verify(genuineSession(t, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", res.Attempts)
+	}
+	waits := clock.recorded()
+	if len(waits) != 1 {
+		t.Fatalf("backoff fired %d times, want 1", len(waits))
+	}
+	// The policy alone would wait at most MaxDelay (50ms); the server
+	// asked for 3 seconds, and the hint wins when longer.
+	if waits[0] < 3*time.Second {
+		t.Errorf("backoff = %v, want at least the server's Retry-After of 3s", waits[0])
+	}
+}
+
+func TestRetryKeepsOwnScheduleWhenHintShorter(t *testing.T) {
+	ts := overloadedServer(t, 1, "1")
+	clock := newFakeClock()
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   4 * time.Second,
+		MaxDelay:    8 * time.Second,
+		sleep:       clock.after,
+	}
+	if _, err := c.Verify(genuineSession(t, 42)); err != nil {
+		t.Fatal(err)
+	}
+	waits := clock.recorded()
+	if len(waits) != 1 {
+		t.Fatalf("backoff fired %d times, want 1", len(waits))
+	}
+	// Jittered base delay lands in [2s, 4s) — never clipped down to the
+	// server's shorter 1s hint.
+	if waits[0] < 2*time.Second {
+		t.Errorf("backoff = %v, want the policy's own schedule (>= 2s)", waits[0])
+	}
+}
+
+// TestDecisionsNeverRetried pins that a decision — even a rejection — is
+// final: the retry loop must not burn attempts resending it.
+func TestDecisionsNeverRetried(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write([]byte(`{"accepted":false,"failed_stage":"loudspeaker-detection","trace_id":"x","stages":[]}`)); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	clock := newFakeClock()
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 5, sleep: clock.after}
+	res, err := c.Verify(genuineSession(t, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response.Accepted {
+		t.Fatal("rejection parsed as accept")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server hit %d times for one decision, want 1", got)
+	}
+	if len(clock.recorded()) != 0 {
+		t.Error("backoff fired for a decided request")
+	}
+}

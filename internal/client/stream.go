@@ -1,0 +1,192 @@
+package client
+
+// Streaming uploads: instead of packaging the whole session into one
+// gzip POST, VerifyStream frames it over a raw TCP connection to the
+// server's streaming listener and listens for the verdict while still
+// uploading. Against an impersonation attack the server answers from a
+// prefix of the evidence, so the decision routinely arrives before the
+// upload finishes — the latency the HTTP path can never recover, because
+// its pipeline only starts after the last byte.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"voiceguard/internal/core"
+	"voiceguard/internal/protocol"
+	"voiceguard/internal/ranging"
+	"voiceguard/internal/stream"
+	"voiceguard/internal/telemetry"
+)
+
+// StreamResult is the outcome of one streaming authentication attempt.
+type StreamResult struct {
+	// Response is the server's decision.
+	Response *protocol.VerifyResponse
+	// TraceID is the session's trace ID, minted client-side and carried
+	// in the hello frame.
+	TraceID string
+	// Elapsed is the whole attempt: encode + connect + stream + decision.
+	Elapsed time.Duration
+	// TimeToDecision is connect-to-verdict — the streaming analogue of
+	// the HTTP path's upload + pipeline time.
+	TimeToDecision time.Duration
+	// EarlyExit reports that the verdict arrived before the upload
+	// finished (the server decided from a prefix of the evidence).
+	EarlyExit bool
+	// FramesSent and FramesTotal count protocol frames actually written
+	// versus the full session; they differ exactly when EarlyExit cut the
+	// upload short.
+	FramesSent, FramesTotal int
+	// BytesSent is the wire bytes written, headers included.
+	BytesSent int64
+}
+
+// streamReply carries the server's single reply frame to the uploader.
+type streamReply struct {
+	frame stream.Frame
+	err   error
+}
+
+// VerifyStream uploads a session over the binary streaming protocol to
+// addr (the server's -stream-addr listener, host:port) and returns the
+// decision. The upload is cut short as soon as the server's verdict
+// arrives. Streaming attempts are never retried automatically — the
+// caller sees every failure; a *ServerError carries the server's refusal
+// (including Retry-After on overload) exactly as on the HTTP path.
+func (c *Client) VerifyStream(ctx context.Context, addr string, session *core.SessionData) (*StreamResult, error) {
+	req, err := protocol.FromSession(session, ranging.DefaultPilotHz)
+	if err != nil {
+		return nil, fmt.Errorf("client: packaging session: %w", err)
+	}
+	start := time.Now()
+	traceID := telemetry.NewTraceID()
+	frames, err := protocol.StreamFrames(traceID, req)
+	if err != nil {
+		return nil, fmt.Errorf("client: framing session: %w", err)
+	}
+
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing stream listener %s: %w", addr, err)
+	}
+	defer conn.Close()
+	// Closing the connection on cancellation unblocks any in-flight read
+	// or write; the watcher stops when the attempt returns.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	connected := time.Now()
+	if err := stream.WriteHandshake(conn, stream.Version); err != nil {
+		return nil, ctxOr(ctx, fmt.Errorf("client: stream handshake: %w", err))
+	}
+	ver, err := stream.ReadHandshake(conn)
+	if err != nil {
+		return nil, ctxOr(ctx, fmt.Errorf("client: stream handshake reply: %w", err))
+	}
+	if ver == 0 {
+		return nil, fmt.Errorf("client: server refused protocol version %d", stream.Version)
+	}
+
+	// The verdict can arrive at any point of the upload, so a reader
+	// waits for it concurrently while frames go out.
+	replyCh := make(chan streamReply, 1)
+	go func() {
+		f, err := stream.ReadFrame(conn, 0)
+		replyCh <- streamReply{frame: f, err: err}
+	}()
+
+	res := &StreamResult{TraceID: traceID, FramesTotal: len(frames)}
+	var reply *streamReply
+	for i, f := range frames {
+		if c.StreamFrameDelay > 0 && i > 0 {
+			select {
+			case r := <-replyCh:
+				reply = &r
+			case <-time.After(c.StreamFrameDelay):
+			}
+		} else {
+			select {
+			case r := <-replyCh:
+				reply = &r
+			default:
+			}
+		}
+		if reply != nil {
+			break
+		}
+		if err := stream.WriteFrame(conn, f); err != nil {
+			// A send racing the server's reply fails when the server has
+			// already answered and torn down its read side; the reply,
+			// not the broken send, is the outcome.
+			r := <-replyCh
+			reply = &r
+			if reply.err != nil {
+				return nil, ctxOr(ctx, fmt.Errorf("client: streaming session: %w", err))
+			}
+			break
+		}
+		res.FramesSent++
+		res.BytesSent += f.WireSize()
+	}
+	if reply == nil {
+		r := <-replyCh
+		reply = &r
+	}
+	if reply.err != nil {
+		if errors.Is(reply.err, io.EOF) || errors.Is(reply.err, io.ErrUnexpectedEOF) {
+			return nil, ctxOr(ctx, fmt.Errorf("client: server closed the stream without a verdict: %w", reply.err))
+		}
+		return nil, ctxOr(ctx, fmt.Errorf("client: reading stream reply: %w", reply.err))
+	}
+	res.TimeToDecision = time.Since(connected)
+	res.Elapsed = time.Since(start)
+
+	switch reply.frame.Type {
+	case stream.TypeDecision:
+		resp, early, err := protocol.DecisionFromStreamFrame(reply.frame)
+		if err != nil {
+			return nil, fmt.Errorf("client: parsing stream decision: %w", err)
+		}
+		res.Response = resp
+		res.EarlyExit = early
+		return res, nil
+	case stream.TypeError:
+		status, retryAfterSec, env, err := protocol.ErrorFromStreamFrame(reply.frame)
+		if err != nil {
+			return nil, fmt.Errorf("client: parsing stream error: %w", err)
+		}
+		se := &ServerError{Status: status, Message: env.Error, TraceID: traceID}
+		if env.TraceID != "" {
+			se.TraceID = env.TraceID
+		}
+		if retryAfterSec > 0 {
+			se.RetryAfter = time.Duration(retryAfterSec) * time.Second
+		}
+		return nil, fmt.Errorf("client: stream verify failed: %w", se)
+	default:
+		return nil, fmt.Errorf("client: unexpected %v frame in reply", reply.frame.Type)
+	}
+}
+
+// ctxOr prefers the context's own error when the failure was caused by
+// cancellation closing the connection mid-exchange, so callers see their
+// deadline instead of a confusing "use of closed connection".
+func ctxOr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("client: stream attempt abandoned: %w", ctxErr)
+	}
+	return err
+}

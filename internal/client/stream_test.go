@@ -1,0 +1,142 @@
+package client
+
+// Streaming-upload tests against a live server listener: genuine accept
+// with full upload, early-exit reject cutting the upload short, overload
+// surfaced as a *ServerError with the Retry-After hint, and cancellation
+// honoring the caller's context.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/core"
+	"voiceguard/internal/device"
+	"voiceguard/internal/server"
+	"voiceguard/internal/speech"
+)
+
+// streamServer starts a server's streaming listener and returns its
+// address.
+func streamServer(t *testing.T, opts ...server.Option) string {
+	t.Helper()
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(sys, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServeStream("127.0.0.1:0", ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream listener never reported ready")
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	})
+	return addr
+}
+
+func TestVerifyStreamGenuine(t *testing.T) {
+	addr := streamServer(t)
+	session := genuineSession(t, 31)
+	c := New("")
+
+	res, err := c.VerifyStream(context.Background(), addr, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Response.Accepted {
+		t.Fatalf("genuine session rejected: %+v", res.Response)
+	}
+	if res.EarlyExit {
+		t.Error("genuine session decided before the upload finished")
+	}
+	if res.FramesSent != res.FramesTotal {
+		t.Errorf("sent %d of %d frames without an early exit", res.FramesSent, res.FramesTotal)
+	}
+	if res.TraceID == "" || res.Response.TraceID != res.TraceID {
+		t.Errorf("trace IDs: result=%q response=%q", res.TraceID, res.Response.TraceID)
+	}
+	if res.BytesSent == 0 || res.TimeToDecision <= 0 || res.Elapsed < res.TimeToDecision {
+		t.Errorf("timing/bytes not measured: %+v", res)
+	}
+}
+
+func TestVerifyStreamEarlyExitCutsUploadShort(t *testing.T) {
+	addr := streamServer(t)
+	victim := speech.RandomProfile("victim", rand.New(rand.NewSource(32)))
+	rec, err := attack.Record(victim, "472913", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := attack.Replay(rec, device.Catalog()[0], attack.Scenario{Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New("")
+	// Pace the upload at live-capture speed: the verdict (decided from
+	// the magnetometer prefix in a few milliseconds) must interrupt it.
+	c.StreamFrameDelay = 2 * time.Millisecond
+
+	res, err := c.VerifyStream(context.Background(), addr, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response.Accepted {
+		t.Fatalf("replay attack accepted: %+v", res.Response)
+	}
+	if !res.EarlyExit {
+		t.Fatal("replay attack not rejected before the upload finished")
+	}
+	if res.FramesSent >= res.FramesTotal {
+		t.Errorf("early exit did not cut the upload short: sent %d of %d frames",
+			res.FramesSent, res.FramesTotal)
+	}
+}
+
+func TestVerifyStreamSurfacesOverload(t *testing.T) {
+	// Zero inflight budget: every streaming session sheds immediately.
+	addr := streamServer(t, server.WithMaxInflightVerifies(1), server.WithVerifyTimeout(time.Nanosecond))
+	c := New("")
+	// The nanosecond verify timeout turns the admitted session into a
+	// deterministic 503 — also a *ServerError, also never a verdict.
+	_, err := c.VerifyStream(context.Background(), addr, genuineSession(t, 33))
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("overloaded stream returned %v, want *ServerError", err)
+	}
+	if se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", se.Status)
+	}
+	if !se.Temporary() {
+		t.Error("refusal not marked temporary")
+	}
+}
+
+func TestVerifyStreamHonorsContext(t *testing.T) {
+	addr := streamServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New("")
+	_, err := c.VerifyStream(ctx, addr, genuineSession(t, 34))
+	if err == nil {
+		t.Fatal("cancelled stream attempt succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled in the chain", err)
+	}
+}

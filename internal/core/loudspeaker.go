@@ -84,6 +84,68 @@ func Measure(mag *sensors.Trace) Metrics {
 	return Metrics{Swing: maxV - minV, MaxRate: maxRate}
 }
 
+// settledMetrics computes the detection statistics over the *settled*
+// prefix of an in-flight magnetometer trace: only smoothed magnitudes
+// whose 3-sample window can no longer change when more samples arrive
+// (indices 0..len-2 — index len-1 still awaits its right neighbor).
+// Every settled value equals the value Measure will compute for the full
+// trace, so the returned swing and max-rate are lower bounds of the
+// final statistics and monotone nondecreasing as the trace grows: a
+// prefix that crosses Mt/βt guarantees the full session rejects. This is
+// the soundness argument behind the streaming early exit — Measure on a
+// raw prefix would not do, because its boundary sample is smoothed over
+// a 2-wide window and can overshoot the final 3-wide value.
+//
+// ok is false while fewer than two settled values exist (trace shorter
+// than 3 samples); the prefix carries no decisive evidence yet.
+func settledMetrics(mag *sensors.Trace) (m Metrics, ok bool) {
+	if mag == nil {
+		return Metrics{}, false
+	}
+	mags := mag.Magnitudes()
+	n := len(mags) - 1 // settled count: index n-1 of the prefix is still open
+	if n < 2 {
+		return Metrics{}, false
+	}
+	sm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i - 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + 1 // always < len(mags): settled by construction
+		var s float64
+		for k := lo; k <= hi; k++ {
+			s += mags[k]
+		}
+		sm[i] = s / float64(hi-lo+1)
+	}
+	minV, maxV := sm[0], sm[0]
+	for _, v := range sm {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var maxRate float64
+	for i := 1; i < n; i++ {
+		dt := mag.Samples[i].T - mag.Samples[i-1].T
+		if dt <= 0 {
+			continue
+		}
+		r := (sm[i] - sm[i-1]) / dt
+		if r < 0 {
+			r = -r
+		}
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	return Metrics{Swing: maxV - minV, MaxRate: maxRate}, true
+}
+
 // Verify runs loudspeaker detection on a magnetometer trace. Pass means
 // "no loudspeaker detected".
 func (d *LoudspeakerDetector) Verify(mag *sensors.Trace) (res StageResult) {
@@ -107,6 +169,30 @@ func (d *LoudspeakerDetector) VerifySpan(span *telemetry.Span, mag *sensors.Trac
 	sub := span.StartSpan("field-measure")
 	m := Measure(mag)
 	sub.End()
+	d.judgeSpan(span, m, &res)
+	return res
+}
+
+// VerifyMetricsSpan judges precomputed detection statistics against the
+// live thresholds, attaching the same evidence VerifySpan would. The
+// streaming path uses it to reject on a settled magnetometer prefix
+// (settledMetrics) before the trace finishes uploading; the statistics
+// are lower bounds of the full-trace values, so a reject here is exactly
+// the reject the complete session would earn. The caller owns span's
+// End.
+func (d *LoudspeakerDetector) VerifyMetricsSpan(span *telemetry.Span, m Metrics) (res StageResult) {
+	defer TimeStage(&res)()
+	res.Stage = StageLoudspeaker
+	span.SetFloat("threshold_mt_ut", d.Mt, "µT")
+	span.SetFloat("threshold_beta_ut_per_s", d.Bt, "µT/s")
+	d.judgeSpan(span, m, &res)
+	return res
+}
+
+// judgeSpan scores measured statistics against the thresholds, stamping
+// span attributes, evidence, score and verdict onto res. Shared by
+// VerifySpan (full trace) and VerifyMetricsSpan (streaming prefix).
+func (d *LoudspeakerDetector) judgeSpan(span *telemetry.Span, m Metrics, res *StageResult) {
 	span.SetFloat("field_ut", m.Swing, "µT")
 	span.SetFloat("beta_ut_per_s", m.MaxRate, "µT/s")
 	res.Evidence[0] = EvidenceValue{Metric: EvidenceFieldUT, Value: m.Swing}
@@ -128,7 +214,6 @@ func (d *LoudspeakerDetector) VerifySpan(span *telemetry.Span, mag *sensors.Trac
 		res.Pass = true
 		res.Detail = fmt.Sprintf("clean field (swing %.1f µT, rate %.0f µT/s)", m.Swing, m.MaxRate)
 	}
-	return res
 }
 
 // Calibrate implements the §VII adaptive-thresholding extension: given an

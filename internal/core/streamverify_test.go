@@ -1,0 +1,294 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"voiceguard/internal/geometry"
+	"voiceguard/internal/ranging"
+	"voiceguard/internal/sensors"
+	"voiceguard/internal/speech"
+	"voiceguard/internal/trajectory"
+)
+
+// feedStream replays a session's channels through a StreamVerifier the
+// way the protocol bridge does: hello and marks first, sensors in small
+// interleaved chunks, then field, capture and voice. It returns the
+// decision, whether it arrived before Finish, and the verifier.
+func feedStream(t *testing.T, sys *System, session *SessionData, chunk int) (Decision, bool, *StreamVerifier) {
+	t.Helper()
+	ctx := context.Background()
+	v, err := sys.NewStreamVerifier("stream-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := session.Gesture
+	if err := v.OfferHello(ctx, session.ClaimedUser, ranging.DefaultPilotHz); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetMarks(ctx, g.SweepStart, g.SweepEnd); err != nil {
+		t.Fatal(err)
+	}
+	early := func(d *Decision, err error) (Decision, bool, *StreamVerifier) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *d, true, v
+	}
+	offerTrace := func(tr *sensors.Trace, offer func(context.Context, []sensors.Sample, bool) (*Decision, error)) (*Decision, error) {
+		for off := 0; off < len(tr.Samples); off += chunk {
+			end := off + chunk
+			if end > len(tr.Samples) {
+				end = len(tr.Samples)
+			}
+			d, err := offer(ctx, tr.Samples[off:end], end == len(tr.Samples))
+			if d != nil || err != nil {
+				return d, err
+			}
+		}
+		return nil, nil
+	}
+	// Magnetometer first: the earliest decisive channel.
+	if d, err := offerTrace(g.Mag, v.OfferMag); d != nil || err != nil {
+		return early(d, err)
+	}
+	if d, err := offerTrace(g.Gyro, v.OfferGyro); d != nil || err != nil {
+		return early(d, err)
+	}
+	if d, err := offerTrace(g.Accel, v.OfferAccel); d != nil || err != nil {
+		return early(d, err)
+	}
+	if d, err := v.OfferField(ctx, session.Field, true); d != nil || err != nil {
+		return early(d, err)
+	}
+	if d, err := v.OfferCapture(ctx, g.Capture.Rate, g.Capture.Samples, true); d != nil || err != nil {
+		return early(d, err)
+	}
+	if d, err := v.OfferVoice(ctx, session.Voice.Rate, session.Voice.Samples, true); d != nil || err != nil {
+		return early(d, err)
+	}
+	d, err := v.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, false, v
+}
+
+// rebuiltSession mirrors what the HTTP path verifies: the gesture is
+// re-fused from the raw uploaded traces (protocol.ToSession calls
+// trajectory.FromUpload), so both protocols must verify the *same*
+// re-fused inputs for score bits to compare.
+func rebuiltSession(t *testing.T, session *SessionData) *SessionData {
+	t.Helper()
+	g := session.Gesture
+	rg, err := trajectory.FromUpload(g.Gyro, g.Accel, g.Mag, g.Capture,
+		ranging.DefaultPilotHz, g.SweepStart, g.SweepEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &SessionData{
+		ClaimedUser: session.ClaimedUser,
+		Gesture:     rg,
+		Field:       session.Field,
+		Voice:       session.Voice,
+	}
+}
+
+func TestStreamVerifierMatchesBatchVerdictBitForBit(t *testing.T) {
+	victim := speech.NewDistinctRoster(2, 200, 1.2).Profiles()[0]
+	sys := fullSystem(t, victim, "135792", 200)
+	session := genuineSessionFor(t, victim, "135792", 201)
+
+	batch, err := sys.VerifyContext(context.Background(), "batch-test", rebuiltSession(t, session))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, early, _ := feedStream(t, sys, session, 64)
+
+	if !batch.Accepted || !streamed.Accepted {
+		t.Fatalf("genuine verdicts: batch=%v stream=%v", batch.Accepted, streamed.Accepted)
+	}
+	if early {
+		t.Fatal("genuine session decided before finish")
+	}
+	if len(batch.Stages) != len(streamed.Stages) {
+		t.Fatalf("stage counts differ: batch=%d stream=%d", len(batch.Stages), len(streamed.Stages))
+	}
+	for i := range batch.Stages {
+		b, s := batch.Stages[i], streamed.Stages[i]
+		if b.Stage != s.Stage || b.Pass != s.Pass {
+			t.Errorf("stage %d: batch=%v/%v stream=%v/%v", i, b.Stage, b.Pass, s.Stage, s.Pass)
+		}
+		if math.Float64bits(b.Score) != math.Float64bits(s.Score) {
+			t.Errorf("stage %v score bits differ: batch=%x stream=%x",
+				b.Stage, math.Float64bits(b.Score), math.Float64bits(s.Score))
+		}
+		if b.Detail != s.Detail {
+			t.Errorf("stage %v detail differs: %q vs %q", b.Stage, b.Detail, s.Detail)
+		}
+	}
+}
+
+// magneticAttackSession plants a loudspeaker-grade magnetic swing in the
+// second half of an otherwise genuine session's magnetometer trace, so a
+// chunked upload trips the settled-prefix check mid-channel.
+func magneticAttackSession(t *testing.T, victim speech.Profile, seed int64) *SessionData {
+	t.Helper()
+	session := genuineSessionFor(t, victim, "135792", seed)
+	mag := session.Gesture.Mag
+	n := mag.Len()
+	for i := n / 2; i < n; i++ {
+		// Ramp toward a strong driver field: tens of µT over ~100 ms.
+		mag.Samples[i].V = geometry.Vec3{X: 40 + float64(i-n/2)*2, Y: 5, Z: -30}
+	}
+	return session
+}
+
+func TestStreamVerifierEarlyRejectsOnMagnetometerPrefix(t *testing.T) {
+	victim := speech.NewDistinctRoster(2, 200, 1.2).Profiles()[0]
+	sys := fullSystem(t, victim, "135792", 200)
+	session := magneticAttackSession(t, victim, 201)
+
+	streamed, early, v := feedStream(t, sys, session, 16)
+	if streamed.Accepted {
+		t.Fatal("loudspeaker session accepted")
+	}
+	if !early {
+		t.Fatal("loudspeaker session not decided before finish")
+	}
+	if streamed.FailedStage != StageLoudspeaker {
+		t.Fatalf("failed stage = %v, want loudspeaker", streamed.FailedStage)
+	}
+	// The batch path agrees on the verdict (early exit is sound).
+	batch, err := sys.VerifyContext(context.Background(), "batch-mag", rebuiltSession(t, session))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Accepted {
+		t.Fatal("batch accepted the loudspeaker session the stream rejected")
+	}
+	// Trailing chunks after the decision are swallowed, and Finish
+	// replays the decision idempotently.
+	if d, err := v.OfferVoice(context.Background(), 16000, []float64{0}, true); d != nil || err != nil {
+		t.Fatalf("post-decision chunk: d=%v err=%v", d, err)
+	}
+	again, err := v.Finish(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.TraceID != streamed.TraceID || again.Accepted != streamed.Accepted {
+		t.Fatal("Finish after decision did not replay the decision")
+	}
+}
+
+func TestStreamVerifierAbandonsOnDeadContext(t *testing.T) {
+	sys, err := BuildSystem(SystemConfig{FieldSeed: 320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.NewStreamVerifier("dead-ctx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := v.OfferMag(ctx, []sensors.Sample{{T: 0}}, false); err == nil {
+		t.Fatal("dead context admitted a chunk")
+	}
+	// The verifier is terminally closed, never deciding.
+	if _, err := v.Finish(context.Background()); err == nil {
+		t.Fatal("abandoned stream produced a verdict")
+	}
+	if v.Decided() != nil {
+		t.Fatal("abandoned stream has a decision")
+	}
+}
+
+func TestStreamVerifierRefusesMalformedStreams(t *testing.T) {
+	sys, err := BuildSystem(SystemConfig{FieldSeed: 330})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	v, err := sys.NewStreamVerifier("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID() == "" {
+		t.Fatal("no trace ID minted")
+	}
+	if err := v.OfferHello(ctx, "u", 19000); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.OfferHello(ctx, "u", 19000); err == nil {
+		t.Fatal("duplicate hello accepted")
+	}
+
+	v2, err := sys.NewStreamVerifier("closed-channel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.OfferGyro(ctx, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.OfferGyro(ctx, []sensors.Sample{{T: 1}}, false); err == nil {
+		t.Fatal("chunk after channel close accepted")
+	}
+	// A failed stream refuses everything afterward.
+	if _, err := v2.OfferAccel(ctx, nil, true); err == nil {
+		t.Fatal("closed verifier admitted a chunk")
+	}
+
+	v3, err := sys.NewStreamVerifier("premature-finish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v3.Finish(ctx); err == nil {
+		t.Fatal("finish before any channel closed produced a verdict")
+	}
+}
+
+// TestSettledMetricsIsMonotoneLowerBound pins the soundness invariant of
+// the early exit: on every prefix of a noisy trace, the settled swing
+// and rate never exceed the full-trace Measure values, and never
+// decrease as the prefix grows.
+func TestSettledMetricsIsMonotoneLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	full := &sensors.Trace{Name: "mag"}
+	for i := 0; i < 200; i++ {
+		full.Samples = append(full.Samples, sensors.Sample{
+			T: float64(i) * 0.01,
+			V: geometry.Vec3{
+				X: 30 + rng.NormFloat64()*3 + float64(i)*0.2,
+				Y: rng.NormFloat64() * 3,
+				Z: -20 + rng.NormFloat64()*3,
+			},
+		})
+	}
+	final := Measure(full)
+	var prevSwing, prevRate float64
+	for n := 2; n <= len(full.Samples); n++ {
+		prefix := &sensors.Trace{Name: "mag", Samples: full.Samples[:n]}
+		m, ok := settledMetrics(prefix)
+		if !ok {
+			continue
+		}
+		if m.Swing > final.Swing || m.MaxRate > final.MaxRate {
+			t.Fatalf("prefix %d exceeds final metrics: %+v vs %+v", n, m, final)
+		}
+		if m.Swing < prevSwing || m.MaxRate < prevRate {
+			t.Fatalf("prefix %d not monotone: %+v after swing=%v rate=%v", n, m, prevSwing, prevRate)
+		}
+		prevSwing, prevRate = m.Swing, m.MaxRate
+	}
+	if _, ok := settledMetrics(nil); ok {
+		t.Fatal("nil trace produced settled metrics")
+	}
+	if _, ok := settledMetrics(&sensors.Trace{Samples: full.Samples[:2]}); ok {
+		t.Fatal("2-sample trace produced settled metrics")
+	}
+}

@@ -1,0 +1,202 @@
+package experiment
+
+// Streaming early-exit latency sweep: the same attack matrix served to
+// one server over both transports, measuring how much sooner the binary
+// streaming path reaches a verdict than the HTTP full-session path. The
+// HTTP number is the whole attempt (encode + upload + pipeline + reply);
+// the stream number is connect-to-verdict. Attacks that trip an early
+// exit skip both the rest of the upload and the rest of the cascade, so
+// the gap is widest exactly where it matters — under attack.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"voiceguard/internal/attack"
+	"voiceguard/internal/audio"
+	"voiceguard/internal/client"
+	"voiceguard/internal/core"
+	"voiceguard/internal/device"
+	"voiceguard/internal/protocol"
+	"voiceguard/internal/server"
+	"voiceguard/internal/speech"
+)
+
+// StreamLatencyRow compares the two transports over one session class.
+type StreamLatencyRow struct {
+	// Class is genuine, replay, or imitation.
+	Class string `json:"class"`
+	// Sessions is how many sessions of the class were served per path.
+	Sessions int `json:"sessions"`
+	// Accepted counts accepts (identical across paths by construction —
+	// VerdictsAgree reports the check).
+	Accepted int `json:"accepted"`
+	// HTTPMedian is the median end-to-end HTTP attempt.
+	HTTPMedian time.Duration `json:"http_median_ns"`
+	// StreamMedian is the median stream connect-to-verdict time.
+	StreamMedian time.Duration `json:"stream_median_ns"`
+	// EarlyExits counts stream sessions decided before their upload
+	// finished.
+	EarlyExits int `json:"early_exits"`
+	// VerdictsAgree is true when every session's verdict matched across
+	// transports.
+	VerdictsAgree bool `json:"verdicts_agree"`
+	// ScoreBitsIdentical is true when every per-stage score was
+	// bit-for-bit identical across transports.
+	ScoreBitsIdentical bool `json:"score_bits_identical"`
+}
+
+// String implements fmt.Stringer.
+func (r StreamLatencyRow) String() string {
+	return fmt.Sprintf("%-10s n=%d http median %8.1fms | stream median %8.1fms | early exits %d/%d | agree=%v bits=%v",
+		r.Class, r.Sessions,
+		float64(r.HTTPMedian.Microseconds())/1000,
+		float64(r.StreamMedian.Microseconds())/1000,
+		r.EarlyExits, r.Sessions, r.VerdictsAgree, r.ScoreBitsIdentical)
+}
+
+// streamSweepSessions is the per-class session count.
+const streamSweepSessions = 5
+
+// RunStreamEarlyExit serves the attack matrix to one four-stage server
+// over HTTP/JSON and over the binary streaming protocol, and reports the
+// per-class latency medians, early-exit counts, and the cross-transport
+// verdict/score parity.
+func RunStreamEarlyExit(seed int64) ([]StreamLatencyRow, error) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: stream system: %w", err)
+	}
+	verifier, victim, err := driftVerifier(seed)
+	if err != nil {
+		return nil, err
+	}
+	// driftVerifier calibrates on channel-processed held-out audio, but
+	// the wave's sessions carry clean synthesized voice; re-pin the
+	// zero-FRR operating point on held-out voices rendered the way this
+	// sweep renders them, so genuine decides accept and imitation reject.
+	var cal []*audio.Signal
+	for i := 0; i < 4; i++ {
+		held, err := attack.Genuine(victim, attack.Scenario{Seed: seed + 5000 + int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: stream calibration session %d: %w", i, err)
+		}
+		cal = append(cal, held.Voice)
+	}
+	if err := verifier.CalibrateThreshold(victim.Name, cal, 0.4); err != nil {
+		return nil, fmt.Errorf("experiment: stream calibration: %w", err)
+	}
+	sys.AttachIdentity(verifier)
+
+	srv, err := server.New(sys, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: stream server: %w", err)
+	}
+	httpReady := make(chan string, 1)
+	streamReady := make(chan string, 1)
+	go func() { _ = srv.ListenAndServe("127.0.0.1:0", httpReady) }()
+	go func() { _ = srv.ListenAndServeStream("127.0.0.1:0", streamReady) }()
+	httpAddr, streamAddr := <-httpReady, <-streamReady
+	defer func() {
+		//lint:allow ctxfirst the sweep owns its throwaway server; shutdown has no caller context
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	c := client.New("http://" + httpAddr)
+
+	rec, err := attack.Record(victim, DefaultPassphrase, seed+7)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: stream recording: %w", err)
+	}
+	speakers := device.Catalog()
+	imposters := speech.NewDistinctRoster(3, seed+9, 1.2).Profiles()
+
+	classes := []struct {
+		name string
+		at   func(i int) (*core.SessionData, error)
+	}{
+		{"genuine", func(i int) (*core.SessionData, error) {
+			return attack.Genuine(victim, attack.Scenario{Seed: seed + int64(i)})
+		}},
+		{"replay", func(i int) (*core.SessionData, error) {
+			sc := attack.Scenario{Seed: seed + 2000 + int64(i), Distance: 0.05}
+			return attack.Replay(rec, speakers[i%len(speakers)], sc)
+		}},
+		{"imitation", func(i int) (*core.SessionData, error) {
+			sc := attack.Scenario{Seed: seed + 3000 + int64(i), Distance: 0.05}
+			return attack.Imitation(imposters[i%len(imposters)], victim, speech.ImitatorPracticed, sc)
+		}},
+	}
+
+	//lint:allow ctxfirst seed-driven sweep entry point, mirrors the other Run* experiments
+	ctx := context.Background()
+	var rows []StreamLatencyRow
+	for _, cl := range classes {
+		row := StreamLatencyRow{Class: cl.name, Sessions: streamSweepSessions,
+			VerdictsAgree: true, ScoreBitsIdentical: true}
+		var httpLat, streamLat []time.Duration
+		for i := 0; i < streamSweepSessions; i++ {
+			session, err := cl.at(i)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s session %d: %w", cl.name, i, err)
+			}
+			httpRes, err := c.VerifyContext(ctx, session)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s http verify %d: %w", cl.name, i, err)
+			}
+			streamRes, err := c.VerifyStream(ctx, streamAddr, session)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s stream verify %d: %w", cl.name, i, err)
+			}
+			httpLat = append(httpLat, httpRes.Elapsed)
+			streamLat = append(streamLat, streamRes.TimeToDecision)
+			h, s := httpRes.Response, streamRes.Response
+			if h.Accepted {
+				row.Accepted++
+			}
+			if h.Accepted != s.Accepted {
+				row.VerdictsAgree = false
+			}
+			if !stageScoresBitIdentical(h.Stages, s.Stages) {
+				row.ScoreBitsIdentical = false
+			}
+			if streamRes.EarlyExit {
+				row.EarlyExits++
+			}
+		}
+		row.HTTPMedian = medianDuration(httpLat)
+		row.StreamMedian = medianDuration(streamLat)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// stageScoresBitIdentical compares two stage lists field by field, with
+// exact float64 bit equality on the scores.
+func stageScoresBitIdentical(a, b []protocol.StageJSON) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Stage != b[i].Stage || a[i].Pass != b[i].Pass ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) ||
+			a[i].Detail != b[i].Detail {
+			return false
+		}
+	}
+	return true
+}
+
+// medianDuration returns the middle element (lower middle for even n).
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(len(sorted)-1)/2]
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import "testing"
+
+// TestStreamEarlyExitSeparatesClasses pins the §XI story: verdicts agree
+// across transports on every class, genuine sessions accept with
+// bit-identical scores and no early exit, and attack classes decide
+// early — with the replay's stream median far below its HTTP median.
+func TestStreamEarlyExitSeparatesClasses(t *testing.T) {
+	rows, err := RunStreamEarlyExit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := map[string]StreamLatencyRow{}
+	for _, r := range rows {
+		if !r.VerdictsAgree {
+			t.Errorf("%s: verdicts diverged across transports", r.Class)
+		}
+		byClass[r.Class] = r
+	}
+	g := byClass["genuine"]
+	if g.Accepted != g.Sessions {
+		t.Errorf("genuine accepted %d/%d, want all", g.Accepted, g.Sessions)
+	}
+	if g.EarlyExits != 0 {
+		t.Errorf("genuine early exits = %d, want 0 (accept requires the finish frame)", g.EarlyExits)
+	}
+	if !g.ScoreBitsIdentical {
+		t.Error("genuine stage scores not bit-identical across transports")
+	}
+	for _, class := range []string{"replay", "imitation"} {
+		r := byClass[class]
+		if r.Accepted != 0 {
+			t.Errorf("%s accepted %d/%d, want 0", class, r.Accepted, r.Sessions)
+		}
+		if r.EarlyExits == 0 {
+			t.Errorf("%s early exits = 0, want > 0", class)
+		}
+	}
+	// The replay's magnetic tell arrives with the first sensor chunks, so
+	// its stream verdict lands an order of magnitude sooner; assert only a
+	// 2x gap to stay robust on loaded CI hosts.
+	r := byClass["replay"]
+	if r.StreamMedian*2 >= r.HTTPMedian {
+		t.Errorf("replay stream median %v not measurably below HTTP median %v", r.StreamMedian, r.HTTPMedian)
+	}
+}

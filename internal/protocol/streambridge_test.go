@@ -1,0 +1,217 @@
+package protocol
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"voiceguard/internal/core"
+	"voiceguard/internal/stream"
+)
+
+func TestStreamFramesShapeAndDigest(t *testing.T) {
+	req := sampleSession(t, 7)
+	frames, err := StreamFrames("trace-7", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames[0].Type != stream.TypeHello {
+		t.Fatalf("first frame = %v, want hello", frames[0].Type)
+	}
+	if frames[1].Type != stream.TypeSegmentMarks {
+		t.Fatalf("second frame = %v, want segment_marks", frames[1].Type)
+	}
+	last := frames[len(frames)-1]
+	if last.Type != stream.TypeFinish {
+		t.Fatalf("last frame = %v, want finish", last.Type)
+	}
+
+	// The finish digest must reproduce over the data frames, and each of
+	// the six channels must close exactly once.
+	digest := stream.NewSessionDigest()
+	closes := map[string]int{}
+	for _, f := range frames[:len(frames)-1] {
+		digest.Add(f)
+		if f.Flags&stream.FlagLast == 0 {
+			continue
+		}
+		switch f.Type {
+		case stream.TypeSensorChunk:
+			c, err := stream.DecodeSensorChunk(f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			closes[c.Kind.String()]++
+		case stream.TypeAudioChunk:
+			c, err := stream.DecodeAudioChunk(f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			closes[c.Kind.String()]++
+		case stream.TypeFieldChunk:
+			closes["field"]++
+		}
+	}
+	for _, ch := range []string{"gyro", "accel", "mag", "field", "capture", "voice"} {
+		if closes[ch] != 1 {
+			t.Errorf("channel %s closed %d times, want 1", ch, closes[ch])
+		}
+	}
+	fin, err := stream.DecodeFinish(last.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Digest != digest.Sum() {
+		t.Fatal("finish digest does not reproduce over the data frames")
+	}
+	if fin.Frames != digest.Frames() {
+		t.Fatalf("finish frame count %d, want %d", fin.Frames, digest.Frames())
+	}
+
+	// The magnetometer channel closes before the audio channels begin:
+	// the interleave puts the decisive evidence first.
+	magClosed, audioSeen := -1, -1
+	for i, f := range frames {
+		if f.Type == stream.TypeSensorChunk && f.Flags&stream.FlagLast != 0 {
+			if c, err := stream.DecodeSensorChunk(f.Payload); err == nil && c.Kind == stream.SensorMag {
+				magClosed = i
+			}
+		}
+		if f.Type == stream.TypeAudioChunk && audioSeen < 0 {
+			audioSeen = i
+		}
+	}
+	if magClosed < 0 || audioSeen < 0 || magClosed > audioSeen {
+		t.Errorf("mag closes at frame %d, audio starts at %d — mag must complete first", magClosed, audioSeen)
+	}
+}
+
+// TestStreamFramesRebuildIdenticalSession pins the bit-parity guarantee:
+// replaying the frames through a StreamVerifier-independent reassembly
+// yields exactly the floats ToSession decodes from the JSON request.
+func TestStreamFramesRebuildIdenticalSession(t *testing.T) {
+	req := sampleSession(t, 8)
+	want, err := ToSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := StreamFrames("trace-8", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var voice, capture []float64
+	var magT []float64
+	for _, f := range frames {
+		switch f.Type {
+		case stream.TypeAudioChunk:
+			c, err := stream.DecodeAudioChunk(f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Kind == stream.AudioVoice {
+				voice = append(voice, c.Samples...)
+			} else {
+				capture = append(capture, c.Samples...)
+			}
+		case stream.TypeSensorChunk:
+			c, err := stream.DecodeSensorChunk(f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Kind == stream.SensorMag {
+				for _, s := range c.Samples {
+					magT = append(magT, s.T)
+				}
+			}
+		}
+	}
+	if len(voice) != len(want.Voice.Samples) {
+		t.Fatalf("voice length %d, want %d", len(voice), len(want.Voice.Samples))
+	}
+	for i := range voice {
+		if math.Float64bits(voice[i]) != math.Float64bits(want.Voice.Samples[i]) {
+			t.Fatalf("voice sample %d not bit-identical to the HTTP decode", i)
+		}
+	}
+	if len(capture) != len(want.Gesture.Capture.Samples) {
+		t.Fatalf("capture length %d, want %d", len(capture), len(want.Gesture.Capture.Samples))
+	}
+	for i := range capture {
+		if math.Float64bits(capture[i]) != math.Float64bits(want.Gesture.Capture.Samples[i]) {
+			t.Fatalf("capture sample %d not bit-identical to the HTTP decode", i)
+		}
+	}
+	if len(magT) != want.Gesture.Mag.Len() {
+		t.Fatalf("mag length %d, want %d", len(magT), want.Gesture.Mag.Len())
+	}
+}
+
+func TestApplyStreamFrameRoutesAndRefuses(t *testing.T) {
+	sys, err := core.BuildSystem(core.SystemConfig{FieldSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.NewStreamVerifier("apply-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := sampleSession(t, 9)
+	frames, err := StreamFrames("apply-9", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames[:len(frames)-1] {
+		if _, err := ApplyStreamFrame(ctx, v, f); err != nil {
+			t.Fatalf("applying %v frame: %v", f.Type, err)
+		}
+	}
+	// Finish and server-direction frames are not data.
+	for _, f := range []stream.Frame{
+		frames[len(frames)-1],
+		{Type: stream.TypeDecision},
+		{Type: stream.TypeError},
+	} {
+		if _, err := ApplyStreamFrame(ctx, v, f); err == nil {
+			t.Errorf("%v frame accepted as session data", f.Type)
+		}
+	}
+	// Corrupt payloads surface decode errors.
+	if _, err := ApplyStreamFrame(ctx, v, stream.Frame{Type: stream.TypeSensorChunk, Payload: []byte{9}}); err == nil {
+		t.Error("corrupt sensor chunk accepted")
+	}
+}
+
+func TestStreamDecisionAndErrorRoundTrip(t *testing.T) {
+	resp := &VerifyResponse{Accepted: false, FailedStage: "loudspeaker-detection", TraceID: "d-1", ElapsedUS: 1234}
+	f, err := StreamDecision(resp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, early, err := DecisionFromStreamFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !early || got.FailedStage != resp.FailedStage || got.TraceID != resp.TraceID {
+		t.Fatalf("decision round trip: early=%v got=%+v", early, got)
+	}
+	if _, _, err := DecisionFromStreamFrame(stream.Frame{Type: stream.TypeError}); err == nil {
+		t.Error("error frame parsed as decision")
+	}
+
+	ef, err := StreamError(429, 2, &VerifyResponse{Error: "overloaded", TraceID: "e-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, retry, env, err := ErrorFromStreamFrame(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 429 || retry != 2 || env.Error != "overloaded" || env.TraceID != "e-1" {
+		t.Fatalf("error round trip: status=%d retry=%d env=%+v", status, retry, env)
+	}
+	if _, _, _, err := ErrorFromStreamFrame(f); err == nil {
+		t.Error("decision frame parsed as error")
+	}
+}

@@ -39,6 +39,7 @@ const (
 	MetricHTTPRequests     = "voiceguard_http_requests_total"
 	MetricHTTPDuration     = "voiceguard_http_request_duration_seconds"
 	MetricHTTPInflight     = "voiceguard_http_inflight_requests"
+	MetricRequestTooLarge  = "voiceguard_request_too_large_total"
 
 	// ASV fast-path series (registered only when the fast path is on).
 	MetricASVBatchSize        = "voiceguard_asv_batch_size"
@@ -99,6 +100,7 @@ type Server struct {
 	accepted, rejected, errored *telemetry.Counter
 	deadlined, shed             *telemetry.Counter
 	vpErrDecode, vpErrVoice     *telemetry.Counter
+	tooLarge                    map[string]*telemetry.Counter
 	verifyInflight              *telemetry.Gauge
 	pipelineHist                *telemetry.Histogram
 	stageHist                   map[core.Stage]*telemetry.Histogram
@@ -129,9 +131,25 @@ type Server struct {
 	asvCache                   *gmm.ModelCache
 	asvCacheHits, asvCacheMiss *telemetry.Counter
 
-	mu      sync.Mutex
-	httpSrv *http.Server
-	addr    string
+	// Streaming listener (stream.go): one TCP connection per
+	// verification session, evaluated incrementally so impersonation
+	// attacks are rejected before their upload completes.
+	streamFrameTimeout time.Duration
+	streamWG           sync.WaitGroup
+	streamFramesIn     *telemetry.Counter
+	streamFramesOut    *telemetry.Counter
+	streamBytesIn      *telemetry.Counter
+	streamBytesOut     *telemetry.Counter
+	streamEarlyExit    map[core.Stage]*telemetry.Counter
+	streamTTD          *telemetry.Histogram
+
+	mu             sync.Mutex
+	httpSrv        *http.Server
+	addr           string
+	streamLn       net.Listener
+	streamAddr     string
+	streamConns    map[net.Conn]struct{}
+	streamShutdown bool
 }
 
 // Option configures optional server behavior.
@@ -247,6 +265,11 @@ func New(system *core.System, logger *slog.Logger, opts ...Option) (*Server, err
 	s.vpErrDecode = r.Counter(MetricVoiceprintErrors, telemetry.Labels{"reason": "decode"})
 	s.vpErrVoice = r.Counter(MetricVoiceprintErrors, telemetry.Labels{"reason": "bad_voice"})
 	r.SetHelp(MetricVoiceprintErrors, "voiceprint baseline failures by reason")
+	s.tooLarge = make(map[string]*telemetry.Counter)
+	for _, route := range []string{"verify", "enroll", "voiceprint"} {
+		s.tooLarge[route] = r.Counter(MetricRequestTooLarge, telemetry.Labels{"route": route})
+	}
+	r.SetHelp(MetricRequestTooLarge, "uploads refused for exceeding the raw body cap, by route")
 	if s.maxInflight > 0 {
 		s.sem = make(chan struct{}, s.maxInflight)
 	}
@@ -259,6 +282,7 @@ func New(system *core.System, logger *slog.Logger, opts ...Option) (*Server, err
 		s.stageHist[st] = r.Histogram(MetricStageLatency, nil, telemetry.Labels{"stage": st.MetricName()})
 	}
 	r.SetHelp(MetricStageLatency, "per-stage pipeline latency")
+	s.initStream()
 	s.initObservability()
 	if s.asvFast || s.asvBatch {
 		if err := s.enableFastASV(); err != nil {
@@ -352,8 +376,14 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		respond(http.StatusNotImplemented, &protocol.EnrollResponse{Error: "no ASV stage attached"})
 		return
 	}
+	capBody(w, r)
 	req, err := protocol.DecodeEnroll(r.Body)
 	if err != nil {
+		if requestTooLarge(err) {
+			s.tooLarge["enroll"].Inc()
+			respond(http.StatusRequestEntityTooLarge, &protocol.EnrollResponse{Error: err.Error()})
+			return
+		}
 		respond(http.StatusBadRequest, &protocol.EnrollResponse{Error: err.Error()})
 		return
 	}
@@ -385,8 +415,14 @@ func (s *Server) handleVoiceprint(w http.ResponseWriter, r *http.Request) {
 		s.logger.Warn("voiceprint failed", "trace_id", traceID, "status", status, "err", msg)
 		s.writeJSONError(w, traceID, status, msg)
 	}
+	capBody(w, r)
 	req, err := protocol.DecodeVoiceprint(r.Body)
 	if err != nil {
+		if requestTooLarge(err) {
+			s.tooLarge["voiceprint"].Inc()
+			fail(http.StatusRequestEntityTooLarge, s.vpErrDecode, fmt.Sprintf("decoding request: %v", err))
+			return
+		}
 		fail(http.StatusBadRequest, s.vpErrDecode, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
@@ -554,6 +590,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// capBody bounds the raw upload before any gzip decode. The protocol
+// decoders cap the *decompressed* payload, but without this an attacker
+// could stream an unbounded raw body into the gzip reader; MaxBytesReader
+// cuts the connection off at the cap and poisons further reads with
+// *http.MaxBytesError.
+func capBody(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, protocol.MaxPayloadBytes)
+}
+
+// requestTooLarge reports whether a decode failure means the upload blew
+// either size cap — the raw-body guard or the decoded-payload limit —
+// and should answer 413 rather than a generic 400.
+func requestTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe) || errors.Is(err, protocol.ErrTooLarge)
+}
+
 // writeJSONError answers a failed POST request with the JSON error
 // envelope every /verify-family failure uses — the error text plus the
 // trace ID, so even a refused request correlates with the server's logs.
@@ -576,7 +629,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 	fail := func(status int, msg string) {
 		s.errored.Inc()
-		s.observeOutcome(telemetry.OutcomeError, 0)
+		// Error outcomes report their real latency: a zero here would
+		// mislabel where time went the moment any window consumer starts
+		// attributing error time (the counter windows already key off it).
+		s.observeOutcome(telemetry.OutcomeError, time.Since(start))
 		s.logger.Warn("verify failed", "trace_id", traceID, "status", status, "err", msg)
 		s.writeJSONError(w, traceID, status, msg)
 	}
@@ -601,8 +657,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	s.verifyInflight.Add(1)
 	defer s.verifyInflight.Add(-1)
 
+	capBody(w, r)
 	req, err := protocol.DecodeRequest(r.Body)
 	if err != nil {
+		if requestTooLarge(err) {
+			s.tooLarge["verify"].Inc()
+			fail(http.StatusRequestEntityTooLarge, fmt.Sprintf("decoding request: %v", err))
+			return
+		}
 		fail(http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
@@ -693,6 +755,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if srv != nil {
 		err = srv.Shutdown(ctx)
 	}
+	s.shutdownStream(ctx)
 	s.spoolWG.Wait()
 	if s.batcher != nil {
 		// After the drain: pending batches flush, and any straggler
